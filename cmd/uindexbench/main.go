@@ -1,0 +1,130 @@
+// Command uindexbench regenerates the tables and figures of Gudes, "A
+// Uniform Indexing Scheme for Object-Oriented Databases": Table 1 (node
+// counts on the 12,000-record Figure-1 database) and Figures 5–8 (page
+// reads of the U-index vs the CG-tree on the 150,000-object database).
+//
+// Usage:
+//
+//	uindexbench -exp all                 # everything at paper scale
+//	uindexbench -exp fig5 -quick         # one figure, scaled down
+//	uindexbench -exp fig6 -extended      # add CH-tree and H-tree curves
+//	uindexbench -exp table1 -seed 7
+//
+// Experiments: table1, fig5, fig6, fig7, fig8, all.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|storage|updates|all")
+		objects  = flag.Int("objects", 150000, "objects in the large database")
+		reps     = flag.Int("reps", 100, "repetitions per measured point")
+		seed     = flag.Int64("seed", 1996, "random seed")
+		quick    = flag.Bool("quick", false, "scaled-down grid (12,000 objects, 15 reps)")
+		extended = flag.Bool("extended", false, "also measure CH-tree and H-tree curves")
+	)
+	flag.Parse()
+
+	cfg := experiments.GridConfig{Objects: *objects, Reps: *reps, Seed: *seed, Extended: *extended}
+	if *quick {
+		cfg = experiments.QuickGrid()
+		cfg.Extended = *extended
+		cfg.Seed = *seed
+	}
+
+	run := func(name string, f func() error) {
+		start := time.Now()
+		fmt.Printf("== %s ==\n", name)
+		if err := f(); err != nil {
+			fmt.Fprintf(os.Stderr, "uindexbench: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	any := false
+	if want("table1") {
+		any = true
+		run("table1", func() error {
+			r, err := experiments.RunTable1(*seed)
+			if err != nil {
+				return err
+			}
+			experiments.RenderTable1(os.Stdout, r)
+			return nil
+		})
+	}
+	figs := []struct {
+		name string
+		f    func(experiments.GridConfig) (*experiments.FigureResult, error)
+	}{
+		{"fig5", experiments.RunFigure5},
+		{"fig6", experiments.RunFigure6},
+		{"fig7", experiments.RunFigure7},
+	}
+	for _, fig := range figs {
+		if !want(fig.name) {
+			continue
+		}
+		any = true
+		fig := fig
+		run(fig.name, func() error {
+			r, err := fig.f(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure(os.Stdout, r)
+			return nil
+		})
+	}
+	if want("storage") {
+		any = true
+		run("storage", func() error {
+			for _, keys := range []int{0, 100, 1000} {
+				r, err := experiments.RunStorage(cfg.Objects, 40, keys, *seed)
+				if err != nil {
+					return err
+				}
+				experiments.RenderStorage(os.Stdout, r)
+			}
+			return nil
+		})
+	}
+	if want("updates") {
+		any = true
+		run("updates", func() error {
+			r, err := experiments.RunUpdateCost(*seed, max(1, *reps/5))
+			if err != nil {
+				return err
+			}
+			experiments.RenderUpdateCost(os.Stdout, r)
+			return nil
+		})
+	}
+	if want("fig8") {
+		any = true
+		run("fig8", func() error {
+			r, err := experiments.RunFigure8(cfg)
+			if err != nil {
+				return err
+			}
+			experiments.RenderFigure8(os.Stdout, r)
+			return nil
+		})
+	}
+	if !any {
+		fmt.Fprintf(os.Stderr, "uindexbench: unknown experiment %q (want %s)\n",
+			*exp, strings.Join([]string{"table1", "fig5", "fig6", "fig7", "fig8", "storage", "updates", "all"}, "|"))
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,257 @@
+// Command uindexcli is an interactive shell over the paper's Example-1
+// database: it builds the Figure-1 schema, loads the example objects,
+// creates the class-hierarchy color index and the combined
+// Vehicle/Company/Employee age index, and then evaluates textual queries in
+// the paper's own notation.
+//
+//	$ go run ./cmd/uindexcli
+//	> color (Color=Red, C5A*)
+//	> age (Age=50, ?, ?) ; distinct 2
+//	> .cod          — print the COD relation
+//	> .indexes      — list indexes
+//	> .help
+//
+// Each answer reports the matched paths and the page-read cost under both
+// retrieval algorithms. With -save the database is snapshotted on exit;
+// with -load a previously saved snapshot is used instead of the demo data.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro"
+	"repro/internal/querylang"
+)
+
+func buildDemo() (*uindex.Database, map[uindex.OID]string, error) {
+	s := uindex.NewSchema()
+	add := func(name, super string, attrs ...uindex.Attr) error {
+		return s.AddClass(name, super, attrs...)
+	}
+	steps := []func() error{
+		func() error {
+			return add("Employee", "", uindex.Attr{Name: "Age", Type: uindex.Uint64})
+		},
+		func() error {
+			return add("Company", "",
+				uindex.Attr{Name: "Name", Type: uindex.String},
+				uindex.Attr{Name: "President", Ref: "Employee"})
+		},
+		func() error { return add("City", "", uindex.Attr{Name: "Name", Type: uindex.String}) },
+		func() error {
+			return add("Division", "",
+				uindex.Attr{Name: "Belong", Ref: "Company"},
+				uindex.Attr{Name: "LocatedIn", Ref: "City"})
+		},
+		func() error {
+			return add("Vehicle", "",
+				uindex.Attr{Name: "Name", Type: uindex.String},
+				uindex.Attr{Name: "Color", Type: uindex.String},
+				uindex.Attr{Name: "ManufacturedBy", Ref: "Company"})
+		},
+		func() error { return add("Automobile", "Vehicle") },
+		func() error { return add("Truck", "Vehicle") },
+		func() error { return add("CompactAutomobile", "Automobile") },
+		func() error { return add("AutoCompany", "Company") },
+		func() error { return add("TruckCompany", "Company") },
+		func() error { return add("JapaneseAutoCompany", "AutoCompany") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			return nil, nil, err
+		}
+	}
+	db, err := uindex.NewDatabase(s)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := db.CreateIndex(uindex.IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}); err != nil {
+		return nil, nil, err
+	}
+	if err := db.CreateIndex(uindex.IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}); err != nil {
+		return nil, nil, err
+	}
+
+	names := map[uindex.OID]string{}
+	ins := func(name, class string, attrs uindex.Attrs) (uindex.OID, error) {
+		oid, err := db.Insert(class, attrs)
+		if err != nil {
+			return 0, err
+		}
+		names[oid] = name
+		return oid, nil
+	}
+	e1, err := ins("e1", "Employee", uindex.Attrs{"Age": 50})
+	if err != nil {
+		return nil, nil, err
+	}
+	e2, _ := ins("e2", "Employee", uindex.Attrs{"Age": 60})
+	e3, _ := ins("e3", "Employee", uindex.Attrs{"Age": 45})
+	c1, _ := ins("c1/Subaru", "JapaneseAutoCompany", uindex.Attrs{"Name": "Subaru", "President": e3})
+	c2, _ := ins("c2/Fiat", "AutoCompany", uindex.Attrs{"Name": "Fiat", "President": e1})
+	c3, _ := ins("c3/Renault", "AutoCompany", uindex.Attrs{"Name": "Renault", "President": e2})
+	vehicles := []struct {
+		name, class, color string
+		co                 uindex.OID
+	}{
+		{"v1/Legacy", "Vehicle", "White", c1},
+		{"v2/Tipo", "Automobile", "White", c2},
+		{"v3/Panda", "Automobile", "Red", c2},
+		{"v4/R5", "CompactAutomobile", "Red", c3},
+		{"v5/Justy", "CompactAutomobile", "Blue", c1},
+		{"v6/Uno", "CompactAutomobile", "White", c2},
+	}
+	for _, v := range vehicles {
+		if _, err := ins(v.name, v.class, uindex.Attrs{
+			"Name": strings.SplitN(v.name, "/", 2)[1], "Color": v.color, "ManufacturedBy": v.co}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return db, names, nil
+}
+
+func main() {
+	var (
+		loadPath = flag.String("load", "", "load a database snapshot instead of building the demo")
+		savePath = flag.String("save", "", "write a snapshot of the database on exit (.quit)")
+	)
+	flag.Parse()
+	var db *uindex.Database
+	var names map[uindex.OID]string
+	var err error
+	if *loadPath != "" {
+		db, err = uindex.LoadFile(*loadPath)
+		names = map[uindex.OID]string{}
+	} else {
+		db, names, err = buildDemo()
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uindexcli:", err)
+		os.Exit(1)
+	}
+	save := func() {
+		if *savePath == "" {
+			return
+		}
+		if err := db.SaveFile(*savePath); err != nil {
+			fmt.Fprintln(os.Stderr, "uindexcli: save:", err)
+			return
+		}
+		fmt.Printf("saved snapshot to %s\n", *savePath)
+	}
+	defer save()
+	fmt.Println("U-index shell over the paper's Example 1 database.")
+	fmt.Println(`Type ".help" for commands; queries look like: color (Color=Red, C5A*)`)
+	sc := bufio.NewScanner(os.Stdin)
+	fmt.Print("> ")
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case line == "":
+		case line == ".quit" || line == ".exit":
+			return
+		case line == ".help":
+			fmt.Println(`Commands:
+  .cod               print the COD relation (class codes)
+  .indexes           list indexes and their paths
+  .objects           list the example objects
+  .explain <ix> <q>  show the compiled query plan
+  .quit              leave
+Queries: <index> <query>, e.g.
+  color (Color=Red, C5A*)
+  color (Color=[Blue-Red], [C5A*, C5B])
+  age   (Age=50, ?, ?) ; distinct 2
+  age   (Age=[46-], ?, C2A*, C5A*)
+  age   (Age=50, ?, Company{Name=Fiat}, ?)   predicate (select) restriction`)
+		case strings.HasPrefix(line, ".explain "):
+			rest := strings.TrimSpace(strings.TrimPrefix(line, ".explain"))
+			parts := strings.SplitN(rest, " ", 2)
+			if len(parts) != 2 {
+				fmt.Println("  want: .explain <index> <query>")
+				break
+			}
+			ix, ok := db.Index(parts[0])
+			if !ok {
+				fmt.Printf("  no index %q\n", parts[0])
+				break
+			}
+			parsed, err := querylang.Parse(ix, strings.TrimSpace(parts[1]))
+			if err != nil {
+				fmt.Println(" ", err)
+				break
+			}
+			plan, err := ix.Explain(parsed)
+			if err != nil {
+				fmt.Println(" ", err)
+				break
+			}
+			fmt.Print(plan)
+		case line == ".cod":
+			for _, row := range db.CODTable() {
+				fmt.Println(" ", row)
+			}
+		case line == ".indexes":
+			for _, name := range db.Indexes() {
+				ix, _ := db.Index(name)
+				fmt.Printf("  %-8s on %s.%s (path %s)\n", name,
+					ix.PathClasses()[len(ix.PathClasses())-1], ix.Spec().Attr,
+					strings.Join(ix.PathClasses(), "/"))
+			}
+		case line == ".objects":
+			for oid, n := range names {
+				cls, _ := db.ClassOf(oid)
+				fmt.Printf("  %-4d %-12s %s\n", oid, n, cls)
+			}
+		default:
+			runQuery(db, names, line)
+		}
+		fmt.Print("> ")
+	}
+}
+
+func runQuery(db *uindex.Database, names map[uindex.OID]string, line string) {
+	parts := strings.SplitN(line, " ", 2)
+	if len(parts) != 2 {
+		fmt.Println("  want: <index> <query> — see .help")
+		return
+	}
+	ixName, q := parts[0], strings.TrimSpace(parts[1])
+	ix, ok := db.Index(ixName)
+	if !ok {
+		fmt.Printf("  no index %q (try .indexes)\n", ixName)
+		return
+	}
+	parsed, err := querylang.Parse(ix, q)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	ms, sp, err := ix.Execute(parsed, uindex.Parallel, nil)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	_, sf, err := ix.Execute(parsed, uindex.Forward, nil)
+	if err != nil {
+		fmt.Println(" ", err)
+		return
+	}
+	for _, m := range ms {
+		var path []string
+		for _, pe := range m.Path {
+			label := fmt.Sprint(pe.OID)
+			if n, ok := names[pe.OID]; ok {
+				label = n
+			}
+			path = append(path, fmt.Sprintf("%s$%s", pe.Code.Compact(), label))
+		}
+		fmt.Printf("  %v  %s\n", m.Value, strings.Join(path, " "))
+	}
+	fmt.Printf("  -- %d match(es); pages read: parallel %d, forward %d\n",
+		len(ms), sp.PagesRead, sf.PagesRead)
+}

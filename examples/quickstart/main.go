@@ -1,0 +1,66 @@
+// Quickstart: declare a small class hierarchy, build a class-hierarchy
+// U-index, and query it — the minimal end-to-end use of the public API.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro"
+)
+
+func main() {
+	// 1. Declare the schema. A class hierarchy is built by naming each
+	// class's superclass; attributes are inherited.
+	s := uindex.NewSchema()
+	check(s.AddClass("Vehicle", "",
+		uindex.Attr{Name: "Color", Type: uindex.String},
+		uindex.Attr{Name: "Weight", Type: uindex.Uint64},
+	))
+	check(s.AddClass("Automobile", "Vehicle"))
+	check(s.AddClass("Truck", "Vehicle"))
+
+	// 2. Open a database. Class codes (the paper's COD relation) are
+	// assigned automatically.
+	db, err := uindex.NewDatabase(s)
+	check(err)
+	fmt.Println("COD relation:")
+	for _, row := range db.CODTable() {
+		fmt.Println(" ", row)
+	}
+
+	// 3. Create a class-hierarchy index on Vehicle.Color: one U-index
+	// covers Vehicle, Automobile and Truck together.
+	check(db.CreateIndex(uindex.IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}))
+
+	// 4. Insert objects of the various classes.
+	for i := 0; i < 100; i++ {
+		class := []string{"Vehicle", "Automobile", "Truck"}[i%3]
+		color := []string{"Red", "Blue", "White", "Green"}[i%4]
+		_, err := db.Insert(class, uindex.Attrs{"Color": color, "Weight": 900 + i})
+		check(err)
+	}
+
+	// 5. Query. On("Automobile") covers the class and its subclasses —
+	// the defining capability of a class-hierarchy index.
+	ms, stats, err := db.Query("color", uindex.Query{
+		Value:     uindex.Exact("Red"),
+		Positions: []uindex.Position{uindex.On("Automobile")},
+	})
+	check(err)
+	fmt.Printf("\nred automobiles: %d matches, %d pages read\n", len(ms), stats.PagesRead)
+	for _, m := range ms[:3] {
+		fmt.Printf("  %v -> object %d (class code %s)\n", m.Value, m.Path[0].OID, m.Path[0].Code.Compact())
+	}
+
+	// 6. The same query in the paper's textual notation.
+	ms, _, err = db.QueryString("color", `(Color={Red,Blue}, [Automobile*, Truck*])`)
+	check(err)
+	fmt.Printf("red or blue automobiles/trucks: %d matches\n", len(ms))
+}
+
+func check(err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+}

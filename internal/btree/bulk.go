@@ -1,0 +1,186 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+
+	"repro/internal/pager"
+)
+
+// EntrySource yields key/value pairs in strictly ascending key order for
+// BulkLoad. It returns ok=false when exhausted.
+type EntrySource func() (key, val []byte, ok bool, err error)
+
+// SliceSource adapts in-memory sorted entries to an EntrySource.
+func SliceSource(keys, vals [][]byte) EntrySource {
+	i := 0
+	return func() ([]byte, []byte, bool, error) {
+		if i >= len(keys) {
+			return nil, nil, false, nil
+		}
+		var v []byte
+		if vals != nil {
+			v = vals[i]
+		}
+		k := keys[i]
+		i++
+		return k, v, true, nil
+	}
+}
+
+// bulkFillFraction leaves headroom in bulk-loaded nodes so that subsequent
+// inserts do not immediately split every page.
+const bulkFillFraction = 0.90
+
+// BulkLoad builds the tree bottom-up from a sorted entry stream. It is far
+// faster than repeated Insert for large builds (the 150,000-object databases
+// of the paper's Section 5 experiments) and produces near-optimally packed
+// pages. The tree must be empty.
+func (t *Tree) BulkLoad(src EntrySource) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.count != 0 {
+		return fmt.Errorf("btree: BulkLoad requires an empty tree")
+	}
+
+	limit := int(float64(t.f.PageSize()) * bulkFillFraction)
+	maxEntries := t.cfg.MaxEntries
+	if maxEntries > 0 {
+		maxEntries = max(2, maxEntries*9/10)
+	}
+
+	// Level 0: pack leaves.
+	type built struct {
+		id       pager.PageID
+		firstKey []byte
+		lastKey  []byte
+	}
+	var level []built
+	var prevKey []byte
+	var prevLeaf *node
+	cur, err := t.allocNode(true)
+	if err != nil {
+		return err
+	}
+	count := 0
+	seal := func() error {
+		if prevLeaf != nil {
+			prevLeaf.next = cur.id
+		}
+		level = append(level, built{cur.id, cur.keys[0], cur.keys[len(cur.keys)-1]})
+		prevLeaf = cur
+		var err error
+		cur, err = t.allocNode(true)
+		return err
+	}
+	for {
+		key, val, ok, err := src()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			break
+		}
+		if len(key) == 0 || len(key) > t.maxKeySize() {
+			return fmt.Errorf("btree: BulkLoad key of %d bytes invalid", len(key))
+		}
+		if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
+			return fmt.Errorf("btree: BulkLoad keys not strictly ascending at %q", key)
+		}
+		stored, err := t.storeValue(val)
+		if err != nil {
+			return err
+		}
+		kcopy := append([]byte(nil), key...)
+		cur.keys = append(cur.keys, kcopy)
+		cur.vals = append(cur.vals, stored)
+		cur.dirty = true
+		count++
+		prevKey = kcopy
+		full := cur.encodedSize(t.noCompress) > limit
+		if maxEntries > 0 {
+			full = full || len(cur.keys) >= maxEntries
+		}
+		if full {
+			if err := seal(); err != nil {
+				return err
+			}
+		}
+	}
+	if len(cur.keys) > 0 {
+		if prevLeaf != nil {
+			prevLeaf.next = cur.id
+		}
+		level = append(level, built{cur.id, cur.keys[0], cur.keys[len(cur.keys)-1]})
+	} else {
+		if err := t.freeNode(cur); err != nil {
+			return err
+		}
+	}
+	if len(level) == 0 {
+		// Empty input: keep the pre-allocated empty root leaf intact.
+		t.count = 0
+		return nil
+	}
+
+	// Separator between adjacent leaves i-1 and i: the shortest key above
+	// everything in leaf i-1 and at most the first key of leaf i. We use
+	// the first key of leaf i directly when computing from built info is
+	// unavailable; prevKey tracking gives us the tighter separator.
+	seps := make([][]byte, len(level)) // seps[i] separates level[i-1] | level[i]
+	for i := 1; i < len(level); i++ {
+		seps[i] = shortestSep(level[i-1].lastKey, level[i].firstKey)
+	}
+
+	// Replace the original empty root.
+	if err := t.freeNode(t.cache[t.root]); err != nil {
+		return err
+	}
+
+	// Upper levels: pack (separator, child) pairs into internal nodes;
+	// when a node fills, the separator at the boundary is promoted to the
+	// level above instead of stored.
+	height := 1
+	for len(level) > 1 {
+		var nextLevel []built
+		var promoted [][]byte
+		node, err := t.allocNode(false)
+		if err != nil {
+			return err
+		}
+		node.children = append(node.children, level[0].id)
+		node.dirty = true
+		for i := 1; i < len(level); i++ {
+			sep, child := seps[i], level[i].id
+			node.keys = append(node.keys, sep)
+			node.children = append(node.children, child)
+			full := node.encodedSize(t.noCompress) > limit
+			if maxEntries > 0 {
+				full = full || len(node.keys) > maxEntries
+			}
+			if full && len(node.keys) > 1 {
+				// Undo, seal the node, promote the separator.
+				node.keys = node.keys[:len(node.keys)-1]
+				node.children = node.children[:len(node.children)-1]
+				nextLevel = append(nextLevel, built{node.id, nil, nil})
+				promoted = append(promoted, sep)
+				if node, err = t.allocNode(false); err != nil {
+					return err
+				}
+				node.children = append(node.children, child)
+				node.dirty = true
+			}
+		}
+		nextLevel = append(nextLevel, built{node.id, nil, nil})
+		// promoted[j] separates nextLevel[j] | nextLevel[j+1]; realign
+		// to the seps convention (seps[i] separates level[i-1]|level[i]).
+		ns := make([][]byte, len(nextLevel))
+		copy(ns[1:], promoted)
+		level, seps = nextLevel, ns
+		height++
+	}
+	t.root = level[0].id
+	t.hgt = height
+	t.count = count
+	return nil
+}

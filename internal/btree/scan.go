@@ -1,0 +1,337 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+
+	"repro/internal/pager"
+)
+
+// Interval is a half-open key range [Lo, Hi). A nil Lo means "from the
+// beginning"; a nil Hi means "to the end".
+type Interval struct {
+	Lo, Hi []byte
+}
+
+// contains reports whether key lies in the interval.
+func (iv Interval) contains(key []byte) bool {
+	if iv.Lo != nil && bytes.Compare(key, iv.Lo) < 0 {
+		return false
+	}
+	return iv.Hi == nil || bytes.Compare(key, iv.Hi) < 0
+}
+
+// empty reports whether the interval can contain no key.
+func (iv Interval) empty() bool {
+	return iv.Lo != nil && iv.Hi != nil && bytes.Compare(iv.Lo, iv.Hi) >= 0
+}
+
+// NormalizeIntervals sorts intervals and merges the ones that overlap or
+// touch, producing the canonical disjoint ascending form MultiScan expects.
+func NormalizeIntervals(ivs []Interval) []Interval {
+	out := make([]Interval, 0, len(ivs))
+	for _, iv := range ivs {
+		if !iv.empty() {
+			out = append(out, iv)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i].Lo, out[j].Lo
+		switch {
+		case a == nil && b == nil:
+			return false
+		case a == nil:
+			return true
+		case b == nil:
+			return false
+		}
+		return bytes.Compare(a, b) < 0
+	})
+	merged := out[:0]
+	for _, iv := range out {
+		if len(merged) == 0 {
+			merged = append(merged, iv)
+			continue
+		}
+		last := &merged[len(merged)-1]
+		// Overlap or touch: iv.Lo <= last.Hi (nil last.Hi = +inf).
+		if last.Hi == nil || iv.Lo == nil || bytes.Compare(iv.Lo, last.Hi) <= 0 {
+			if last.Hi != nil && (iv.Hi == nil || bytes.Compare(iv.Hi, last.Hi) > 0) {
+				last.Hi = iv.Hi
+			}
+			continue
+		}
+		merged = append(merged, iv)
+	}
+	return merged
+}
+
+// ScanFunc receives each matching key/value pair in ascending key order.
+// Returning stop ends the scan. Returning a non-nil skipTo (which must be
+// greater than the current key) makes the scan resume at the first key >=
+// skipTo: this implements the paper's parent-node skip ("whenever you need
+// to skip some entries, lookup the uncompressed part of the key in the
+// parent node, and search for the first entry with key equal or larger to
+// it", Section 3.3), because already-fetched pages are free under the query
+// tracker and only genuinely new pages are counted.
+type ScanFunc func(key, val []byte) (skipTo []byte, stop bool, err error)
+
+// MultiScan is the paper's "parallel" retrieval algorithm (Algorithm 1,
+// Parscan): it walks the B-tree once for an entire set of key intervals,
+// descending into each relevant subtree exactly once, so pages shared by
+// several partial keys are read a single time. Intervals are normalized
+// internally.
+func (t *Tree) MultiScan(ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	ivs = NormalizeIntervals(ivs)
+	if len(ivs) == 0 {
+		return nil
+	}
+	s := &multiScan{t: t, tr: tr, ivs: ivs, fn: fn}
+	_, err := s.walk(t.root)
+	return err
+}
+
+type multiScan struct {
+	t    *Tree
+	tr   *pager.Tracker
+	ivs  []Interval
+	iv   int    // current interval index (monotonically advances)
+	skip []byte // dynamic lower bound set by ScanFunc skip requests
+	fn   ScanFunc
+}
+
+// advance moves the interval cursor past intervals wholly below key.
+// It reports whether any interval remains.
+func (s *multiScan) advance(key []byte) bool {
+	for s.iv < len(s.ivs) {
+		hi := s.ivs[s.iv].Hi
+		if hi == nil || bytes.Compare(key, hi) < 0 {
+			return true
+		}
+		s.iv++
+	}
+	return false
+}
+
+// walk processes a subtree; it returns stop=true when the scan is complete.
+func (s *multiScan) walk(id pager.PageID) (bool, error) {
+	n, err := s.t.fetch(id, s.tr)
+	if err != nil {
+		return true, err
+	}
+	if n.leaf {
+		for i, key := range n.keys {
+			if s.skip != nil && bytes.Compare(key, s.skip) < 0 {
+				continue
+			}
+			if !s.advance(key) {
+				return true, nil
+			}
+			if !s.ivs[s.iv].contains(key) {
+				continue
+			}
+			val, err := s.t.loadValue(n.vals[i], s.tr)
+			if err != nil {
+				return true, err
+			}
+			skipTo, stop, err := s.fn(key, val)
+			if err != nil || stop {
+				return true, err
+			}
+			if skipTo != nil {
+				if bytes.Compare(skipTo, key) <= 0 {
+					return true, fmt.Errorf("btree: skipTo %q not above current key", skipTo)
+				}
+				s.skip = append(s.skip[:0], skipTo...)
+			}
+		}
+		return false, nil
+	}
+	// Child ci covers keys in [keys[ci-1], keys[ci]) (open at the ends).
+	// A child is relevant when some interval intersects that range above
+	// the dynamic skip bound. Intervals are disjoint and ascending, so a
+	// single forward cursor (s.iv) suffices.
+	for ci := 0; ci <= len(n.keys); ci++ {
+		if ci > 0 && !s.advance(n.keys[ci-1]) {
+			return true, nil // every interval lies below this child
+		}
+		if ci < len(n.keys) {
+			ub := n.keys[ci]
+			// s.ivs[s.iv] is the first interval ending above this
+			// child's start; if it begins at or after the child's
+			// end, no interval intersects the child.
+			if lo := s.ivs[s.iv].Lo; lo != nil && bytes.Compare(lo, ub) >= 0 {
+				continue
+			}
+			// Nothing below the skip bound is of interest.
+			if s.skip != nil && bytes.Compare(s.skip, ub) >= 0 {
+				continue
+			}
+		}
+		stop, err := s.walk(n.children[ci])
+		if err != nil || stop {
+			return stop, err
+		}
+	}
+	return false, nil
+}
+
+// Scan is the forward-scanning baseline (Section 3.3 "finding the first
+// relevant index entry using the standard B-tree search, and then scanning
+// the index forwards from that point on"): one descent, then a walk of the
+// leaf chain over the whole [lo, hi) range, fetching every leaf touched.
+func (t *Tree) Scan(lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n, err := t.descendToLeaf(lo, tr)
+	if err != nil {
+		return err
+	}
+	i := 0
+	if lo != nil {
+		i = sort.Search(len(n.keys), func(j int) bool {
+			return bytes.Compare(n.keys[j], lo) >= 0
+		})
+	}
+	for {
+		for ; i < len(n.keys); i++ {
+			key := n.keys[i]
+			if hi != nil && bytes.Compare(key, hi) >= 0 {
+				return nil
+			}
+			val, err := t.loadValue(n.vals[i], tr)
+			if err != nil {
+				return err
+			}
+			// The forward scan honors stop but not skip: skipping is
+			// what distinguishes the parallel algorithm.
+			_, stop, err := fn(key, val)
+			if err != nil || stop {
+				return err
+			}
+		}
+		if n.next == pager.NilPage {
+			return nil
+		}
+		if n, err = t.fetch(n.next, tr); err != nil {
+			return err
+		}
+		i = 0
+	}
+}
+
+// descendToLeaf returns the leaf that would contain key (or the leftmost
+// leaf when key is nil).
+func (t *Tree) descendToLeaf(key []byte, tr *pager.Tracker) (*node, error) {
+	id := t.root
+	for {
+		n, err := t.fetch(id, tr)
+		if err != nil {
+			return nil, err
+		}
+		if n.leaf {
+			return n, nil
+		}
+		if key == nil {
+			id = n.children[0]
+		} else {
+			id = n.children[findChild(n.keys, key)]
+		}
+	}
+}
+
+// Cursor iterates the tree in ascending key order. A cursor is only valid
+// while the tree is not mutated; interleaving writes with cursor use is a
+// programming error.
+type Cursor struct {
+	t     *Tree
+	tr    *pager.Tracker
+	leaf  *node
+	idx   int
+	valid bool
+	err   error
+}
+
+// NewCursor returns an unpositioned cursor; call Seek or First.
+func (t *Tree) NewCursor(tr *pager.Tracker) *Cursor {
+	return &Cursor{t: t, tr: tr}
+}
+
+// Seek positions the cursor at the first key >= key (nil = first key).
+func (c *Cursor) Seek(key []byte) {
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	c.valid, c.err = false, nil
+	n, err := c.t.descendToLeaf(key, c.tr)
+	if err != nil {
+		c.err = err
+		return
+	}
+	i := 0
+	if key != nil {
+		i = sort.Search(len(n.keys), func(j int) bool {
+			return bytes.Compare(n.keys[j], key) >= 0
+		})
+	}
+	c.leaf, c.idx = n, i
+	c.settle()
+}
+
+// First positions the cursor at the smallest key.
+func (c *Cursor) First() { c.Seek(nil) }
+
+// settle advances past empty leaves to the next real entry.
+func (c *Cursor) settle() {
+	for c.idx >= len(c.leaf.keys) {
+		if c.leaf.next == pager.NilPage {
+			return
+		}
+		n, err := c.t.fetch(c.leaf.next, c.tr)
+		if err != nil {
+			c.err = err
+			return
+		}
+		c.leaf, c.idx = n, 0
+	}
+	c.valid = true
+}
+
+// Next advances to the next key.
+func (c *Cursor) Next() {
+	if !c.valid {
+		return
+	}
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	c.valid = false
+	c.idx++
+	c.settle()
+}
+
+// Valid reports whether the cursor is positioned on an entry.
+func (c *Cursor) Valid() bool { return c.valid }
+
+// Err returns the first error encountered by the cursor.
+func (c *Cursor) Err() error { return c.err }
+
+// Key returns the current key. The slice is owned by the tree; callers must
+// copy it to retain it.
+func (c *Cursor) Key() []byte {
+	if !c.valid {
+		return nil
+	}
+	return c.leaf.keys[c.idx]
+}
+
+// Value materializes the current value (following overflow chains).
+func (c *Cursor) Value() ([]byte, error) {
+	if !c.valid {
+		return nil, fmt.Errorf("btree: Value on invalid cursor")
+	}
+	c.t.mu.Lock()
+	defer c.t.mu.Unlock()
+	return c.t.loadValue(c.leaf.vals[c.idx], c.tr)
+}

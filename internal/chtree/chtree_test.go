@@ -1,0 +1,190 @@
+package chtree
+
+import (
+	"encoding/binary"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"repro/internal/encoding"
+	"repro/internal/pager"
+)
+
+func key8(v uint64) []byte {
+	return binary.BigEndian.AppendUint64(nil, v)
+}
+
+func buildTree(t *testing.T, nObjects, nSets, nKeys int, seed int64) *Tree {
+	t.Helper()
+	tr, err := New(pager.NewMemFile(1024), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	entries := make([]Entry, nObjects)
+	for i := range entries {
+		entries[i] = Entry{
+			Key: key8(uint64(rng.Intn(nKeys))),
+			Set: SetID(rng.Intn(nSets)),
+			OID: encoding.OID(i + 1),
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if c := string(a.Key); c != string(b.Key) {
+			return c < string(b.Key)
+		}
+		if a.Set != b.Set {
+			return a.Set < b.Set
+		}
+		return a.OID < b.OID
+	})
+	if err := tr.BulkLoad(entries); err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func TestInsertExactDelete(t *testing.T) {
+	tr, err := New(pager.NewMemFile(1024), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 60; i++ {
+		if err := tr.Insert(SetID(i%3), key8(uint64(i%5)), encoding.OID(i+1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Len() != 5 { // five distinct keys
+		t.Fatalf("Len = %d, want 5 distinct keys", tr.Len())
+	}
+	res, stats, err := tr.ExactMatch(key8(2), []SetID{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// i%5==2 and i%3==0: i in {12, 27, 42, 57} -> 4 objects.
+	if len(res) != 4 {
+		t.Fatalf("ExactMatch returned %d: %v", len(res), res)
+	}
+	if stats.PagesRead == 0 || stats.Matches != 4 {
+		t.Fatalf("stats = %+v", stats)
+	}
+	// Duplicate insert is a no-op.
+	if err := tr.Insert(0, key8(2), res[0].OID); err != nil {
+		t.Fatal(err)
+	}
+	res2, _, _ := tr.ExactMatch(key8(2), []SetID{0}, nil)
+	if len(res2) != 4 {
+		t.Fatalf("duplicate insert changed directory: %d", len(res2))
+	}
+	// Delete one.
+	ok, err := tr.Delete(0, key8(2), res[0].OID)
+	if err != nil || !ok {
+		t.Fatalf("Delete = %v, %v", ok, err)
+	}
+	if ok, _ := tr.Delete(0, key8(2), res[0].OID); ok {
+		t.Fatal("double delete reported true")
+	}
+	res3, _, _ := tr.ExactMatch(key8(2), []SetID{0}, nil)
+	if len(res3) != 3 {
+		t.Fatalf("after delete: %d", len(res3))
+	}
+	// Deleting the last member of the last set removes the record.
+	for _, r := range res3 {
+		if _, err := tr.Delete(0, key8(2), r.OID); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, s := range []SetID{1, 2} {
+		rs, _, _ := tr.ExactMatch(key8(2), []SetID{s}, nil)
+		for _, r := range rs {
+			if _, err := tr.Delete(s, key8(2), r.OID); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if tr.Len() != 4 {
+		t.Fatalf("Len after clearing key 2 = %d, want 4", tr.Len())
+	}
+}
+
+func TestMissingKey(t *testing.T) {
+	tr := buildTree(t, 100, 4, 10, 1)
+	res, _, err := tr.ExactMatch(key8(999), []SetID{0, 1, 2, 3}, nil)
+	if err != nil || len(res) != 0 {
+		t.Fatalf("missing key = %v, %v", res, err)
+	}
+	if ok, _ := tr.Delete(0, key8(999), 1); ok {
+		t.Fatal("Delete of missing key reported true")
+	}
+}
+
+func TestRangeQuery(t *testing.T) {
+	tr := buildTree(t, 4000, 8, 100, 2)
+	res, _, err := tr.RangeQuery(key8(10), key8(19), []SetID{2, 5}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 60 || len(res) > 140 {
+		t.Fatalf("range returned %d", len(res))
+	}
+	for _, r := range res {
+		if r.Set != 2 && r.Set != 5 {
+			t.Fatalf("unqueried set in results: %+v", r)
+		}
+	}
+}
+
+// TestKeyGroupingShape verifies the CH-tree's defining behaviours:
+//  1. exact match is one descent plus the record — flat in #sets queried;
+//  2. a range query costs the same whether 1 or all sets are queried (it
+//     reads every record in range wholesale — the paper's key-grouping
+//     weakness).
+func TestKeyGroupingShape(t *testing.T) {
+	tr := buildTree(t, 30000, 40, 1000, 3)
+	all := make([]SetID, 40)
+	for i := range all {
+		all[i] = SetID(i)
+	}
+
+	e1 := pager.NewTracker()
+	if _, _, err := tr.ExactMatch(key8(500), []SetID{7}, e1); err != nil {
+		t.Fatal(err)
+	}
+	e40 := pager.NewTracker()
+	if _, _, err := tr.ExactMatch(key8(500), all, e40); err != nil {
+		t.Fatal(err)
+	}
+	if e40.Reads() > e1.Reads()+2 {
+		t.Fatalf("CH exact match should be flat in #sets: %d vs %d", e1.Reads(), e40.Reads())
+	}
+
+	r1 := pager.NewTracker()
+	if _, _, err := tr.RangeQuery(key8(100), key8(199), []SetID{7}, r1); err != nil {
+		t.Fatal(err)
+	}
+	r40 := pager.NewTracker()
+	if _, _, err := tr.RangeQuery(key8(100), key8(199), all, r40); err != nil {
+		t.Fatal(err)
+	}
+	if r40.Reads() > r1.Reads()+2 {
+		t.Fatalf("CH range cost should not depend on #sets: %d vs %d", r1.Reads(), r40.Reads())
+	}
+}
+
+// TestOverflowDirectories: few distinct keys force multi-page records; the
+// reads are charged.
+func TestOverflowDirectories(t *testing.T) {
+	tr := buildTree(t, 20000, 8, 10, 4) // 2000 oids per key -> ~8KB records
+	trk := pager.NewTracker()
+	res, _, err := tr.ExactMatch(key8(5), []SetID{0, 1, 2, 3, 4, 5, 6, 7}, trk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) < 1500 {
+		t.Fatalf("only %d results", len(res))
+	}
+	if trk.Reads() < 5 {
+		t.Fatalf("overflow record read only %d pages", trk.Reads())
+	}
+}

@@ -1,0 +1,127 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+	"repro/internal/pager"
+)
+
+// Algorithm selects the retrieval strategy.
+type Algorithm int
+
+const (
+	// Parallel is Algorithm 1 of the paper (Parscan): one multi-interval
+	// descent of the B-tree; shared pages are read once, irrelevant
+	// subtrees are pruned, and mismatching clusters are skipped via the
+	// parent-node skip.
+	Parallel Algorithm = iota
+	// Forward is the baseline of Section 3.3: find the first relevant
+	// entry with a standard B-tree search, then scan the leaf chain
+	// forward across the whole spanned range, filtering.
+	Forward
+)
+
+// String implements fmt.Stringer.
+func (a Algorithm) String() string {
+	switch a {
+	case Parallel:
+		return "parallel"
+	case Forward:
+		return "forward"
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// Stats reports the cost of one query execution, in the units the paper's
+// experiments use.
+type Stats struct {
+	Algorithm      Algorithm
+	PagesRead      int // distinct pages fetched (Section 5 metric)
+	EntriesScanned int // index entries inspected
+	Matches        int
+	Intervals      int // search intervals after compilation
+}
+
+// Execute runs a query and materializes the matches. tr may be nil, in
+// which case a fresh tracker is used; pass an explicit tracker to share
+// page accounting across several queries.
+func (ix *Index) Execute(q Query, alg Algorithm, tr *pager.Tracker) ([]Match, Stats, error) {
+	var out []Match
+	stats, err := ix.ExecuteFunc(q, alg, tr, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, stats, err
+}
+
+// ExecuteFunc runs a query, streaming matches to fn; fn returning false
+// stops the scan early.
+func (ix *Index) ExecuteFunc(q Query, alg Algorithm, tr *pager.Tracker, fn func(Match) bool) (Stats, error) {
+	if tr == nil {
+		tr = pager.NewTracker()
+	}
+	p, err := ix.compile(q)
+	if err != nil {
+		return Stats{}, err
+	}
+	stats := Stats{Algorithm: alg, Intervals: len(p.intervals)}
+	lastDistinct := "" // forward-scan duplicate suppression for Distinct
+	emit := func(key []byte) (skipTo []byte, stop bool, err error) {
+		stats.EntriesScanned++
+		m, skip, err := p.matchKey(ix, key)
+		if err != nil {
+			return nil, true, err
+		}
+		if m == nil {
+			return skip, false, nil
+		}
+		if q.Distinct > 0 && skip != nil {
+			// The skip key doubles as the cluster signature. The
+			// parallel algorithm jumps past the cluster so this
+			// never repeats; the forward scan visits every entry
+			// and must suppress the repeats itself.
+			sig := string(skip)
+			if sig == lastDistinct {
+				return skip, false, nil
+			}
+			lastDistinct = sig
+		}
+		stats.Matches++
+		if !fn(*m) {
+			return nil, true, nil
+		}
+		return skip, false, nil
+	}
+	switch alg {
+	case Parallel:
+		err = ix.tree.MultiScan(p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
+			return emit(k)
+		})
+	case Forward:
+		// Per search value: one descent to the value's first entry,
+		// then a sweep of the entire value cluster — every class's
+		// entries are inspected and filtered, with no seeking past
+		// irrelevant classes. This is the Section-3.3 baseline the
+		// parallel algorithm is measured against in Table 1.
+		norm := btree.NormalizeIntervals(p.valueIntervals)
+		stopped := false
+		for _, iv := range norm {
+			if stopped {
+				break
+			}
+			err = ix.tree.Scan(iv.Lo, iv.Hi, tr, func(k, _ []byte) ([]byte, bool, error) {
+				_, stop, err := emit(k)
+				stopped = stop
+				return nil, stop, err
+			})
+			if err != nil {
+				break
+			}
+		}
+	default:
+		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(alg))
+	}
+	stats.PagesRead = tr.Reads()
+	return stats, err
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Explain renders the compiled plan of a query: the search intervals the
+// parallel algorithm will descend for (the paper's "partial keys" of
+// Algorithm 1), the residual position patterns the matcher enforces, and
+// the distinct-prefix setting. It performs no I/O.
+func (ix *Index) Explain(q Query) (string, error) {
+	p, err := ix.compile(q)
+	if err != nil {
+		return "", err
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "index %s on %s.%s (path %s)\n",
+		ix.spec.Name, ix.pathCls[len(ix.pathCls)-1], ix.spec.Attr, strings.Join(ix.pathCls, "/"))
+	fmt.Fprintf(&b, "search intervals (%d):\n", len(p.intervals))
+	const maxShown = 12
+	for i, iv := range p.intervals {
+		if i == maxShown {
+			fmt.Fprintf(&b, "  ... %d more\n", len(p.intervals)-maxShown)
+			break
+		}
+		fmt.Fprintf(&b, "  [%s, %s)\n", ix.renderBound(iv.Lo, "-inf"), ix.renderBound(iv.Hi, "+inf"))
+	}
+	if len(p.patterns) > 0 {
+		fmt.Fprintf(&b, "residual position patterns (terminal-first):\n")
+		for pi, pats := range p.patterns {
+			if len(pats) == 0 {
+				fmt.Fprintf(&b, "  %d: any\n", pi)
+				continue
+			}
+			var alts []string
+			for _, cp := range pats {
+				s := cp.code.Compact()
+				if cp.subtree {
+					s += "*"
+				}
+				if cp.oids != nil {
+					var oids []string
+					for o := range cp.oids {
+						oids = append(oids, fmt.Sprint(o))
+					}
+					s += "$" + strings.Join(oids, ",")
+				}
+				alts = append(alts, s)
+			}
+			fmt.Fprintf(&b, "  %d: [%s]\n", pi, strings.Join(alts, ", "))
+		}
+	}
+	if q.Distinct > 0 {
+		fmt.Fprintf(&b, "distinct prefixes of %d position(s), skipping within clusters\n", q.Distinct)
+	}
+	return b.String(), nil
+}
+
+// renderBound shows an interval bound with the attribute value decoded and
+// the key tail printed as escaped ASCII.
+func (ix *Index) renderBound(b []byte, inf string) string {
+	if b == nil {
+		return inf
+	}
+	attr, rest, err := ix.attrType.SplitValue(b)
+	if err != nil {
+		return printable(b) // partial bound (e.g. value prefix + 0xFF)
+	}
+	v, err := ix.attrType.DecodeValue(attr)
+	if err != nil {
+		return printable(b)
+	}
+	if len(rest) == 0 {
+		return fmt.Sprintf("%v", v)
+	}
+	return fmt.Sprintf("%v‖%s", v, printable(rest))
+}
+
+func printable(b []byte) string {
+	var sb strings.Builder
+	for _, c := range b {
+		switch {
+		case c >= 0x20 && c < 0x7F:
+			sb.WriteByte(c)
+		case c == 0xFF:
+			sb.WriteString("\\xff")
+		default:
+			fmt.Fprintf(&sb, "\\x%02x", c)
+		}
+	}
+	return sb.String()
+}

@@ -1,0 +1,178 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/btree"
+	"repro/internal/encoding"
+	"repro/internal/pager"
+	"repro/internal/schema"
+)
+
+// SchemaIndex realizes the paper's Section-4.1 remark: "by using the
+// name-encoding scheme above, schema information can be stored in the same
+// index and retrieved easily. For example, the relations SUP or REF may be
+// stored in the index and that information is also clustered."
+//
+// Every SUP and REF relationship becomes one key
+//
+//	code(subject) ‖ '$' ‖ kind ‖ '$' ‖ code(object) [‖ '$' ‖ attr]
+//
+// so all relationships of a class — and, thanks to the code ordering, of a
+// whole class subtree — occupy one contiguous key range. Retrieving "the
+// sub-classes of X", "everything X references" or "the entire topology
+// under X" is a single clustered scan.
+type SchemaIndex struct {
+	sch    *schema.Schema
+	coding *schema.Coding
+	tree   *btree.Tree
+}
+
+// Relationship kinds stored in the schema index.
+const (
+	kindSUP = "SUP"
+	kindREF = "REF"
+)
+
+// SchemaFact is one retrieved relationship.
+type SchemaFact struct {
+	Subject string // class name
+	Kind    string // "SUP" or "REF"
+	Object  string // related class name
+	Attr    string // REF only: the reference attribute
+}
+
+// String renders the fact in the paper's notation ("C5 SUP C5A",
+// "C2 REF C1").
+func (f SchemaFact) String() string {
+	if f.Kind == kindREF {
+		return fmt.Sprintf("%s REF %s (via %s)", f.Subject, f.Object, f.Attr)
+	}
+	return fmt.Sprintf("%s %s %s", f.Subject, f.Kind, f.Object)
+}
+
+// NewSchemaIndex stores the schema's SUP and REF relations in a fresh
+// B-tree inside the given page file.
+func NewSchemaIndex(f pager.File, sch *schema.Schema) (*SchemaIndex, error) {
+	coding := sch.Coding()
+	if coding == nil {
+		return nil, fmt.Errorf("core: schema has no coding; call AssignCodes first")
+	}
+	tree, err := btree.Create(f, btree.Config{})
+	if err != nil {
+		return nil, err
+	}
+	si := &SchemaIndex{sch: sch, coding: coding, tree: tree}
+	for _, class := range sch.Classes() {
+		for _, kid := range sch.Children(class) {
+			if err := si.put(class, kindSUP, kid, ""); err != nil {
+				return nil, err
+			}
+		}
+	}
+	for _, e := range sch.RefEdges() {
+		if err := si.put(e.Source, kindREF, e.Target, e.Attr); err != nil {
+			return nil, err
+		}
+	}
+	return si, nil
+}
+
+func (si *SchemaIndex) key(subject, kind, object, attr string) ([]byte, error) {
+	sc, ok := si.coding.Code(subject)
+	if !ok {
+		return nil, fmt.Errorf("core: class %q has no code", subject)
+	}
+	oc, ok := si.coding.Code(object)
+	if !ok {
+		return nil, fmt.Errorf("core: class %q has no code", object)
+	}
+	parts := []string{string(sc), kind, string(oc)}
+	if attr != "" {
+		parts = append(parts, attr)
+	}
+	return []byte(strings.Join(parts, string(rune(encoding.SepByte)))), nil
+}
+
+func (si *SchemaIndex) put(subject, kind, object, attr string) error {
+	k, err := si.key(subject, kind, object, attr)
+	if err != nil {
+		return err
+	}
+	return si.tree.Insert(k, nil)
+}
+
+// Add records a relationship added by schema evolution (call it after
+// Schema.AddClass when keeping a long-lived schema index current).
+func (si *SchemaIndex) Add(subject, kind, object, attr string) error {
+	if kind != kindSUP && kind != kindREF {
+		return fmt.Errorf("core: unknown relationship kind %q", kind)
+	}
+	return si.put(subject, kind, object, attr)
+}
+
+// Relations returns the stored relationships of one class: one clustered
+// prefix scan.
+func (si *SchemaIndex) Relations(class string, tr *pager.Tracker) ([]SchemaFact, int, error) {
+	code, ok := si.coding.Code(class)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: class %q has no code", class)
+	}
+	lo := append([]byte(code), encoding.SepByte)
+	hi := append([]byte(code), encoding.SepSuccByte)
+	return si.scan(lo, hi, tr)
+}
+
+// SubtreeRelations returns the relationships of a class and all its
+// subclasses — contiguous because of the code ordering, exactly the
+// clustering the paper points out.
+func (si *SchemaIndex) SubtreeRelations(class string, tr *pager.Tracker) ([]SchemaFact, int, error) {
+	code, ok := si.coding.Code(class)
+	if !ok {
+		return nil, 0, fmt.Errorf("core: class %q has no code", class)
+	}
+	return si.scan([]byte(code), []byte(code.SubtreeEnd()), tr)
+}
+
+func (si *SchemaIndex) scan(lo, hi []byte, tr *pager.Tracker) ([]SchemaFact, int, error) {
+	if tr == nil {
+		tr = pager.NewTracker()
+	}
+	var out []SchemaFact
+	err := si.tree.Scan(lo, hi, tr, func(k, _ []byte) ([]byte, bool, error) {
+		fact, err := si.parse(k)
+		if err != nil {
+			return nil, true, err
+		}
+		out = append(out, fact)
+		return nil, false, nil
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	return out, tr.Reads(), nil
+}
+
+func (si *SchemaIndex) parse(k []byte) (SchemaFact, error) {
+	parts := strings.Split(string(k), string(rune(encoding.SepByte)))
+	if len(parts) < 3 {
+		return SchemaFact{}, fmt.Errorf("core: malformed schema-index key %q", k)
+	}
+	subj, ok := si.coding.ClassOf(encoding.Code(parts[0]))
+	if !ok {
+		return SchemaFact{}, fmt.Errorf("core: unknown code %q in schema index", parts[0])
+	}
+	obj, ok := si.coding.ClassOf(encoding.Code(parts[2]))
+	if !ok {
+		return SchemaFact{}, fmt.Errorf("core: unknown code %q in schema index", parts[2])
+	}
+	fact := SchemaFact{Subject: subj, Kind: parts[1], Object: obj}
+	if len(parts) > 3 {
+		fact.Attr = parts[3]
+	}
+	return fact, nil
+}
+
+// Len returns the number of stored relationships.
+func (si *SchemaIndex) Len() int { return si.tree.Len() }

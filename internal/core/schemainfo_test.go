@@ -1,0 +1,91 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/pager"
+	"repro/internal/schema"
+)
+
+func TestSchemaIndex(t *testing.T) {
+	f := newFixture(t)
+	si, err := NewSchemaIndex(pager.NewMemFile(0), f.sch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 6 SUP edges + 4 REF edges in the Figure-1 fixture schema.
+	if si.Len() != 10 {
+		t.Fatalf("Len = %d, want 10", si.Len())
+	}
+
+	// Relations of Vehicle: two SUP children plus the ManufacturedBy REF.
+	facts, pages, err := si.Relations("Vehicle", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pages == 0 {
+		t.Fatal("no pages read")
+	}
+	want := map[string]bool{
+		"Vehicle SUP Automobile":                   true,
+		"Vehicle SUP Truck":                        true,
+		"Vehicle REF Company (via ManufacturedBy)": true,
+	}
+	if len(facts) != len(want) {
+		t.Fatalf("Relations(Vehicle) = %v", facts)
+	}
+	for _, fact := range facts {
+		if !want[fact.String()] {
+			t.Fatalf("unexpected fact %q", fact)
+		}
+	}
+
+	// Subtree relations of Company cover the whole company hierarchy,
+	// clustered: Company's own edges plus AutoCompany SUP JapaneseAutoCompany.
+	facts, _, err = si.SubtreeRelations("Company", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hasNested bool
+	for _, fact := range facts {
+		if fact.Subject == "AutoCompany" && fact.Kind == "SUP" && fact.Object == "JapaneseAutoCompany" {
+			hasNested = true
+		}
+		if !strings.HasPrefix(fact.Subject, "Company") && fact.Subject != "AutoCompany" &&
+			fact.Subject != "TruckCompany" && fact.Subject != "JapaneseAutoCompany" {
+			t.Fatalf("subtree scan leaked fact %q", fact)
+		}
+	}
+	if !hasNested {
+		t.Fatalf("nested SUP fact missing from %v", facts)
+	}
+
+	// Evolution: record a new relationship.
+	if err := f.sch.AddClass("Bus", "Vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	if err := si.Add("Vehicle", "SUP", "Bus", ""); err != nil {
+		t.Fatal(err)
+	}
+	facts, _, _ = si.Relations("Vehicle", nil)
+	if len(facts) != 4 {
+		t.Fatalf("Relations after evolution = %v", facts)
+	}
+	if err := si.Add("Vehicle", "NOPE", "Bus", ""); err == nil {
+		t.Fatal("unknown kind accepted")
+	}
+	if _, _, err := si.Relations("Ghost", nil); err == nil {
+		t.Fatal("unknown class accepted")
+	}
+}
+
+func TestSchemaIndexRequiresCoding(t *testing.T) {
+	s := schema.New()
+	if err := s.AddClass("A", ""); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewSchemaIndex(pager.NewMemFile(0), s); err == nil {
+		t.Fatal("schema index over uncoded schema accepted")
+	}
+}

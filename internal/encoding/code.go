@@ -1,0 +1,289 @@
+// Package encoding implements the class-name encoding scheme at the heart of
+// the U-index (Gudes, Section 3): the COD relation that maps class names to
+// codes whose lexicographic order equals a depth-first (topological) order of
+// the schema graph, plus the order-preserving attribute-value encodings and
+// the composite-key layout used by every index entry.
+//
+// # Codes
+//
+// A Code is a path of labels, one per level of the class hierarchy,
+// serialized with '.' between labels: the paper's C5AA becomes "C5.A.A". The
+// separator makes the scheme closed under schema evolution: the paper's
+// Figure 4 inserts a class between siblings C1A and C1B by giving it a label
+// such as "Aa", and with the raw paper encoding "C1Aa" would collide with the
+// subtree prefix of C1A ("C1Aa" has prefix "C1A"). With explicit level
+// separators, "C1.Aa" sorts after the entire C1.A subtree, because the
+// subtree of code X is exactly the interval [X, X+"/") — every descendant
+// extends X with '.' (0x2E) which is below '/' (0x2F), while every label
+// character ('0'..'9','A'..'Z','a'..'z') is above '/'.
+//
+// # Key layout
+//
+// An index entry is a single key (Section 3.2.1 "one can use only
+// single-value entries ... and rely on the compression mechanism"):
+//
+//	attr-value-bytes ‖ code₁ ‖ '$' ‖ oid₁ ‖ code₂ ‖ '$' ‖ oid₂ ‖ …
+//
+// with codes ordered lexicographically along the path (the terminal class of
+// the REF path first, exactly as in the paper's examples: Age-50, C1$e1,
+// C2$c1, C5A$v2). '$' (0x24) is below every code character and below '.',
+// preserving the paper's observation that "'$' is lower lexicographically
+// than A...". OIDs are fixed four-byte big-endian values.
+package encoding
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Key-layout byte constants. Their relative order is load-bearing; see the
+// package comment.
+const (
+	// SepByte separates a class code from the object id that follows it
+	// inside a composite key.
+	SepByte = '$' // 0x24
+	// SepSuccByte is the smallest byte greater than SepByte; appending it
+	// to a prefix yields an exclusive upper bound for "this exact class".
+	SepSuccByte = '%' // 0x25
+	// LevelByte separates labels inside a serialized code.
+	LevelByte = '.' // 0x2E
+	// SubtreeEndByte is the smallest byte greater than LevelByte;
+	// code+"/" is the exclusive upper bound of code's subtree.
+	SubtreeEndByte = '/' // 0x2F
+)
+
+// Code is a serialized class code such as "C5.A.A". The empty Code is
+// invalid. Codes compare correctly with ordinary string comparison.
+type Code string
+
+// alphabet index <-> byte conversion. Labels are drawn from the 62-character
+// alphabet 0-9 A-Z a-z; lexicographic byte order over that alphabet is a
+// total order even though the byte ranges are not contiguous.
+const alphabetSize = 62
+
+func digitIdx(b byte) (int, bool) {
+	switch {
+	case b >= '0' && b <= '9':
+		return int(b - '0'), true
+	case b >= 'A' && b <= 'Z':
+		return 10 + int(b-'A'), true
+	case b >= 'a' && b <= 'z':
+		return 36 + int(b-'a'), true
+	}
+	return 0, false
+}
+
+func idxDigit(i int) byte {
+	switch {
+	case i < 10:
+		return '0' + byte(i)
+	case i < 36:
+		return 'A' + byte(i-10)
+	default:
+		return 'a' + byte(i-36)
+	}
+}
+
+// ValidLabel reports whether s is a non-empty label over the code alphabet
+// that does not end in the minimal digit '0'. (Labels never end in '0' so
+// that LabelBetween can always find room below them.)
+func ValidLabel(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		if _, ok := digitIdx(s[i]); !ok {
+			return false
+		}
+	}
+	return s[len(s)-1] != '0'
+}
+
+// ParseCode validates and returns a Code from its serialized form.
+func ParseCode(s string) (Code, error) {
+	if s == "" {
+		return "", fmt.Errorf("encoding: empty code")
+	}
+	for _, lbl := range strings.Split(s, string(rune(LevelByte))) {
+		if !ValidLabel(lbl) {
+			return "", fmt.Errorf("encoding: invalid label %q in code %q", lbl, s)
+		}
+	}
+	return Code(s), nil
+}
+
+// MustParseCode is ParseCode that panics on error, for tests and literals.
+func MustParseCode(s string) Code {
+	c, err := ParseCode(s)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Labels returns the per-level labels of the code.
+func (c Code) Labels() []string {
+	if c == "" {
+		return nil
+	}
+	return strings.Split(string(c), string(rune(LevelByte)))
+}
+
+// Depth returns the number of levels in the code (1 for a root class).
+func (c Code) Depth() int {
+	if c == "" {
+		return 0
+	}
+	return strings.Count(string(c), string(rune(LevelByte))) + 1
+}
+
+// Child returns the code of a child class with the given label.
+func (c Code) Child(label string) (Code, error) {
+	if !ValidLabel(label) {
+		return "", fmt.Errorf("encoding: invalid label %q", label)
+	}
+	if c == "" {
+		return Code(label), nil
+	}
+	return c + Code(rune(LevelByte)) + Code(label), nil
+}
+
+// Parent returns the code of the parent class, or ("", false) for a root.
+func (c Code) Parent() (Code, bool) {
+	i := strings.LastIndexByte(string(c), LevelByte)
+	if i < 0 {
+		return "", false
+	}
+	return c[:i], true
+}
+
+// IsAncestorOrSelf reports whether c lies in the subtree rooted at a (i.e.
+// a is an ancestor of c, or a == c).
+func (a Code) IsAncestorOrSelf(c Code) bool {
+	if a == c {
+		return true
+	}
+	return strings.HasPrefix(string(c), string(a)+string(rune(LevelByte)))
+}
+
+// SubtreeEnd returns the exclusive upper bound of the subtree key range of
+// c: every code in c's subtree (including c) is >= c and < c.SubtreeEnd(),
+// and every code outside it falls outside that interval.
+func (c Code) SubtreeEnd() string {
+	return string(c) + string(rune(SubtreeEndByte))
+}
+
+// Compact renders the code in the paper's visual style by dropping the level
+// separators when every non-root label is a single character: "C5.A.A"
+// renders as "C5AA". Codes with multi-character evolved labels keep the dots
+// to remain unambiguous.
+func (c Code) Compact() string {
+	labels := c.Labels()
+	for _, l := range labels[1:] {
+		if len(l) != 1 {
+			return string(c)
+		}
+	}
+	return strings.Join(labels, "")
+}
+
+// String implements fmt.Stringer.
+func (c Code) String() string { return string(c) }
+
+// SequenceLabels returns n labels in strictly increasing order, each of the
+// minimal uniform width, never ending in '0'. Uniform width keeps byte order
+// equal to sequence order. Used when a schema assigns codes to the children
+// of a class in one pass.
+func SequenceLabels(n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	w := 1
+	for cap := alphabetSize - 1; cap < n; cap *= alphabetSize {
+		w++
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		b := make([]byte, w)
+		v := i
+		b[w-1] = idxDigit(1 + v%(alphabetSize-1)) // last digit in 1..61
+		v /= alphabetSize - 1
+		for j := w - 2; j >= 0; j-- {
+			b[j] = idxDigit(v % alphabetSize)
+			v /= alphabetSize
+		}
+		out[i] = string(b)
+	}
+	return out
+}
+
+// AlphaLabels returns up to 26 labels "A","B","C",... matching the paper's
+// own presentation of child codes. It panics if n > 26; schemas with more
+// children per class should use SequenceLabels.
+func AlphaLabels(n int) []string {
+	if n > 26 {
+		panic("encoding: AlphaLabels supports at most 26 labels")
+	}
+	out := make([]string, n)
+	for i := range out {
+		out[i] = string(rune('A' + i))
+	}
+	return out
+}
+
+// LabelBetween returns a label strictly between lo and hi in label order.
+// lo == "" means "before everything"; hi == "" means "after everything".
+// This implements the paper's Figure 4 schema-evolution moves ("use
+// additional characters in the encoding scheme"): a new sibling can always
+// be inserted between two existing ones without renaming any other class.
+func LabelBetween(lo, hi string) (string, error) {
+	if lo != "" && !ValidLabel(lo) {
+		return "", fmt.Errorf("encoding: invalid lower label %q", lo)
+	}
+	if hi != "" && !ValidLabel(hi) {
+		return "", fmt.Errorf("encoding: invalid upper label %q", hi)
+	}
+	if lo != "" && hi != "" && lo >= hi {
+		return "", fmt.Errorf("encoding: lower label %q not below upper %q", lo, hi)
+	}
+	// Invariant entering iteration i: b == lo[:i] when lo is still
+	// "active" (constrains position i), and b < hi whenever hi is active.
+	// hi can never be exhausted while active: that would require hi to be
+	// a prefix of lo (or equal to it), both rejected above.
+	var b []byte
+	hiActive := hi != ""
+	for i := 0; ; i++ {
+		ld := -1 // digit of lo at position i; -1 when exhausted
+		if i < len(lo) {
+			ld, _ = digitIdx(lo[i])
+		}
+		hd := alphabetSize // digit of hi at position i; 62 when unbounded
+		if hiActive {
+			hd, _ = digitIdx(hi[i])
+		}
+		if hd-ld > 1 {
+			// Room at this position: pick a middle digit.
+			b = append(b, idxDigit(ld+(hd-ld)/2))
+			if b[len(b)-1] == '0' {
+				// Never end in '0': extend with a middle digit.
+				b = append(b, idxDigit(alphabetSize/2))
+			}
+			return string(b), nil
+		}
+		// No room at this position (hd == ld, or hd == ld+1): copy the
+		// lower bound's digit and continue one position deeper, where
+		// lo constrains less.
+		if ld < 0 {
+			// lo exhausted, so hd must be 0 here (any hd >= 1 gives
+			// room above). Copy hi's '0' and keep hi active.
+			b = append(b, idxDigit(0))
+			continue
+		}
+		b = append(b, idxDigit(ld))
+		if hd != ld {
+			// b == lo[:i+1] is now strictly below hi at position i,
+			// so deeper positions are unconstrained by hi.
+			hiActive = false
+		}
+	}
+}

@@ -1,0 +1,339 @@
+package encoding
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestParseCode(t *testing.T) {
+	valid := []string{"C1", "C5.A", "C5.A.A", "C2.AA", "z", "C5.Aa", "1"}
+	for _, s := range valid {
+		if _, err := ParseCode(s); err != nil {
+			t.Errorf("ParseCode(%q) = %v, want ok", s, err)
+		}
+	}
+	invalid := []string{"", ".", "C5.", ".A", "C5..A", "C5.A0", "C0", "C$", "C5/A", "a b"}
+	for _, s := range invalid {
+		if _, err := ParseCode(s); err == nil {
+			t.Errorf("ParseCode(%q) succeeded, want error", s)
+		}
+	}
+}
+
+func TestCodeNavigation(t *testing.T) {
+	c := MustParseCode("C5")
+	a, err := c.Child("A")
+	if err != nil {
+		t.Fatalf("Child: %v", err)
+	}
+	if a != "C5.A" {
+		t.Fatalf("Child = %q, want C5.A", a)
+	}
+	aa, _ := a.Child("A")
+	if aa != "C5.A.A" {
+		t.Fatalf("grandchild = %q, want C5.A.A", aa)
+	}
+	if aa.Depth() != 3 || c.Depth() != 1 {
+		t.Fatalf("Depth wrong: %d, %d", aa.Depth(), c.Depth())
+	}
+	p, ok := aa.Parent()
+	if !ok || p != a {
+		t.Fatalf("Parent = %q,%v, want C5.A,true", p, ok)
+	}
+	if _, ok := c.Parent(); ok {
+		t.Fatal("root has a parent")
+	}
+	if got := aa.Labels(); len(got) != 3 || got[0] != "C5" || got[2] != "A" {
+		t.Fatalf("Labels = %v", got)
+	}
+	if _, err := c.Child("$bad"); err == nil {
+		t.Fatal("Child with invalid label succeeded")
+	}
+}
+
+func TestIsAncestorOrSelf(t *testing.T) {
+	cases := []struct {
+		a, c string
+		want bool
+	}{
+		{"C5", "C5", true},
+		{"C5", "C5.A", true},
+		{"C5", "C5.A.A", true},
+		{"C5.A", "C5.B", false},
+		{"C5", "C2", false},
+		// The case that breaks naive prefix matching: sibling label
+		// "Ab" must not be inside subtree of label "A".
+		{"C5.A", "C5.Ab", false},
+		{"C5.A", "C5.A.B", true},
+	}
+	for _, tc := range cases {
+		a, c := MustParseCode(tc.a), MustParseCode(tc.c)
+		if got := a.IsAncestorOrSelf(c); got != tc.want {
+			t.Errorf("IsAncestorOrSelf(%q, %q) = %v, want %v", tc.a, tc.c, got, tc.want)
+		}
+	}
+}
+
+// TestSubtreeIntervalProperty is the core correctness property of the whole
+// encoding scheme: for any pair of codes a, c: c is in [a, a.SubtreeEnd())
+// exactly when a is an ancestor-or-self of c.
+func TestSubtreeIntervalProperty(t *testing.T) {
+	codes := randomCodeForest(t, 400, 42)
+	for _, a := range codes {
+		lo, hi := string(a), a.SubtreeEnd()
+		for _, c := range codes {
+			inInterval := string(c) >= lo && string(c) < hi
+			if inInterval != a.IsAncestorOrSelf(c) {
+				t.Fatalf("interval property violated: a=%q c=%q interval=%v ancestor=%v",
+					a, c, inInterval, a.IsAncestorOrSelf(c))
+			}
+		}
+	}
+}
+
+// TestPreorderEqualsLexicographic checks the paper's key claim: depth-first
+// preorder of the class tree equals lexicographic order of codes.
+func TestPreorderEqualsLexicographic(t *testing.T) {
+	// Build a deterministic tree and collect codes in preorder.
+	var preorder []Code
+	var build func(c Code, depth int, fanout int)
+	build = func(c Code, depth, fanout int) {
+		preorder = append(preorder, c)
+		if depth == 0 {
+			return
+		}
+		for _, lbl := range AlphaLabels(fanout) {
+			child, err := c.Child(lbl)
+			if err != nil {
+				t.Fatal(err)
+			}
+			build(child, depth-1, fanout)
+		}
+	}
+	for _, root := range []string{"C1", "C2", "C3"} {
+		build(MustParseCode(root), 3, 3)
+	}
+	sorted := append([]Code(nil), preorder...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	for i := range preorder {
+		if preorder[i] != sorted[i] {
+			t.Fatalf("preorder[%d]=%q but sorted[%d]=%q", i, preorder[i], i, sorted[i])
+		}
+	}
+}
+
+func TestCompact(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"C5", "C5"},
+		{"C5.A", "C5A"},
+		{"C5.A.A", "C5AA"},
+		{"C2.A.A", "C2AA"},
+		{"C5.Ab", "C5.Ab"}, // evolved label keeps dots
+	}
+	for _, tc := range cases {
+		if got := MustParseCode(tc.in).Compact(); got != tc.want {
+			t.Errorf("Compact(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestSequenceLabels(t *testing.T) {
+	for _, n := range []int{1, 2, 8, 40, 61, 62, 200, 4000} {
+		labels := SequenceLabels(n)
+		if len(labels) != n {
+			t.Fatalf("SequenceLabels(%d) returned %d labels", n, len(labels))
+		}
+		for i, l := range labels {
+			if !ValidLabel(l) {
+				t.Fatalf("SequenceLabels(%d)[%d] = %q invalid", n, i, l)
+			}
+			if i > 0 && labels[i-1] >= l {
+				t.Fatalf("SequenceLabels(%d) not increasing at %d: %q >= %q", n, i, labels[i-1], l)
+			}
+			if len(l) != len(labels[0]) {
+				t.Fatalf("SequenceLabels(%d) width not uniform", n)
+			}
+		}
+	}
+	if SequenceLabels(0) != nil {
+		t.Error("SequenceLabels(0) != nil")
+	}
+}
+
+func TestAlphaLabels(t *testing.T) {
+	l := AlphaLabels(3)
+	if len(l) != 3 || l[0] != "A" || l[2] != "C" {
+		t.Fatalf("AlphaLabels(3) = %v", l)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("AlphaLabels(27) did not panic")
+		}
+	}()
+	AlphaLabels(27)
+}
+
+func TestLabelBetween(t *testing.T) {
+	cases := []struct{ lo, hi string }{
+		{"", ""},
+		{"A", "B"},
+		{"A", ""},
+		{"", "A"},
+		{"A", "AV"},
+		{"Az", "B"},
+		{"A", "A1"},
+		{"", "01"},
+		{"5", "51"},
+		{"zz", ""},
+		{"1", "2"},
+	}
+	for _, tc := range cases {
+		got, err := LabelBetween(tc.lo, tc.hi)
+		if err != nil {
+			t.Errorf("LabelBetween(%q, %q): %v", tc.lo, tc.hi, err)
+			continue
+		}
+		if !ValidLabel(got) {
+			t.Errorf("LabelBetween(%q, %q) = %q: invalid label", tc.lo, tc.hi, got)
+		}
+		if tc.lo != "" && got <= tc.lo {
+			t.Errorf("LabelBetween(%q, %q) = %q: not above lo", tc.lo, tc.hi, got)
+		}
+		if tc.hi != "" && got >= tc.hi {
+			t.Errorf("LabelBetween(%q, %q) = %q: not below hi", tc.lo, tc.hi, got)
+		}
+	}
+	if _, err := LabelBetween("B", "A"); err == nil {
+		t.Error("LabelBetween(B, A) succeeded, want error")
+	}
+	if _, err := LabelBetween("A", "A"); err == nil {
+		t.Error("LabelBetween(A, A) succeeded, want error")
+	}
+	if _, err := LabelBetween("$", "A"); err == nil {
+		t.Error("LabelBetween with invalid lo succeeded, want error")
+	}
+}
+
+// TestLabelBetweenQuick drives LabelBetween with random valid label pairs.
+func TestLabelBetweenQuick(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	randLabel := func() string {
+		for {
+			n := 1 + rng.Intn(4)
+			b := make([]byte, n)
+			for i := range b {
+				b[i] = idxDigit(rng.Intn(alphabetSize))
+			}
+			if s := string(b); ValidLabel(s) {
+				return s
+			}
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		lo, hi := randLabel(), randLabel()
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		if lo == hi {
+			continue
+		}
+		got, err := LabelBetween(lo, hi)
+		if err != nil {
+			t.Fatalf("LabelBetween(%q, %q): %v", lo, hi, err)
+		}
+		if !(lo < got && got < hi) || !ValidLabel(got) {
+			t.Fatalf("LabelBetween(%q, %q) = %q out of range", lo, hi, got)
+		}
+	}
+}
+
+// TestLabelBetweenDense repeatedly subdivides the same gap, simulating a
+// worst-case schema-evolution pattern (always adding a class in the same
+// spot, Figure 4a of the paper).
+func TestLabelBetweenDense(t *testing.T) {
+	lo, hi := "A", "B"
+	for i := 0; i < 64; i++ {
+		mid, err := LabelBetween(lo, hi)
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !(lo < mid && mid < hi) {
+			t.Fatalf("iteration %d: %q not between %q and %q", i, mid, lo, hi)
+		}
+		lo = mid // always insert just above the previous insertion
+	}
+	if len(lo) > 40 {
+		t.Errorf("labels grew too fast: %d bytes after 64 dense inserts", len(lo))
+	}
+}
+
+// randomCodeForest generates a random forest of codes including evolved
+// (multi-character) labels.
+func randomCodeForest(t *testing.T, n int, seed int64) []Code {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	roots := SequenceLabels(5)
+	codes := make([]Code, 0, n)
+	for _, r := range roots {
+		codes = append(codes, Code(r))
+	}
+	for len(codes) < n {
+		parent := codes[rng.Intn(len(codes))]
+		lbl := SequenceLabels(20)[rng.Intn(20)]
+		if rng.Intn(4) == 0 { // occasionally an evolved label
+			var err error
+			lbl, err = LabelBetween(lbl, "")
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		c, err := parent.Child(lbl)
+		if err != nil {
+			t.Fatal(err)
+		}
+		codes = append(codes, c)
+	}
+	return codes
+}
+
+// TestQuickCodeOrderTotal checks that code comparison is consistent with
+// label-wise comparison level by level.
+func TestQuickCodeOrderTotal(t *testing.T) {
+	codes := randomCodeForest(t, 200, 99)
+	less := func(i, j int) bool {
+		a, b := codes[i].Labels(), codes[j].Labels()
+		for k := 0; k < len(a) && k < len(b); k++ {
+			if a[k] != b[k] {
+				// Labels at one level compare as serialized with
+				// the level terminator; a label that is a prefix
+				// of its sibling sorts first.
+				return labelLess(a[k], b[k])
+			}
+		}
+		return len(a) < len(b)
+	}
+	_ = less
+	check := func(i, j uint8) bool {
+		a := codes[int(i)%len(codes)]
+		b := codes[int(j)%len(codes)]
+		return (a < b) == less(int(i)%len(codes), int(j)%len(codes)) || a == b
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// labelLess compares sibling labels the way serialized codes do: "A" < "Ab"
+// because "A." (or "A$", "A/") sorts below "Ab".
+func labelLess(a, b string) bool {
+	if strings.HasPrefix(b, a) {
+		return len(a) < len(b)
+	}
+	if strings.HasPrefix(a, b) {
+		return false
+	}
+	return a < b
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// quick is a small grid for shape tests; the full grid runs in the
+// benchmark harness and cmd/uindexbench.
+func quick() GridConfig { return GridConfig{Objects: 8000, Reps: 6, Seed: 1996} }
+
+func row(t *testing.T, r *Table1Result, id string) Table1Row {
+	t.Helper()
+	for _, row := range r.Rows {
+		if row.ID == id {
+			return row
+		}
+	}
+	t.Fatalf("row %s missing", id)
+	return Table1Row{}
+}
+
+// TestTable1Shapes verifies the paper's numbered findings about Table 1.
+func TestTable1Shapes(t *testing.T) {
+	r, err := RunTable1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Rows) != 20 {
+		t.Fatalf("%d rows, want 20", len(r.Rows))
+	}
+	// Finding 1: sub-tree retrieval (2x) cheaper than full class tree (1x),
+	// for the same colors.
+	for _, suffix := range []string{"a", "b", "c"} {
+		if q2, q1 := row(t, r, "2"+suffix), row(t, r, "1"+suffix); q2.Parallel > q1.Parallel {
+			t.Errorf("query 2%s (%d) not cheaper than 1%s (%d)", suffix, q2.Parallel, suffix, q1.Parallel)
+		}
+	}
+	// Finding 2: range growth is far below the forward scan's, which pays a
+	// full value cluster per added color.
+	g1 := row(t, r, "1c").Parallel - row(t, r, "1a").Parallel
+	gf := row(t, r, "1c").Forward - row(t, r, "1a").Forward
+	if g1 >= gf {
+		t.Errorf("parallel growth %d not below forward growth %d", g1, gf)
+	}
+	// Finding 3: the parallel algorithm beats forward scanning on every
+	// query, decisively for dispersed classes (query 4).
+	for _, row := range r.Rows {
+		if row.Parallel > row.Forward {
+			t.Errorf("query %s: parallel %d > forward %d", row.ID, row.Parallel, row.Forward)
+		}
+	}
+	q4a := row(t, r, "4a")
+	if q4a.Parallel*3 > q4a.Forward*2 {
+		t.Errorf("query 4a: parallel %d not ~2x better than forward %d", q4a.Parallel, q4a.Forward)
+	}
+	// Finding 4: partial-path queries (5) cheaper than full-path (6).
+	if row(t, r, "5b").Parallel >= row(t, r, "6a").Parallel {
+		t.Errorf("partial path 5b (%d) not cheaper than full path 6a (%d)",
+			row(t, r, "5b").Parallel, row(t, r, "6a").Parallel)
+	}
+	// Finding 5: sub-class behaviour holds for combined queries too: the
+	// Trucks variant (smaller subtree) is no more expensive.
+	if row(t, r, "6b").Parallel > row(t, r, "6a").Parallel {
+		t.Errorf("6b (%d) more expensive than 6a (%d)", row(t, r, "6b").Parallel, row(t, r, "6a").Parallel)
+	}
+	// Render sanity.
+	var buf bytes.Buffer
+	RenderTable1(&buf, r)
+	if !strings.Contains(buf.String(), "Table 1") || !strings.Contains(buf.String(), "5a") {
+		t.Error("RenderTable1 output incomplete")
+	}
+}
+
+func findGroup(t *testing.T, fig *FigureResult, sets, keys int) Group {
+	t.Helper()
+	for _, g := range fig.Groups {
+		if g.Sets == sets && g.Keys == keys {
+			return g
+		}
+	}
+	t.Fatalf("group (%d sets, %d keys) missing", sets, keys)
+	return Group{}
+}
+
+// TestFigure5Shapes verifies the exact-match findings (paper points 2-3).
+func TestFigure5Shapes(t *testing.T) {
+	defer ResetDBCache()
+	fig, err := RunFigure5(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fig.Groups) != 6 {
+		t.Fatalf("%d groups, want 6", len(fig.Groups))
+	}
+	// Unique keys: U-index flat and far below CG at many sets.
+	g := findGroup(t, fig, 40, 0)
+	last := len(g.Curves) - 1
+	if g.Curves[last].UNear > 2*g.Curves[0].UNear {
+		t.Errorf("unique-key U-index not flat: %.1f -> %.1f", g.Curves[0].UNear, g.Curves[last].UNear)
+	}
+	if g.Curves[last].CG < 3*g.Curves[last].UNear {
+		t.Errorf("CG (%.1f) not well above U (%.1f) for unique exact match",
+			g.Curves[last].CG, g.Curves[last].UNear)
+	}
+	// CG grows with #sets (per-set descents).
+	if g.Curves[last].CG < 2*g.Curves[0].CG {
+		t.Errorf("CG exact-match cost not growing: %.1f -> %.1f", g.Curves[0].CG, g.Curves[last].CG)
+	}
+	// Non-unique: U still below CG at every point.
+	for _, keys := range []int{100, 1000} {
+		g := findGroup(t, fig, 40, keys)
+		for i := range g.Curves {
+			if g.Curves[i].UNear > g.Curves[i].CG {
+				t.Errorf("%d keys, %d sets: U (%.1f) above CG (%.1f)",
+					keys, g.XSets[i], g.Curves[i].UNear, g.Curves[i].CG)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure(&buf, fig)
+	if !strings.Contains(buf.String(), "unique keys") {
+		t.Error("RenderFigure output incomplete")
+	}
+}
+
+// TestRangeCrossover verifies the paper's central range-query finding: the
+// CG-tree wins at few sets, the U-index catches up as sets grow, and the
+// crossover arrives earlier as the range shrinks (points 5-6).
+func TestRangeCrossover(t *testing.T) {
+	defer ResetDBCache()
+	cfg := quick()
+	f6, err := RunFigure6(cfg) // 10%
+	if err != nil {
+		t.Fatal(err)
+	}
+	f7, err := RunFigure7(cfg) // 2%
+	if err != nil {
+		t.Fatal(err)
+	}
+	crossover := func(g Group) int {
+		// First x where the U-index is at least as good as CG; one
+		// past the axis when never.
+		for i := range g.Curves {
+			if g.Curves[i].UNear <= g.Curves[i].CG {
+				return g.XSets[i]
+			}
+		}
+		return g.XSets[len(g.XSets)-1] + 1
+	}
+	g6 := findGroup(t, f6, 40, 1000)
+	g7 := findGroup(t, f7, 40, 1000)
+	// CG must win at 1 set for the 10% range.
+	if g6.Curves[0].CG >= g6.Curves[0].UNear {
+		t.Errorf("10%% range, 1 set: CG (%.1f) not below U (%.1f)", g6.Curves[0].CG, g6.Curves[0].UNear)
+	}
+	c6, c7 := crossover(g6), crossover(g7)
+	if !(c7 <= c6) {
+		t.Errorf("crossover not earlier for smaller range: 10%% at %d sets, 2%% at %d", c6, c7)
+	}
+	if c6 > 40 {
+		t.Error("10% range: U-index never catches CG even at all 40 sets")
+	}
+	// Paper point 6: CG's advantage shrinks with more distinct keys —
+	// compare the 1-set gap for 100 vs 1000 keys.
+	gap := func(f *FigureResult, keys int) float64 {
+		g := findGroup(t, f, 40, keys)
+		return g.Curves[0].UNear - g.Curves[0].CG
+	}
+	if gap(f6, 1000) > 3*gap(f6, 100)+20 {
+		t.Errorf("CG 1-set advantage did not shrink with more keys: 100-keys gap %.1f, 1000-keys gap %.1f",
+			gap(f6, 100), gap(f6, 1000))
+	}
+}
+
+// TestFigure8 runs the small ranges and the near/non-near delta.
+func TestFigure8(t *testing.T) {
+	defer ResetDBCache()
+	r, err := RunFigure8(quick())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Small) != 2 {
+		t.Fatalf("%d small-range figures", len(r.Small))
+	}
+	// 0.5% and 0.2% of 1000 keys: the U-index wins from few sets on.
+	for _, fig := range r.Small {
+		g := findGroup(t, &fig, 40, 1000)
+		last := len(g.Curves) - 1
+		if g.Curves[last].UNear >= g.Curves[last].CG {
+			t.Errorf("%s: U (%.1f) not below CG (%.1f) at 40 sets",
+				fig.Title, g.Curves[last].UNear, g.Curves[last].CG)
+		}
+	}
+	// Near is never (meaningfully) worse than non-near.
+	for _, g := range r.Delta.Groups {
+		for i := range g.Curves {
+			if g.Curves[i].UNear > g.Curves[i].UFar+1 {
+				t.Errorf("near sets (%.1f) worse than non-near (%.1f) at %d sets",
+					g.Curves[i].UNear, g.Curves[i].UFar, g.XSets[i])
+			}
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure8(&buf, r)
+	if !strings.Contains(buf.String(), "near vs non-near") {
+		t.Error("RenderFigure8 output incomplete")
+	}
+}
+
+// TestExtendedCurves checks the CH-tree and H-tree extension measurements.
+func TestExtendedCurves(t *testing.T) {
+	defer ResetDBCache()
+	cfg := quick()
+	cfg.Extended = true
+	fig, err := RunFigure6(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := findGroup(t, fig, 40, 1000)
+	last := len(g.Curves) - 1
+	// CH-tree range cost is flat in #sets (key grouping) ...
+	if g.Curves[last].CH > g.Curves[0].CH*1.3+2 {
+		t.Errorf("CH-tree range cost grew with sets: %.1f -> %.1f", g.Curves[0].CH, g.Curves[last].CH)
+	}
+	// ... the H-tree, perfectly set-grouped, beats the key-grouped
+	// CH-tree at few sets but pays a full per-set descent (its separate
+	// trees share nothing), so its cost is proportional to #sets.
+	if g.Curves[0].H >= g.Curves[0].CH {
+		t.Errorf("H-tree (%.1f) not below CH-tree (%.1f) at 1 set", g.Curves[0].H, g.Curves[0].CH)
+	}
+	if g.Curves[last].H < 4*g.Curves[0].H {
+		t.Errorf("H-tree cost not proportional to sets: %.1f -> %.1f", g.Curves[0].H, g.Curves[last].H)
+	}
+	// The CG-tree (shared directory over set-grouped leaves) never loses
+	// to the H-tree it refines.
+	for i := range g.Curves {
+		if g.Curves[i].CG > g.Curves[i].H+1 {
+			t.Errorf("CG (%.1f) above H-tree (%.1f) at %d sets", g.Curves[i].CG, g.Curves[i].H, g.XSets[i])
+		}
+	}
+	var buf bytes.Buffer
+	RenderFigure(&buf, fig)
+	if !strings.Contains(buf.String(), "H-tree") {
+		t.Error("extended render missing H-tree column")
+	}
+}

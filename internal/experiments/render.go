@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// RenderTable1 writes the Table-1 result in the paper's layout, with the
+// paper's own numbers alongside for comparison.
+func RenderTable1(w io.Writer, r *Table1Result) {
+	fmt.Fprintf(w, "Table 1: visited nodes, %d records, color index of %d nodes (paper: 12,000 records, 1562 nodes)\n",
+		r.Records, r.TotalNodes)
+	fmt.Fprintf(w, "%-4s %-40s %9s %9s %8s %14s\n",
+		"id", "query", "parallel", "forward", "matches", "paper(par|fwd)")
+	fmt.Fprintln(w, strings.Repeat("-", 90))
+	for _, row := range r.Rows {
+		paper := ""
+		if p, ok := PaperTable1[row.ID]; ok {
+			if p[1] > 0 {
+				paper = fmt.Sprintf("%d | %d", p[0], p[1])
+			} else {
+				paper = fmt.Sprintf("%d", p[0])
+			}
+		}
+		fmt.Fprintf(w, "%-4s %-40s %9d %9d %8d %14s\n",
+			row.ID, row.Description, row.Parallel, row.Forward, row.Matches, paper)
+	}
+}
+
+// RenderFigure writes one figure's groups as aligned series tables.
+func RenderFigure(w io.Writer, fig *FigureResult) {
+	fmt.Fprintf(w, "%s\n", fig.Title)
+	for _, g := range fig.Groups {
+		keys := fmt.Sprint(g.Keys)
+		if g.Keys == 0 {
+			keys = "unique"
+		}
+		fmt.Fprintf(w, "\n  %d sets, %s keys (pages read, avg):\n", g.Sets, keys)
+		hasExt := false
+		for _, c := range g.Curves {
+			if c.CH > 0 || c.H > 0 {
+				hasExt = true
+			}
+		}
+		if hasExt {
+			fmt.Fprintf(w, "  %6s %12s %12s %10s %10s %10s\n", "#sets", "U(near)", "U(non-near)", "CG-tree", "CH-tree", "H-tree")
+			for i, x := range g.XSets {
+				c := g.Curves[i]
+				fmt.Fprintf(w, "  %6d %12.1f %12.1f %10.1f %10.1f %10.1f\n", x, c.UNear, c.UFar, c.CG, c.CH, c.H)
+			}
+		} else {
+			fmt.Fprintf(w, "  %6s %12s %12s %10s\n", "#sets", "U(near)", "U(non-near)", "CG-tree")
+			for i, x := range g.XSets {
+				c := g.Curves[i]
+				fmt.Fprintf(w, "  %6d %12.1f %12.1f %10.1f\n", x, c.UNear, c.UFar, c.CG)
+			}
+		}
+	}
+	fmt.Fprintln(w)
+}
+
+// RenderFigure8 writes the composite Figure 8.
+func RenderFigure8(w io.Writer, r *Figure8Result) {
+	for i := range r.Small {
+		RenderFigure(w, &r.Small[i])
+	}
+	fig := r.Delta
+	fmt.Fprintf(w, "%s\n", fig.Title)
+	for _, g := range fig.Groups {
+		fmt.Fprintf(w, "\n  %d sets (U-index pages read, avg):\n", g.Sets)
+		fmt.Fprintf(w, "  %6s %12s %12s %12s\n", "#sets", "near", "non-near", "delta")
+		for i, x := range g.XSets {
+			c := g.Curves[i]
+			fmt.Fprintf(w, "  %6d %12.1f %12.1f %12.1f\n", x, c.UNear, c.UFar, c.UFar-c.UNear)
+		}
+	}
+	fmt.Fprintln(w)
+}

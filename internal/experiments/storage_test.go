@@ -1,0 +1,43 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestStorageShapes verifies the Section-4.2 storage claims: front
+// compression makes the class-encoded keys cheap, so the compressed
+// U-index is competitive with the directory-based structures, while the
+// uncompressed variant is far larger.
+func TestStorageShapes(t *testing.T) {
+	defer ResetDBCache()
+	r, err := RunStorage(8000, 40, 100, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pages := map[string]int{}
+	for _, row := range r.Rows {
+		pages[row.Structure] = row.Pages
+	}
+	comp := pages["U-index (compressed)"]
+	raw := pages["U-index (no compression)"]
+	cg := pages["CG-tree"]
+	if comp == 0 || raw == 0 || cg == 0 {
+		t.Fatalf("missing rows: %+v", pages)
+	}
+	// "Because of the key-compression this is not so": the compressed
+	// index must be far below the raw one...
+	if comp*2 > raw {
+		t.Errorf("compression saved too little: %d vs %d pages", comp, raw)
+	}
+	// ... and in the same ballpark as the set-grouped comparator.
+	if comp > cg*2 {
+		t.Errorf("compressed U-index (%d pages) not competitive with CG (%d)", comp, cg)
+	}
+	var buf bytes.Buffer
+	RenderStorage(&buf, r)
+	if !strings.Contains(buf.String(), "no compression") {
+		t.Error("RenderStorage output incomplete")
+	}
+}

@@ -1,0 +1,34 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// TestUpdateCostShapes checks the Section-4.4 update prediction: the
+// U-index's end-of-path updates are plain B-tree insert/deletes, while NIX
+// maintains a key-grouped record plus an auxiliary structure — more page
+// writes per operation.
+func TestUpdateCostShapes(t *testing.T) {
+	r, err := RunUpdateCost(11, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	writes := map[string]float64{}
+	for _, row := range r.Rows {
+		writes[row.Operation+"/"+row.Structure] = row.PagesWrite
+	}
+	if len(writes) != 4 {
+		t.Fatalf("rows = %+v", r.Rows)
+	}
+	if writes["vehicle insert+delete/U-index"] > writes["vehicle insert+delete/NIX"] {
+		t.Errorf("U-index end-of-path update (%.1f writes) not cheaper than NIX (%.1f)",
+			writes["vehicle insert+delete/U-index"], writes["vehicle insert+delete/NIX"])
+	}
+	var buf bytes.Buffer
+	RenderUpdateCost(&buf, r)
+	if !strings.Contains(buf.String(), "president switch") {
+		t.Error("render incomplete")
+	}
+}

@@ -1,0 +1,391 @@
+// Package pager provides fixed-size page storage for the index structures in
+// this repository. All index structures (the U-index B+-tree, CH-tree,
+// H-tree, CG-tree and NIX) allocate, read and write pages exclusively through
+// this package, and all experiments account page I/O through a Tracker, so
+// every "pages read" number reported by the benchmark harness flows through
+// one code path.
+//
+// Two File implementations are provided: MemFile (a page store backed by an
+// in-memory slice, used by tests and the benchmark harness) and DiskFile (a
+// page store backed by an *os.File with an on-disk free list, used by the
+// CLI tools and examples that persist indexes).
+package pager
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+)
+
+// DefaultPageSize is the page size used throughout the paper's experiments
+// (Section 5.1: "Index files were stored in page files with pages of size
+// 1024 bytes").
+const DefaultPageSize = 1024
+
+// PageID identifies a page within a File. Page 0 is reserved as the nil
+// page (and, for DiskFile, holds the file header), so NilPage can be used as
+// an "absent" marker in on-page link fields.
+type PageID uint32
+
+// NilPage is the reserved zero page id; no user page is ever allocated at 0.
+const NilPage PageID = 0
+
+var (
+	// ErrPageBounds is returned when a page id is out of range or refers
+	// to the reserved nil page.
+	ErrPageBounds = errors.New("pager: page id out of bounds")
+	// ErrPageSize is returned when a buffer of the wrong length is passed
+	// to Read or Write.
+	ErrPageSize = errors.New("pager: buffer length does not match page size")
+	// ErrFreed is returned when a freed page is read or written.
+	ErrFreed = errors.New("pager: page has been freed")
+)
+
+// Stats holds cumulative physical I/O counters for a File. These count every
+// call, with no per-query deduplication; see Tracker for the per-query view
+// used by the experiments.
+type Stats struct {
+	Reads  int64 // pages read
+	Writes int64 // pages written
+	Allocs int64 // pages allocated
+	Frees  int64 // pages freed
+}
+
+// File is a flat collection of fixed-size pages. Implementations must be
+// safe for concurrent use.
+type File interface {
+	// PageSize returns the fixed page size in bytes.
+	PageSize() int
+	// Alloc allocates a page (recycling freed pages first) and returns
+	// its id. The page contents are zeroed.
+	Alloc() (PageID, error)
+	// Read copies the contents of page id into buf, which must be exactly
+	// PageSize() bytes long.
+	Read(id PageID, buf []byte) error
+	// Write replaces the contents of page id with buf, which must be
+	// exactly PageSize() bytes long.
+	Write(id PageID, buf []byte) error
+	// Free releases a page for reuse by a later Alloc.
+	Free(id PageID) error
+	// NumPages returns the number of live (allocated, not freed) pages.
+	NumPages() int
+	// Stats returns a snapshot of the cumulative I/O counters.
+	Stats() Stats
+	// Close releases underlying resources.
+	Close() error
+}
+
+// MemFile is an in-memory File. The zero value is not usable; use
+// NewMemFile.
+type MemFile struct {
+	mu       sync.Mutex
+	pageSize int
+	pages    [][]byte // index 0 unused (NilPage)
+	freed    []PageID
+	isFree   map[PageID]bool
+	stats    Stats
+}
+
+// NewMemFile returns an empty in-memory page file. pageSize <= 0 selects
+// DefaultPageSize.
+func NewMemFile(pageSize int) *MemFile {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	return &MemFile{
+		pageSize: pageSize,
+		pages:    make([][]byte, 1), // slot 0 reserved
+		isFree:   make(map[PageID]bool),
+	}
+}
+
+// PageSize implements File.
+func (f *MemFile) PageSize() int { return f.pageSize }
+
+// Alloc implements File.
+func (f *MemFile) Alloc() (PageID, error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.stats.Allocs++
+	if n := len(f.freed); n > 0 {
+		id := f.freed[n-1]
+		f.freed = f.freed[:n-1]
+		delete(f.isFree, id)
+		for i := range f.pages[id] {
+			f.pages[id][i] = 0
+		}
+		return id, nil
+	}
+	f.pages = append(f.pages, make([]byte, f.pageSize))
+	return PageID(len(f.pages) - 1), nil
+}
+
+func (f *MemFile) check(id PageID, buf []byte) error {
+	if len(buf) != f.pageSize {
+		return ErrPageSize
+	}
+	if id == NilPage || int(id) >= len(f.pages) {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	if f.isFree[id] {
+		return fmt.Errorf("%w: %d", ErrFreed, id)
+	}
+	return nil
+}
+
+// Read implements File.
+func (f *MemFile) Read(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(id, buf); err != nil {
+		return err
+	}
+	f.stats.Reads++
+	copy(buf, f.pages[id])
+	return nil
+}
+
+// Write implements File.
+func (f *MemFile) Write(id PageID, buf []byte) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if err := f.check(id, buf); err != nil {
+		return err
+	}
+	f.stats.Writes++
+	copy(f.pages[id], buf)
+	return nil
+}
+
+// Free implements File.
+func (f *MemFile) Free(id PageID) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if id == NilPage || int(id) >= len(f.pages) {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	if f.isFree[id] {
+		return fmt.Errorf("%w: %d", ErrFreed, id)
+	}
+	f.stats.Frees++
+	f.isFree[id] = true
+	f.freed = append(f.freed, id)
+	return nil
+}
+
+// NumPages implements File.
+func (f *MemFile) NumPages() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.pages) - 1 - len(f.freed)
+}
+
+// Stats implements File.
+func (f *MemFile) Stats() Stats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// Close implements File. A closed MemFile simply drops its pages.
+func (f *MemFile) Close() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.pages = nil
+	f.freed = nil
+	f.isFree = nil
+	return nil
+}
+
+// DiskFile is a File backed by an operating-system file. Page 0 of the file
+// holds a small header: a magic number, the page size, the number of pages,
+// and the head of the free list. Freed pages are chained through their first
+// four bytes.
+type DiskFile struct {
+	mu       sync.Mutex
+	f        *os.File
+	pageSize int
+	numPages int // total pages including header page 0
+	freeHead PageID
+	numFree  int
+	stats    Stats
+}
+
+const diskMagic = 0x55494458 // "UIDX"
+
+// CreateDiskFile creates (or truncates) a page file at path.
+func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
+	if pageSize <= 0 {
+		pageSize = DefaultPageSize
+	}
+	if pageSize < 32 {
+		return nil, fmt.Errorf("pager: page size %d too small", pageSize)
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	d := &DiskFile{f: f, pageSize: pageSize, numPages: 1, freeHead: NilPage}
+	if err := d.writeHeader(); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return d, nil
+}
+
+// OpenDiskFile opens an existing page file created by CreateDiskFile.
+func OpenDiskFile(path string) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	var hdr [20]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("pager: reading header: %w", err)
+	}
+	if binary.BigEndian.Uint32(hdr[0:]) != diskMagic {
+		f.Close()
+		return nil, fmt.Errorf("pager: %s is not a page file", path)
+	}
+	d := &DiskFile{
+		f:        f,
+		pageSize: int(binary.BigEndian.Uint32(hdr[4:])),
+		numPages: int(binary.BigEndian.Uint32(hdr[8:])),
+		freeHead: PageID(binary.BigEndian.Uint32(hdr[12:])),
+		numFree:  int(binary.BigEndian.Uint32(hdr[16:])),
+	}
+	return d, nil
+}
+
+func (d *DiskFile) writeHeader() error {
+	var hdr [20]byte
+	binary.BigEndian.PutUint32(hdr[0:], diskMagic)
+	binary.BigEndian.PutUint32(hdr[4:], uint32(d.pageSize))
+	binary.BigEndian.PutUint32(hdr[8:], uint32(d.numPages))
+	binary.BigEndian.PutUint32(hdr[12:], uint32(d.freeHead))
+	binary.BigEndian.PutUint32(hdr[16:], uint32(d.numFree))
+	if _, err := d.f.WriteAt(hdr[:], 0); err != nil {
+		return fmt.Errorf("pager: writing header: %w", err)
+	}
+	return nil
+}
+
+// PageSize implements File.
+func (d *DiskFile) PageSize() int { return d.pageSize }
+
+func (d *DiskFile) offset(id PageID) int64 {
+	return int64(id) * int64(d.pageSize)
+}
+
+// Alloc implements File.
+func (d *DiskFile) Alloc() (PageID, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.stats.Allocs++
+	zero := make([]byte, d.pageSize)
+	if d.freeHead != NilPage {
+		id := d.freeHead
+		var next [4]byte
+		if _, err := d.f.ReadAt(next[:], d.offset(id)); err != nil {
+			return NilPage, fmt.Errorf("pager: reading free link: %w", err)
+		}
+		d.freeHead = PageID(binary.BigEndian.Uint32(next[:]))
+		d.numFree--
+		if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
+			return NilPage, err
+		}
+		return id, d.writeHeader()
+	}
+	id := PageID(d.numPages)
+	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
+		return NilPage, err
+	}
+	d.numPages++
+	return id, d.writeHeader()
+}
+
+func (d *DiskFile) checkID(id PageID) error {
+	if id == NilPage || int(id) >= d.numPages {
+		return fmt.Errorf("%w: %d", ErrPageBounds, id)
+	}
+	return nil
+}
+
+// Read implements File.
+func (d *DiskFile) Read(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(buf) != d.pageSize {
+		return ErrPageSize
+	}
+	if err := d.checkID(id); err != nil {
+		return err
+	}
+	d.stats.Reads++
+	if _, err := d.f.ReadAt(buf, d.offset(id)); err != nil && err != io.EOF {
+		return err
+	}
+	return nil
+}
+
+// Write implements File.
+func (d *DiskFile) Write(id PageID, buf []byte) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if len(buf) != d.pageSize {
+		return ErrPageSize
+	}
+	if err := d.checkID(id); err != nil {
+		return err
+	}
+	d.stats.Writes++
+	_, err := d.f.WriteAt(buf, d.offset(id))
+	return err
+}
+
+// Free implements File.
+func (d *DiskFile) Free(id PageID) error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.checkID(id); err != nil {
+		return err
+	}
+	d.stats.Frees++
+	var link [4]byte
+	binary.BigEndian.PutUint32(link[:], uint32(d.freeHead))
+	if _, err := d.f.WriteAt(link[:], d.offset(id)); err != nil {
+		return err
+	}
+	d.freeHead = id
+	d.numFree++
+	return d.writeHeader()
+}
+
+// NumPages implements File.
+func (d *DiskFile) NumPages() int {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.numPages - 1 - d.numFree
+}
+
+// Stats implements File.
+func (d *DiskFile) Stats() Stats {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.stats
+}
+
+// Close implements File.
+func (d *DiskFile) Close() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if err := d.writeHeader(); err != nil {
+		d.f.Close()
+		return err
+	}
+	return d.f.Close()
+}

@@ -1,0 +1,61 @@
+package pager
+
+// Tracker counts the distinct pages touched by a single query. The paper's
+// experiments report "number of pages read" per query under the assumption
+// that a page fetched once stays in the buffer for the remainder of that
+// query ("... and continue the search from there on in parallel, utilizing
+// any page which is already in memory", Section 3.3). Every index structure
+// in this repository routes node fetches through a Tracker so that the
+// reported counts share that model.
+//
+// A nil *Tracker is valid everywhere and counts nothing, so read paths that
+// do not care about accounting can pass nil.
+type Tracker struct {
+	seen  map[PageID]struct{}
+	reads int
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{seen: make(map[PageID]struct{})}
+}
+
+// Touch records a page access. It returns true when the page had not been
+// touched before by this tracker (i.e. the access counts as a page read).
+func (t *Tracker) Touch(id PageID) bool {
+	if t == nil {
+		return false
+	}
+	if _, ok := t.seen[id]; ok {
+		return false
+	}
+	t.seen[id] = struct{}{}
+	t.reads++
+	return true
+}
+
+// Touched reports whether the page has been counted already.
+func (t *Tracker) Touched(id PageID) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.seen[id]
+	return ok
+}
+
+// Reads returns the number of distinct pages touched so far.
+func (t *Tracker) Reads() int {
+	if t == nil {
+		return 0
+	}
+	return t.reads
+}
+
+// Reset clears the tracker for reuse by the next query.
+func (t *Tracker) Reset() {
+	if t == nil {
+		return
+	}
+	clear(t.seen)
+	t.reads = 0
+}

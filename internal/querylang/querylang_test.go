@@ -1,0 +1,333 @@
+package querylang
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/pager"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// fixtures: the paper's Example 1 database with color and age indexes.
+type fixture struct {
+	st       *store.Store
+	color    *core.Index
+	age      *core.Index
+	e1       store.OID
+	c2       store.OID
+	vehicles map[string]store.OID
+}
+
+func newFixture(t *testing.T) *fixture {
+	t.Helper()
+	s := schema.New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "", schema.Attr{Name: "Age", Type: encoding.AttrUint64}))
+	must(s.AddClass("Company", "",
+		schema.Attr{Name: "Name", Type: encoding.AttrString},
+		schema.Attr{Name: "President", Ref: "Employee"}))
+	must(s.AddClass("Vehicle", "",
+		schema.Attr{Name: "Color", Type: encoding.AttrString},
+		schema.Attr{Name: "ManufacturedBy", Ref: "Company"}))
+	must(s.AddClass("Automobile", "Vehicle"))
+	must(s.AddClass("Truck", "Vehicle"))
+	must(s.AddClass("CompactAutomobile", "Automobile"))
+	if _, err := s.AssignCodes(); err != nil {
+		t.Fatal(err)
+	}
+	st := store.New(s)
+	f := &fixture{st: st, vehicles: map[string]store.OID{}}
+	ins := func(class string, attrs store.Attrs) store.OID {
+		t.Helper()
+		oid, err := st.Insert(class, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return oid
+	}
+	f.e1 = ins("Employee", store.Attrs{"Age": 50})
+	f.c2 = ins("Company", store.Attrs{"Name": "Fiat", "President": f.e1})
+	for _, v := range []struct {
+		name, class, color string
+	}{
+		{"tipo", "Automobile", "White"},
+		{"panda", "Automobile", "Red"},
+		{"r5", "CompactAutomobile", "Red"},
+		{"fh16", "Truck", "Blue"},
+		{"legacy", "Vehicle", "Red"},
+	} {
+		f.vehicles[v.name] = ins(v.class, store.Attrs{"Color": v.color, "ManufacturedBy": f.c2})
+	}
+	var err error
+	f.color, err = core.New(pager.NewMemFile(0), st, core.Spec{Name: "color", Root: "Vehicle", Attr: "Color"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.color.Build(); err != nil {
+		t.Fatal(err)
+	}
+	f.age, err = core.New(pager.NewMemFile(0), st, core.Spec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.age.Build(); err != nil {
+		t.Fatal(err)
+	}
+	return f
+}
+
+func runColor(t *testing.T, f *fixture, q string) []core.Match {
+	t.Helper()
+	parsed, err := Parse(f.color, q)
+	if err != nil {
+		t.Fatalf("Parse(%q): %v", q, err)
+	}
+	ms, _, err := f.color.Execute(parsed, core.Parallel, nil)
+	if err != nil {
+		t.Fatalf("Execute(%q): %v", q, err)
+	}
+	return ms
+}
+
+func TestExactByName(t *testing.T) {
+	f := newFixture(t)
+	ms := runColor(t, f, `(Color=Red, Automobile*)`)
+	if len(ms) != 2 { // panda, r5
+		t.Fatalf("matches = %d", len(ms))
+	}
+}
+
+func TestExactByCompactCode(t *testing.T) {
+	f := newFixture(t)
+	autoCode := f.color.Coding().MustCode("Automobile").Compact()
+	byName := runColor(t, f, `(Color=Red, Automobile*)`)
+	byCode := runColor(t, f, `(Color=Red, `+autoCode+`*)`)
+	if len(byName) != len(byCode) {
+		t.Fatalf("name/code divergence: %d vs %d", len(byName), len(byCode))
+	}
+	// Exact class (no star).
+	exact := runColor(t, f, `(Color=Red, `+autoCode+`)`)
+	if len(exact) != 1 { // panda only
+		t.Fatalf("exact class matches = %d", len(exact))
+	}
+}
+
+func TestUnionPosition(t *testing.T) {
+	f := newFixture(t)
+	autoCode := f.color.Coding().MustCode("Automobile").Compact()
+	ms := runColor(t, f, `(Color={Red,Blue}, [`+autoCode+`*, Truck])`)
+	if len(ms) != 3 { // panda, r5 (red autos), fh16 (blue truck)
+		t.Fatalf("matches = %d: %v", len(ms), ms)
+	}
+}
+
+func TestRanges(t *testing.T) {
+	f := newFixture(t)
+	// Blue..Red covers Blue and Red but not White.
+	ms := runColor(t, f, `(Color=[Blue-Red])`)
+	if len(ms) != 4 {
+		t.Fatalf("range matches = %d", len(ms))
+	}
+	// Open ends.
+	ms = runColor(t, f, `(Color=[Red-])`)
+	if len(ms) != 4 { // 3 red + 1 white
+		t.Fatalf("open range matches = %d", len(ms))
+	}
+	ms = runColor(t, f, `(Color=[-Blue])`)
+	if len(ms) != 1 {
+		t.Fatalf("open-low range matches = %d", len(ms))
+	}
+	ms = runColor(t, f, `(Color=*)`)
+	if len(ms) != 5 {
+		t.Fatalf("wildcard value matches = %d", len(ms))
+	}
+}
+
+func TestPathQueryWithOIDsAndDistinct(t *testing.T) {
+	f := newFixture(t)
+	q := `(Age=50, Employee, Company$` + itoa(f.c2) + `, Vehicle*)`
+	parsed, err := Parse(f.age, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("path matches = %d", len(ms))
+	}
+	// Distinct companies.
+	q = `(Age=50, ?, ?) ; distinct 2`
+	parsed, err = Parse(f.age, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Distinct != 2 {
+		t.Fatalf("Distinct = %d", parsed.Distinct)
+	}
+	ms, _, err = f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Path[1].OID != f.c2 {
+		t.Fatalf("distinct companies = %v", ms)
+	}
+	// OID sets.
+	q = `(Age=50, ?, Company${` + itoa(f.c2) + `,999}, ?)`
+	parsed, err = Parse(f.age, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err = f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil || len(ms) != 5 {
+		t.Fatalf("oid-set matches = %d, %v", len(ms), err)
+	}
+}
+
+func itoa(o store.OID) string {
+	return fmtInt(uint64(o))
+}
+
+func fmtInt(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var b [20]byte
+	i := len(b)
+	for v > 0 {
+		i--
+		b[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(b[i:])
+}
+
+func TestQuotedStrings(t *testing.T) {
+	f := newFixture(t)
+	vehCode := f.color.Coding().MustCode("Vehicle").Compact()
+	ms := runColor(t, f, `(Color="Red", `+vehCode+`*)`)
+	if len(ms) != 3 {
+		t.Fatalf("quoted value matches = %d", len(ms))
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	f := newFixture(t)
+	bad := []string{
+		``,
+		`Color=Red`,                         // no parens
+		`(Hue=Red)`,                         // wrong attribute
+		`(Color=Red`,                        // unterminated
+		`(Color=Red, Ghost*)`,               // unknown class
+		`(Color=[Red)`,                      // bad range
+		`(Color=Red) ; distinct x`,          // bad distinct
+		`(Color=Red) ; foo 2`,               // bad keyword
+		`(Color=Red) trailing`,              // trailing input
+		`(Color=Red, Automobile$x)`,         // bad oid
+		`(Color="unterminated)`,             // unterminated string
+		`(Color={Red,})`,                    // dangling comma
+		`(Color=Red, [Automobile*, Ghost])`, // unknown class in union
+		`(Color=Red, Automobile${1,bad})`,   // bad oid in set
+	}
+	for _, q := range bad {
+		if _, err := Parse(f.color, q); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", q)
+		}
+	}
+}
+
+func TestUintValues(t *testing.T) {
+	f := newFixture(t)
+	parsed, err := Parse(f.age, `(Age={50,60})`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parsed.Value.Values) != 2 || parsed.Value.Values[0].(uint64) != 50 {
+		t.Fatalf("values = %v", parsed.Value.Values)
+	}
+	if _, err := Parse(f.age, `(Age=old)`); err == nil {
+		t.Error("non-numeric age accepted")
+	}
+}
+
+// TestPositionPredicate covers the paper's query-3 form: a position
+// restricted by a select predicate on the class's own attribute.
+func TestPositionPredicate(t *testing.T) {
+	f := newFixture(t)
+	// Vehicles with president age 50, restricted to the company named Fiat.
+	parsed, err := Parse(f.age, `(Age=50, ?, Company{Name=Fiat}, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 5 {
+		t.Fatalf("predicate matches = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Path[1].OID != f.c2 {
+			t.Fatalf("path = %+v", m.Path)
+		}
+	}
+	// A predicate that matches no object yields no results (not an error).
+	parsed, err = Parse(f.age, `(Age=50, ?, Company{Name=Ghost}, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err = f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("empty predicate: %d matches, %v", len(ms), err)
+	}
+	// Numeric predicate on the terminal class.
+	parsed, err = Parse(f.age, `(Age=[-100], Employee{Age=50}, ?, ?)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err = f.age.Execute(parsed, core.Parallel, nil)
+	if err != nil || len(ms) != 5 {
+		t.Fatalf("numeric predicate: %d matches, %v", len(ms), err)
+	}
+	// Errors.
+	for _, bad := range []string{
+		`(Age=50, ?, Company{Ghost=1}, ?)`,     // unknown attribute
+		`(Age=50, ?, Company{President=1}, ?)`, // ref attribute
+		`(Age=50, ?, Company{Name=Fiat, ?)`,    // unterminated
+		`(Age=50, Employee{Age=old}, ?, ?)`,    // bad value
+	} {
+		if _, err := Parse(f.age, bad); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", bad)
+		}
+	}
+}
+
+// TestWhereHelper exercises the programmatic predicate position.
+func TestWhereHelper(t *testing.T) {
+	f := newFixture(t)
+	pos := f.age.Where("Company", "Name", func(v any) bool { return v == "Fiat" })
+	ms, _, err := f.age.Execute(core.Query{
+		Value:     core.Exact(50),
+		Positions: []core.Position{core.Any, pos},
+	}, core.Parallel, nil)
+	if err != nil || len(ms) != 5 {
+		t.Fatalf("Where: %d matches, %v", len(ms), err)
+	}
+	empty := f.age.Where("Company", "Name", func(v any) bool { return false })
+	ms, _, err = f.age.Execute(core.Query{
+		Value:     core.Exact(50),
+		Positions: []core.Position{core.Any, empty},
+	}, core.Parallel, nil)
+	if err != nil || len(ms) != 0 {
+		t.Fatalf("empty Where: %d matches, %v", len(ms), err)
+	}
+}

@@ -1,0 +1,210 @@
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/encoding"
+)
+
+// Coding is an assignment of lexicographic codes (the paper's COD relation)
+// to every class of a schema. A schema has one default coding; indexes over
+// REF edges that conflict with it carry their own alternate coding
+// (Section 4.3).
+type Coding struct {
+	codes  map[string]encoding.Code
+	names  map[encoding.Code]string
+	labels map[string]string // class -> its own (last-level) label
+}
+
+func newCoding() *Coding {
+	return &Coding{
+		codes:  make(map[string]encoding.Code),
+		names:  make(map[encoding.Code]string),
+		labels: make(map[string]string),
+	}
+}
+
+// Code returns the code of a class.
+func (c *Coding) Code(class string) (encoding.Code, bool) {
+	code, ok := c.codes[class]
+	return code, ok
+}
+
+// MustCode is Code that panics when the class is unknown; for tests and
+// examples working with a validated schema.
+func (c *Coding) MustCode(class string) encoding.Code {
+	code, ok := c.codes[class]
+	if !ok {
+		panic(fmt.Sprintf("schema: class %q has no code", class))
+	}
+	return code
+}
+
+// ClassOf returns the class a code was assigned to.
+func (c *Coding) ClassOf(code encoding.Code) (string, bool) {
+	name, ok := c.names[code]
+	return name, ok
+}
+
+// Table returns the full COD relation sorted by code, for display (the
+// paper presents exactly this table in Section 3).
+func (c *Coding) Table() []struct {
+	Class string
+	Code  encoding.Code
+} {
+	out := make([]struct {
+		Class string
+		Code  encoding.Code
+	}, 0, len(c.codes))
+	for class, code := range c.codes {
+		out = append(out, struct {
+			Class string
+			Code  encoding.Code
+		}{class, code})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Code < out[j].Code })
+	return out
+}
+
+// assignSubtree gives root the given code and codes the whole subtree with
+// child labels in declaration order.
+func (c *Coding) assignSubtree(s *Schema, root string, code encoding.Code) error {
+	if old, dup := c.codes[root]; dup {
+		return fmt.Errorf("schema: class %q already coded %s", root, old)
+	}
+	c.codes[root] = code
+	c.names[code] = root
+	labels := code.Labels()
+	c.labels[root] = labels[len(labels)-1]
+	kids := s.children[root]
+	var childLabels []string
+	if len(kids) <= 26 {
+		childLabels = encoding.AlphaLabels(len(kids))
+	} else {
+		childLabels = encoding.SequenceLabels(len(kids))
+	}
+	for i, kid := range kids {
+		child, err := code.Child(childLabels[i])
+		if err != nil {
+			return err
+		}
+		if err := c.assignSubtree(s, kid, child); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// assignNew codes a class added after AssignCodes: it receives a label just
+// past its last coded sibling, so no existing code changes (Figure 4).
+func (c *Coding) assignNew(s *Schema, name string) error {
+	cl := s.classes[name]
+	var siblings []string
+	var parentCode encoding.Code
+	if cl.Super == "" {
+		siblings = s.children[""]
+	} else {
+		var ok bool
+		parentCode, ok = c.codes[cl.Super]
+		if !ok {
+			return fmt.Errorf("schema: super %q of new class %q has no code", cl.Super, name)
+		}
+		siblings = s.children[cl.Super]
+	}
+	// Find the largest label among already-coded siblings.
+	last := ""
+	for _, sib := range siblings {
+		if sib == name {
+			continue
+		}
+		if l, ok := c.labels[sib]; ok && l > last {
+			last = l
+		}
+	}
+	var label string
+	var code encoding.Code
+	var err error
+	if cl.Super == "" {
+		// Root labels carry the paper's cosmetic "C" prefix inside the
+		// label itself ("C1", "C2", ...). Steer evolved roots to stay
+		// in the C… region when possible by bounding above with "D".
+		hi := ""
+		if last < "D" {
+			hi = "D"
+		}
+		if label, err = encoding.LabelBetween(last, hi); err != nil {
+			return err
+		}
+		if code, err = encoding.ParseCode(label); err != nil {
+			return err
+		}
+	} else {
+		if label, err = encoding.LabelBetween(last, ""); err != nil {
+			return err
+		}
+		if code, err = parentCode.Child(label); err != nil {
+			return err
+		}
+	}
+	c.codes[name] = code
+	c.names[code] = name
+	c.labels[name] = label
+	return nil
+}
+
+// InsertBetween assigns a code to an already-declared-but-uncoded class so
+// that it sorts between two coded siblings (Figure 4a: "adding a new class
+// within existing hierarchy"). Most callers use AddClass after AssignCodes,
+// which appends after the last sibling; InsertBetween is for when the
+// position matters (e.g. keeping a semantically meaningful preorder).
+func (s *Schema) InsertBetween(name, afterSibling, beforeSibling string) error {
+	if s.coding == nil {
+		return fmt.Errorf("schema: InsertBetween before AssignCodes")
+	}
+	cl, ok := s.classes[name]
+	if !ok {
+		return fmt.Errorf("schema: class %q not declared", name)
+	}
+	lo, hi := "", ""
+	if afterSibling != "" {
+		l, ok := s.coding.labels[afterSibling]
+		if !ok || s.classes[afterSibling].Super != cl.Super {
+			return fmt.Errorf("schema: %q is not a coded sibling of %q", afterSibling, name)
+		}
+		lo = l
+	}
+	if beforeSibling != "" {
+		l, ok := s.coding.labels[beforeSibling]
+		if !ok || s.classes[beforeSibling].Super != cl.Super {
+			return fmt.Errorf("schema: %q is not a coded sibling of %q", beforeSibling, name)
+		}
+		hi = l
+	}
+	label, err := encoding.LabelBetween(lo, hi)
+	if err != nil {
+		return err
+	}
+	var code encoding.Code
+	if cl.Super == "" {
+		if code, err = encoding.ParseCode(label); err != nil {
+			return err
+		}
+	} else {
+		parentCode, ok := s.coding.codes[cl.Super]
+		if !ok {
+			return fmt.Errorf("schema: super %q has no code", cl.Super)
+		}
+		if code, err = parentCode.Child(label); err != nil {
+			return err
+		}
+	}
+	// Replace any code assignNew already gave the class.
+	if old, ok := s.coding.codes[name]; ok {
+		delete(s.coding.names, old)
+	}
+	s.coding.codes[name] = code
+	s.coding.names[code] = name
+	s.coding.labels[name] = label
+	return nil
+}

@@ -1,0 +1,371 @@
+// Package schema models an object-oriented database schema in the sense of
+// the paper (Gudes, Section 2): classes with attributes, the SUP/SUB
+// ("is-a") class hierarchy, and REF (class-composition) relationships, plus
+// the machinery of Section 3 — assignment of lexicographic class codes whose
+// order matches a depth-first topological order of the schema graph — and of
+// Section 4.3 — schema evolution and REF-cycle breaking via alternate
+// codings.
+package schema
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/encoding"
+)
+
+// Attr describes one attribute of a class. Exactly one of Type/Ref is
+// meaningful: a scalar attribute has a Type; a reference attribute names the
+// target class in Ref (an m:1 REF relationship, or m:n when Multi is set).
+type Attr struct {
+	Name  string
+	Type  encoding.AttrType // scalar attributes
+	Ref   string            // reference attributes: target class name
+	Multi bool              // multi-value reference (paper Section 4.3)
+}
+
+// IsRef reports whether the attribute is a reference.
+func (a Attr) IsRef() bool { return a.Ref != "" }
+
+// Class is one node of the class hierarchy.
+type Class struct {
+	Name  string
+	Super string // parent class name; "" for hierarchy roots
+	Attrs []Attr // attributes declared on this class (inherited ones excluded)
+}
+
+// Schema is a mutable schema. Create with New, populate with AddClass and
+// AddAttr, then call AssignCodes; afterwards classes can still be added (the
+// evolution path of the paper's Figure 4) and codes remain stable.
+type Schema struct {
+	classes  map[string]*Class
+	order    []string            // class names in insertion order
+	children map[string][]string // hierarchy children in insertion order
+	coding   *Coding             // nil until AssignCodes
+}
+
+// New returns an empty schema.
+func New() *Schema {
+	return &Schema{
+		classes:  make(map[string]*Class),
+		children: make(map[string][]string),
+	}
+}
+
+// AddClass declares a class. super is "" for a hierarchy root; otherwise it
+// must already exist. Attributes inherited from super must not be redeclared.
+func (s *Schema) AddClass(name, super string, attrs ...Attr) error {
+	if name == "" {
+		return fmt.Errorf("schema: empty class name")
+	}
+	if _, dup := s.classes[name]; dup {
+		return fmt.Errorf("schema: class %q already declared", name)
+	}
+	if super != "" {
+		if _, ok := s.classes[super]; !ok {
+			return fmt.Errorf("schema: super class %q of %q not declared", super, name)
+		}
+	}
+	seen := map[string]bool{}
+	for _, a := range attrs {
+		if a.Name == "" {
+			return fmt.Errorf("schema: class %q has an unnamed attribute", name)
+		}
+		if seen[a.Name] {
+			return fmt.Errorf("schema: class %q declares attribute %q twice", name, a.Name)
+		}
+		seen[a.Name] = true
+	}
+	for anc := super; anc != ""; anc = s.classes[anc].Super {
+		for _, a := range s.classes[anc].Attrs {
+			if seen[a.Name] {
+				return fmt.Errorf("schema: class %q shadows inherited attribute %q", name, a.Name)
+			}
+		}
+	}
+	s.classes[name] = &Class{Name: name, Super: super, Attrs: attrs}
+	s.order = append(s.order, name)
+	s.children[super] = append(s.children[super], name)
+	if s.coding != nil {
+		// Evolution: give the new class a code past its last sibling
+		// (paper Figure 4a/4b — adding a class never recodes others).
+		if err := s.coding.assignNew(s, name); err != nil {
+			delete(s.classes, name)
+			s.order = s.order[:len(s.order)-1]
+			kids := s.children[super]
+			s.children[super] = kids[:len(kids)-1]
+			return err
+		}
+	}
+	return nil
+}
+
+// Class returns the class by name.
+func (s *Schema) Class(name string) (*Class, bool) {
+	c, ok := s.classes[name]
+	return c, ok
+}
+
+// Classes returns all class names in declaration order.
+func (s *Schema) Classes() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Children returns the direct subclasses of a class in declaration order.
+func (s *Schema) Children(name string) []string {
+	return append([]string(nil), s.children[name]...)
+}
+
+// Roots returns the hierarchy roots in declaration order.
+func (s *Schema) Roots() []string {
+	return append([]string(nil), s.children[""]...)
+}
+
+// IsSubclassOf reports whether class c equals anc or is a (transitive)
+// subclass of it.
+func (s *Schema) IsSubclassOf(c, anc string) bool {
+	for ; c != ""; c = s.classes[c].Super {
+		if c == anc {
+			return true
+		}
+		if _, ok := s.classes[c]; !ok {
+			return false
+		}
+	}
+	return false
+}
+
+// Subtree returns the class and all of its transitive subclasses in
+// depth-first preorder.
+func (s *Schema) Subtree(name string) []string {
+	var out []string
+	var walk func(string)
+	walk = func(c string) {
+		out = append(out, c)
+		for _, k := range s.children[c] {
+			walk(k)
+		}
+	}
+	if _, ok := s.classes[name]; ok {
+		walk(name)
+	}
+	return out
+}
+
+// AttrOf resolves an attribute on a class, searching the inheritance chain.
+func (s *Schema) AttrOf(class, attr string) (Attr, bool) {
+	for c := class; c != ""; {
+		cl, ok := s.classes[c]
+		if !ok {
+			return Attr{}, false
+		}
+		for _, a := range cl.Attrs {
+			if a.Name == attr {
+				return a, true
+			}
+		}
+		c = cl.Super
+	}
+	return Attr{}, false
+}
+
+// RootOf returns the hierarchy root of a class.
+func (s *Schema) RootOf(class string) string {
+	for {
+		c, ok := s.classes[class]
+		if !ok {
+			return ""
+		}
+		if c.Super == "" {
+			return class
+		}
+		class = c.Super
+	}
+}
+
+// RefEdge is one REF relationship: Source.Attr references Target.
+type RefEdge struct {
+	Source, Attr, Target string
+}
+
+// RefEdges lists every REF relationship in the schema in declaration order.
+func (s *Schema) RefEdges() []RefEdge {
+	var out []RefEdge
+	for _, name := range s.order {
+		for _, a := range s.classes[name].Attrs {
+			if a.IsRef() {
+				out = append(out, RefEdge{name, a.Name, a.Ref})
+			}
+		}
+	}
+	return out
+}
+
+// Validate checks referential consistency: every REF target exists. The
+// hierarchy is acyclic by construction (supers must pre-exist).
+func (s *Schema) Validate() error {
+	for _, name := range s.order {
+		for _, a := range s.classes[name].Attrs {
+			if a.IsRef() {
+				if _, ok := s.classes[a.Ref]; !ok {
+					return fmt.Errorf("schema: %s.%s references undeclared class %q", name, a.Name, a.Ref)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// AssignCodes computes the default Coding for the schema: hierarchy roots
+// are ordered by a topological sort of the REF graph between hierarchies
+// (so that a referenced hierarchy receives a smaller code than the
+// referencing one, which is what makes path-index keys sort terminal-first),
+// and children receive labels in declaration order. REF edges that would
+// close a cycle are ignored here; indexes over such edges use
+// CodingHonoring (the paper's duplicate-encoding trick, Section 4.3).
+func (s *Schema) AssignCodes() (*Coding, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	coding, err := s.codingFor(s.RefEdges(), false)
+	if err != nil {
+		return nil, err
+	}
+	s.coding = coding
+	return coding, nil
+}
+
+// Coding returns the schema's default coding (nil before AssignCodes).
+func (s *Schema) Coding() *Coding { return s.coding }
+
+// CodingHonoring builds an alternate coding that honors the given REF
+// edges strictly (error if they are themselves cyclic). This implements the
+// paper's cycle-breaking: "we break the cycle by replacing the original
+// graph with two acyclic separate graphs, one correspond to one REF index,
+// the other to the rest of the graph" (Section 4.3). An index whose path
+// conflicts with the default coding is built over such an alternate coding.
+func (s *Schema) CodingHonoring(mustHonor []RefEdge) (*Coding, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	// The must-honor edges come first so the topological sort favors
+	// them; they are also checked strictly afterwards.
+	edges := append(append([]RefEdge(nil), mustHonor...), s.RefEdges()...)
+	coding, err := s.codingFor(edges, false)
+	if err != nil {
+		return nil, err
+	}
+	for _, e := range mustHonor {
+		sc, _ := coding.Code(s.RootOf(e.Source))
+		tc, _ := coding.Code(s.RootOf(e.Target))
+		if e.Source != e.Target && !(tc < sc) {
+			return nil, fmt.Errorf("schema: cannot honor REF %s.%s -> %s: cyclic constraints", e.Source, e.Attr, e.Target)
+		}
+	}
+	return coding, nil
+}
+
+// codingFor performs the topological root ordering and code assignment.
+// Edge constraints are processed greedily in order; later edges that would
+// contradict earlier ones are dropped (strict=false) — the caller verifies
+// the edges it truly needs.
+func (s *Schema) codingFor(edges []RefEdge, strict bool) (*Coding, error) {
+	roots := s.Roots()
+	idx := make(map[string]int, len(roots))
+	for i, r := range roots {
+		idx[r] = i
+	}
+	// Build constraint edges between root hierarchies: target before
+	// source. Self-loops (REF within one hierarchy) cannot be expressed
+	// in the root order and are skipped; they are the duplicate-encoding
+	// case of Section 4.3 handled by core with a second key position.
+	type edge struct{ from, to int } // from must come before to
+	var cons []edge
+	seen := map[[2]int]bool{}
+	for _, e := range edges {
+		sr, tr := s.RootOf(e.Source), s.RootOf(e.Target)
+		if sr == "" || tr == "" {
+			return nil, fmt.Errorf("schema: REF %s.%s -> %s names unknown classes", e.Source, e.Attr, e.Target)
+		}
+		if sr == tr {
+			continue
+		}
+		k := [2]int{idx[tr], idx[sr]}
+		if !seen[k] {
+			seen[k] = true
+			cons = append(cons, edge{idx[tr], idx[sr]})
+		}
+	}
+	// Greedy cycle removal: add constraints one at a time, dropping any
+	// that closes a cycle (checked by DFS over accepted constraints).
+	adj := make([][]int, len(roots))
+	reaches := func(from, to int) bool {
+		stack := []int{from}
+		visited := make([]bool, len(roots))
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if v == to {
+				return true
+			}
+			if visited[v] {
+				continue
+			}
+			visited[v] = true
+			stack = append(stack, adj[v]...)
+		}
+		return false
+	}
+	for _, c := range cons {
+		if reaches(c.to, c.from) {
+			if strict {
+				return nil, fmt.Errorf("schema: REF graph between hierarchies is cyclic")
+			}
+			continue // drop the back edge (Section 4.3)
+		}
+		adj[c.from] = append(adj[c.from], c.to)
+	}
+	// Kahn's algorithm with declaration order as the tie-break, so the
+	// result is deterministic and matches the paper's example numbering.
+	indeg := make([]int, len(roots))
+	for _, tos := range adj {
+		for _, to := range tos {
+			indeg[to]++
+		}
+	}
+	var orderIdx []int
+	avail := make([]int, 0, len(roots))
+	for i := range roots {
+		if indeg[i] == 0 {
+			avail = append(avail, i)
+		}
+	}
+	for len(avail) > 0 {
+		sort.Ints(avail)
+		v := avail[0]
+		avail = avail[1:]
+		orderIdx = append(orderIdx, v)
+		for _, to := range adj[v] {
+			if indeg[to]--; indeg[to] == 0 {
+				avail = append(avail, to)
+			}
+		}
+	}
+	if len(orderIdx) != len(roots) {
+		return nil, fmt.Errorf("schema: internal: topological sort incomplete")
+	}
+
+	coding := newCoding()
+	rootLabels := encoding.SequenceLabels(len(roots))
+	for pos, ri := range orderIdx {
+		root := roots[ri]
+		code, err := encoding.ParseCode("C" + rootLabels[pos])
+		if err != nil {
+			return nil, err
+		}
+		if err := coding.assignSubtree(s, root, code); err != nil {
+			return nil, err
+		}
+	}
+	return coding, nil
+}

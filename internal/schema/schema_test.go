@@ -1,0 +1,429 @@
+package schema
+
+import (
+	"sort"
+	"testing"
+
+	"repro/internal/encoding"
+)
+
+// paperSchema builds the schema of the paper's Figure 1 (plus nothing):
+// Employee, Company (AutoCompany{JapaneseAutoCompany}, TruckCompany), City,
+// Division, Vehicle (Automobile{CompactAutomobile}, Truck).
+func paperSchema(t *testing.T) *Schema {
+	t.Helper()
+	s := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "", Attr{Name: "Age", Type: encoding.AttrUint64}))
+	must(s.AddClass("Company", "",
+		Attr{Name: "Name", Type: encoding.AttrString},
+		Attr{Name: "President", Ref: "Employee"}))
+	must(s.AddClass("City", "", Attr{Name: "Name", Type: encoding.AttrString}))
+	must(s.AddClass("Division", "",
+		Attr{Name: "Belong", Ref: "Company"},
+		Attr{Name: "LocatedIn", Ref: "City"}))
+	must(s.AddClass("Vehicle", "",
+		Attr{Name: "Name", Type: encoding.AttrString},
+		Attr{Name: "Color", Type: encoding.AttrString},
+		Attr{Name: "ManufacturedBy", Ref: "Company"}))
+	must(s.AddClass("Automobile", "Vehicle"))
+	must(s.AddClass("Truck", "Vehicle"))
+	must(s.AddClass("CompactAutomobile", "Automobile"))
+	must(s.AddClass("AutoCompany", "Company"))
+	must(s.AddClass("TruckCompany", "Company"))
+	must(s.AddClass("JapaneseAutoCompany", "AutoCompany"))
+	return s
+}
+
+// TestPaperCOD reproduces the paper's Section 3 COD table exactly.
+func TestPaperCOD(t *testing.T) {
+	s := paperSchema(t)
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatalf("AssignCodes: %v", err)
+	}
+	want := map[string]string{
+		"Employee":            "C1",
+		"Company":             "C2",
+		"City":                "C3",
+		"Division":            "C4",
+		"Vehicle":             "C5",
+		"Automobile":          "C5A",
+		"Truck":               "C5B",
+		"CompactAutomobile":   "C5AA",
+		"AutoCompany":         "C2A",
+		"TruckCompany":        "C2B",
+		"JapaneseAutoCompany": "C2AA",
+	}
+	for class, compact := range want {
+		code, ok := coding.Code(class)
+		if !ok {
+			t.Errorf("class %q has no code", class)
+			continue
+		}
+		if code.Compact() != compact {
+			t.Errorf("COD %s = %s, want %s", class, code.Compact(), compact)
+		}
+		back, ok := coding.ClassOf(code)
+		if !ok || back != class {
+			t.Errorf("ClassOf(%s) = %q, %v", code, back, ok)
+		}
+	}
+}
+
+// TestRefTopologicalOrder checks the property path indexes rely on: along
+// every REF edge honored by the default coding, the target's code sorts
+// below the source's.
+func TestRefTopologicalOrder(t *testing.T) {
+	s := paperSchema(t)
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.RefEdges() {
+		sc := coding.MustCode(e.Source)
+		tc := coding.MustCode(e.Target)
+		if !(tc < sc) {
+			t.Errorf("REF %s.%s -> %s: code %s not below %s", e.Source, e.Attr, e.Target, tc, sc)
+		}
+	}
+}
+
+func TestAddClassValidation(t *testing.T) {
+	s := New()
+	if err := s.AddClass("", ""); err == nil {
+		t.Error("empty class name accepted")
+	}
+	if err := s.AddClass("A", "Missing"); err == nil {
+		t.Error("missing super accepted")
+	}
+	if err := s.AddClass("A", "", Attr{Name: "x", Type: encoding.AttrUint64}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass("A", ""); err == nil {
+		t.Error("duplicate class accepted")
+	}
+	if err := s.AddClass("B", "A", Attr{Name: "x", Type: encoding.AttrUint64}); err == nil {
+		t.Error("shadowed inherited attribute accepted")
+	}
+	if err := s.AddClass("C", "", Attr{Name: "y"}, Attr{Name: "y"}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if err := s.AddClass("D", "", Attr{Name: ""}); err == nil {
+		t.Error("unnamed attribute accepted")
+	}
+}
+
+func TestHierarchyQueries(t *testing.T) {
+	s := paperSchema(t)
+	if !s.IsSubclassOf("CompactAutomobile", "Vehicle") {
+		t.Error("CompactAutomobile should be a subclass of Vehicle")
+	}
+	if !s.IsSubclassOf("Vehicle", "Vehicle") {
+		t.Error("class should be subclass of itself")
+	}
+	if s.IsSubclassOf("Vehicle", "Automobile") {
+		t.Error("Vehicle is not a subclass of Automobile")
+	}
+	if s.IsSubclassOf("Nope", "Vehicle") || s.IsSubclassOf("Vehicle", "Nope") {
+		t.Error("unknown classes should not be subclasses")
+	}
+	sub := s.Subtree("Vehicle")
+	want := []string{"Vehicle", "Automobile", "CompactAutomobile", "Truck"}
+	if len(sub) != len(want) {
+		t.Fatalf("Subtree = %v", sub)
+	}
+	for i := range want {
+		if sub[i] != want[i] {
+			t.Fatalf("Subtree = %v, want %v", sub, want)
+		}
+	}
+	if got := s.RootOf("JapaneseAutoCompany"); got != "Company" {
+		t.Errorf("RootOf = %q", got)
+	}
+	if got := s.RootOf("Nope"); got != "" {
+		t.Errorf("RootOf(unknown) = %q", got)
+	}
+	roots := s.Roots()
+	if len(roots) != 5 {
+		t.Errorf("Roots = %v", roots)
+	}
+}
+
+func TestAttrOfInheritance(t *testing.T) {
+	s := paperSchema(t)
+	a, ok := s.AttrOf("CompactAutomobile", "Color")
+	if !ok || a.Type != encoding.AttrString {
+		t.Errorf("AttrOf inherited = %+v, %v", a, ok)
+	}
+	a, ok = s.AttrOf("CompactAutomobile", "ManufacturedBy")
+	if !ok || a.Ref != "Company" {
+		t.Errorf("AttrOf inherited ref = %+v, %v", a, ok)
+	}
+	if _, ok := s.AttrOf("Employee", "Color"); ok {
+		t.Error("Employee has Color?")
+	}
+	if _, ok := s.AttrOf("Nope", "x"); ok {
+		t.Error("unknown class has attributes?")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	s := New()
+	if err := s.AddClass("A", "", Attr{Name: "r", Ref: "Ghost"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Validate(); err == nil {
+		t.Error("dangling REF accepted")
+	}
+	if _, err := s.AssignCodes(); err == nil {
+		t.Error("AssignCodes on invalid schema succeeded")
+	}
+}
+
+// TestEvolutionAppend: classes added after AssignCodes get codes without
+// disturbing existing ones (Figure 4).
+func TestEvolutionAppend(t *testing.T) {
+	s := paperSchema(t)
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := map[string]encoding.Code{}
+	for _, row := range coding.Table() {
+		before[row.Class] = row.Code
+	}
+	// New subclass under Vehicle (Figure 4a).
+	if err := s.AddClass("Bus", "Vehicle"); err != nil {
+		t.Fatalf("AddClass after AssignCodes: %v", err)
+	}
+	busCode, ok := coding.Code("Bus")
+	if !ok {
+		t.Fatal("Bus got no code")
+	}
+	vehicle := coding.MustCode("Vehicle")
+	truck := coding.MustCode("Truck")
+	if !vehicle.IsAncestorOrSelf(busCode) {
+		t.Errorf("Bus code %s not under Vehicle %s", busCode, vehicle)
+	}
+	if !(busCode > truck) {
+		t.Errorf("Bus code %s should sort after Truck %s", busCode, truck)
+	}
+	// New root hierarchy (Figure 4b).
+	if err := s.AddClass("Country", ""); err != nil {
+		t.Fatal(err)
+	}
+	country, _ := coding.Code("Country")
+	if !(country > coding.MustCode("Vehicle")) {
+		t.Errorf("Country code %s should sort after Vehicle", country)
+	}
+	// Nothing pre-existing moved.
+	for class, code := range before {
+		if got := coding.MustCode(class); got != code {
+			t.Errorf("evolution recoded %s: %s -> %s", class, code, got)
+		}
+	}
+	// Deep evolution chain keeps working and stays ordered.
+	prev := busCode
+	parent := "Bus"
+	for i := 0; i < 5; i++ {
+		name := parent + "X"
+		if err := s.AddClass(name, "Vehicle"); err != nil {
+			t.Fatal(err)
+		}
+		c := coding.MustCode(name)
+		if !(c > prev) {
+			t.Fatalf("evolved sibling %s (%s) not after %s", name, c, prev)
+		}
+		prev, parent = c, name
+	}
+}
+
+// TestInsertBetween reproduces Figure 4a's mid-hierarchy insertion: the new
+// class sorts between two existing siblings, nothing else moves.
+func TestInsertBetween(t *testing.T) {
+	s := paperSchema(t)
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.AddClass("Motorcycle", "Vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InsertBetween("Motorcycle", "Automobile", "Truck"); err != nil {
+		t.Fatalf("InsertBetween: %v", err)
+	}
+	m := coding.MustCode("Motorcycle")
+	a, tr := coding.MustCode("Automobile"), coding.MustCode("Truck")
+	if !(a < m && m < tr) {
+		t.Fatalf("Motorcycle code %s not between %s and %s", m, a, tr)
+	}
+	// Crucially the new sibling is NOT inside Automobile's subtree.
+	if a.IsAncestorOrSelf(m) {
+		t.Fatalf("Motorcycle %s landed inside Automobile subtree %s", m, a)
+	}
+	if name, ok := coding.ClassOf(m); !ok || name != "Motorcycle" {
+		t.Fatal("reverse lookup broken after InsertBetween")
+	}
+	// Error paths.
+	if err := s.InsertBetween("Nope", "Automobile", "Truck"); err == nil {
+		t.Error("InsertBetween unknown class succeeded")
+	}
+	if err := s.InsertBetween("Motorcycle", "Employee", ""); err == nil {
+		t.Error("InsertBetween with non-sibling bound succeeded")
+	}
+}
+
+// TestCycleBreaking reproduces Section 4.3: OWN (Employee -> Vehicle) and
+// USE (Vehicle -> Employee) REFs form a cycle; the default coding drops one
+// constraint and CodingHonoring builds the alternate coding for the other.
+func TestCycleBreaking(t *testing.T) {
+	s := New()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "",
+		Attr{Name: "Age", Type: encoding.AttrUint64},
+		Attr{Name: "Own", Ref: "Vehicle2", Multi: true}))
+	_ = s // forward REF to a class declared later is validated lazily
+	must(s.AddClass("Vehicle2", "",
+		Attr{Name: "Color", Type: encoding.AttrString},
+		Attr{Name: "Use", Ref: "Employee", Multi: true}))
+
+	def, err := s.AssignCodes()
+	if err != nil {
+		t.Fatalf("AssignCodes with REF cycle: %v", err)
+	}
+	// Default coding honors the first edge (Own: Vehicle2 before Employee).
+	if !(def.MustCode("Vehicle2") < def.MustCode("Employee")) {
+		t.Errorf("default coding: want Vehicle2 < Employee, got %s vs %s",
+			def.MustCode("Vehicle2"), def.MustCode("Employee"))
+	}
+	// An index over Use needs Employee before Vehicle2: alternate coding.
+	alt, err := s.CodingHonoring([]RefEdge{{Source: "Vehicle2", Attr: "Use", Target: "Employee"}})
+	if err != nil {
+		t.Fatalf("CodingHonoring: %v", err)
+	}
+	if !(alt.MustCode("Employee") < alt.MustCode("Vehicle2")) {
+		t.Errorf("alternate coding: want Employee < Vehicle2, got %s vs %s",
+			alt.MustCode("Employee"), alt.MustCode("Vehicle2"))
+	}
+	// Honoring both directions at once is impossible.
+	if _, err := s.CodingHonoring([]RefEdge{
+		{Source: "Vehicle2", Attr: "Use", Target: "Employee"},
+		{Source: "Employee", Attr: "Own", Target: "Vehicle2"},
+	}); err == nil {
+		t.Error("CodingHonoring of a full cycle succeeded")
+	}
+}
+
+func TestCodingTable(t *testing.T) {
+	s := paperSchema(t)
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := coding.Table()
+	if len(table) != 11 {
+		t.Fatalf("Table has %d rows", len(table))
+	}
+	if !sort.SliceIsSorted(table, func(i, j int) bool { return table[i].Code < table[j].Code }) {
+		t.Error("Table not sorted by code")
+	}
+	if table[0].Class != "Employee" {
+		t.Errorf("first row = %+v", table[0])
+	}
+}
+
+func TestMustCodePanics(t *testing.T) {
+	s := paperSchema(t)
+	coding, _ := s.AssignCodes()
+	defer func() {
+		if recover() == nil {
+			t.Error("MustCode of unknown class did not panic")
+		}
+	}()
+	coding.MustCode("Ghost")
+}
+
+func TestRefEdges(t *testing.T) {
+	s := paperSchema(t)
+	edges := s.RefEdges()
+	if len(edges) != 4 {
+		t.Fatalf("RefEdges = %v", edges)
+	}
+	found := false
+	for _, e := range edges {
+		if e == (RefEdge{"Vehicle", "ManufacturedBy", "Company"}) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("ManufacturedBy edge missing")
+	}
+}
+
+// TestManyRoots exercises SequenceLabels-based root coding beyond 26.
+func TestManyRoots(t *testing.T) {
+	s := New()
+	for i := 0; i < 40; i++ {
+		if err := s.AddClass(string(rune('A'+i%26))+string(rune('0'+i/26)), ""); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	table := coding.Table()
+	if len(table) != 40 {
+		t.Fatalf("%d codes", len(table))
+	}
+	for i := 1; i < len(table); i++ {
+		if table[i-1].Code >= table[i].Code {
+			t.Fatal("codes not strictly sorted")
+		}
+	}
+}
+
+// TestManyChildren exercises SequenceLabels-based child coding beyond 26,
+// needed by the 40-set experiment of Section 5.
+func TestManyChildren(t *testing.T) {
+	s := New()
+	if err := s.AddClass("Root", "", Attr{Name: "Key", Type: encoding.AttrUint64}); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 40; i++ {
+		if err := s.AddClass(childName(i), "Root"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	coding, err := s.AssignCodes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	root := coding.MustCode("Root")
+	var prev encoding.Code
+	for i := 0; i < 40; i++ {
+		c := coding.MustCode(childName(i))
+		if !root.IsAncestorOrSelf(c) {
+			t.Fatalf("child %d code %s not under root", i, c)
+		}
+		if i > 0 && !(prev < c) {
+			t.Fatalf("child codes not in declaration order at %d", i)
+		}
+		prev = c
+	}
+}
+
+func childName(i int) string {
+	return "Set" + string(rune('A'+i/10)) + string(rune('0'+i%10))
+}

@@ -1,0 +1,282 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/cgtree"
+	"repro/internal/core"
+)
+
+func TestFigure1SchemaCOD(t *testing.T) {
+	s, err := Figure1Schema()
+	if err != nil {
+		t.Fatal(err)
+	}
+	coding := s.Coding()
+	// The enhanced COD table of Section 5.
+	want := map[string]string{
+		"Employee": "C1", "Company": "C2", "City": "C3", "Division": "C4",
+		"Vehicle": "C5", "Automobile": "C5A", "CompactAutomobile": "C5AA",
+		"ForeignAuto": "C5AB", "ServiceAuto": "C5AC",
+		"Truck": "C5B", "HeavyTruck": "C5BA", "LightTruck": "C5BB",
+		"Bus": "C5C", "MilitaryBus": "C5CA", "TouristBus": "C5CB", "PassengerBus": "C5CC",
+		"AutoCompany": "C2A", "JapaneseAutoCompany": "C2AA", "TruckCompany": "C2B",
+	}
+	for class, compact := range want {
+		code, ok := coding.Code(class)
+		if !ok {
+			t.Errorf("class %q missing", class)
+			continue
+		}
+		if code.Compact() != compact {
+			t.Errorf("COD %s = %s, want %s", class, code.Compact(), compact)
+		}
+	}
+}
+
+func TestFigure1DBComposition(t *testing.T) {
+	db, err := NewFigure1DB(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := db.Store.Len(); got != 12000 {
+		t.Fatalf("records = %d, want 12000", got)
+	}
+	if len(db.Vehicles) != 10900 || len(db.Employees) != 600 || len(db.Companies) != 300 {
+		t.Fatalf("composition: %d vehicles, %d employees, %d companies",
+			len(db.Vehicles), len(db.Employees), len(db.Companies))
+	}
+	// Class shares sum to 1 and the distribution is automobile-heavy.
+	total := 0.0
+	for _, vc := range VehicleClasses {
+		total += vc.Share
+	}
+	if total < 0.999 || total > 1.001 {
+		t.Fatalf("vehicle class shares sum to %f", total)
+	}
+	// Every vehicle has the attributes the Table-1 indexes need.
+	for _, oid := range db.Vehicles[:100] {
+		o, ok := db.Store.Get(oid)
+		if !ok {
+			t.Fatal("vehicle missing")
+		}
+		if _, ok := o.Attr("Color"); !ok {
+			t.Fatal("vehicle without color")
+		}
+		if _, ok := o.Attr("ManufacturedBy"); !ok {
+			t.Fatal("vehicle without manufacturer")
+		}
+	}
+}
+
+func TestFigure1DBDeterminism(t *testing.T) {
+	a, err := NewFigure1DB(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewFigure1DB(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 200; i++ {
+		oa, _ := a.Store.Get(a.Vehicles[i])
+		ob, _ := b.Store.Get(b.Vehicles[i])
+		if oa.Class != ob.Class {
+			t.Fatalf("vehicle %d class differs across same-seed builds", i)
+		}
+		ca, _ := oa.Attr("Color")
+		cb, _ := ob.Attr("Color")
+		if ca != cb {
+			t.Fatalf("vehicle %d color differs across same-seed builds", i)
+		}
+	}
+	c, err := NewFigure1DB(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := 0
+	for i := 0; i < 200; i++ {
+		oa, _ := a.Store.Get(a.Vehicles[i])
+		oc, _ := c.Store.Get(c.Vehicles[i])
+		va, _ := oa.Attr("Color")
+		vc, _ := oc.Attr("Color")
+		if oa.Class == oc.Class && va == vc {
+			same++
+		}
+	}
+	if same == 200 {
+		t.Fatal("different seeds produced identical databases")
+	}
+}
+
+func TestLargeDBConsistency(t *testing.T) {
+	cfg := LargeConfig{Objects: 5000, Sets: 8, Keys: 100, Seed: 3}
+	db, err := NewLargeDB(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.UIndex.Len() != cfg.Objects {
+		t.Fatalf("U-index has %d entries", db.UIndex.Len())
+	}
+	if db.CG.Len() != cfg.Objects || db.H.Len() != cfg.Objects {
+		t.Fatalf("CG/H entry counts: %d, %d", db.CG.Len(), db.H.Len())
+	}
+	if db.CH.Len() != cfg.Keys {
+		t.Fatalf("CH has %d records, want %d distinct keys", db.CH.Len(), cfg.Keys)
+	}
+	if db.KeyDomain() != 100 {
+		t.Fatalf("KeyDomain = %d", db.KeyDomain())
+	}
+
+	// Cross-structure agreement: a random exact-match query returns the
+	// same object set from all four structures.
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 20; trial++ {
+		key := uint64(rng.Intn(cfg.Keys))
+		setIdx := QueriedSets(cfg.Sets, 1+rng.Intn(cfg.Sets), false, rng)
+
+		pos := core.Position{}
+		for _, s := range setIdx {
+			pos.Alts = append(pos.Alts, core.ClassPattern{Class: db.Sets[s]})
+		}
+		ums, _, err := db.UIndex.Execute(core.Query{
+			Value: core.Exact(key), Positions: []core.Position{pos}}, core.Parallel, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		uSet := map[uint32]bool{}
+		for _, m := range ums {
+			uSet[uint32(m.Path[0].OID)] = true
+		}
+
+		ids := make([]cgtree.SetID, len(setIdx))
+		for i, s := range setIdx {
+			ids[i] = cgtree.SetID(s)
+		}
+		cms, _, err := db.CG.ExactMatch(Key8(key), ids, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(cms) != len(uSet) {
+			t.Fatalf("trial %d: U-index %d objects, CG %d", trial, len(uSet), len(cms))
+		}
+		for _, r := range cms {
+			if !uSet[uint32(r.OID)] {
+				t.Fatalf("trial %d: CG returned %d, absent from U-index", trial, r.OID)
+			}
+		}
+
+		// Brute force against the generator's own assignment.
+		want := 0
+		inSet := map[int]bool{}
+		for _, s := range setIdx {
+			inSet[s] = true
+		}
+		for i := 0; i < cfg.Objects; i++ {
+			if db.KeyOf[i] == key && inSet[db.SetOf[i]] {
+				want++
+			}
+		}
+		if want != len(uSet) {
+			t.Fatalf("trial %d: brute force %d, indexes %d", trial, want, len(uSet))
+		}
+	}
+}
+
+func TestLargeDBUniqueKeys(t *testing.T) {
+	db, err := NewLargeDB(LargeConfig{Objects: 3000, Sets: 8, Keys: 0, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if db.KeyDomain() != 3000 {
+		t.Fatalf("KeyDomain = %d", db.KeyDomain())
+	}
+	seen := map[uint64]bool{}
+	for _, k := range db.KeyOf {
+		if seen[k] {
+			t.Fatalf("duplicate key %d in unique-key database", k)
+		}
+		seen[k] = true
+	}
+}
+
+func TestLargeDBValidation(t *testing.T) {
+	if _, err := NewLargeDB(LargeConfig{Objects: 0, Sets: 8}); err == nil {
+		t.Error("zero objects accepted")
+	}
+	if _, err := NewLargeDB(LargeConfig{Objects: 10, Sets: 0}); err == nil {
+		t.Error("zero sets accepted")
+	}
+}
+
+func TestQueriedSets(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	// Near sets: consecutive.
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(10)
+		got := QueriedSets(40, n, true, rng)
+		if len(got) != n {
+			t.Fatalf("near: %d sets, want %d", len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] != got[i-1]+1 {
+				t.Fatalf("near sets not consecutive: %v", got)
+			}
+		}
+		if got[0] < 0 || got[len(got)-1] >= 40 {
+			t.Fatalf("near sets out of range: %v", got)
+		}
+	}
+	// Far sets: when separation is possible, no two adjacent.
+	for trial := 0; trial < 50; trial++ {
+		n := 2 + rng.Intn(15) // n*2 <= 40 up to 17... keep n <= 16
+		if n > 16 {
+			n = 16
+		}
+		got := QueriedSets(40, n, false, rng)
+		if len(got) != n {
+			t.Fatalf("far: %d sets, want %d", len(got), n)
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i] <= got[i-1] {
+				t.Fatalf("far sets not increasing: %v", got)
+			}
+			if got[i] == got[i-1]+1 {
+				t.Fatalf("far sets adjacent: %v", got)
+			}
+		}
+	}
+	// Dense request degenerates gracefully to a distinct subset.
+	got := QueriedSets(40, 30, false, rng)
+	if len(got) != 30 {
+		t.Fatalf("dense far: %d sets", len(got))
+	}
+	seen := map[int]bool{}
+	for _, s := range got {
+		if seen[s] || s < 0 || s >= 40 {
+			t.Fatalf("dense far: bad sets %v", got)
+		}
+		seen[s] = true
+	}
+	// Requesting everything returns everything.
+	got = QueriedSets(8, 8, true, rng)
+	if len(got) != 8 || got[0] != 0 || got[7] != 7 {
+		t.Fatalf("all sets = %v", got)
+	}
+	got = QueriedSets(8, 12, false, rng)
+	if len(got) != 8 {
+		t.Fatalf("overshoot = %v", got)
+	}
+}
+
+func TestKey8Ordering(t *testing.T) {
+	prev := Key8(0)
+	for _, v := range []uint64{1, 2, 255, 256, 1 << 20, 1 << 40} {
+		cur := Key8(v)
+		if string(prev) >= string(cur) {
+			t.Fatalf("Key8 not order-preserving at %d", v)
+		}
+		prev = cur
+	}
+}

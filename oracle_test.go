@@ -1,0 +1,307 @@
+package uindex
+
+// Randomized oracle test: drive the whole stack (facade -> core -> btree ->
+// pager) with random mutations and random queries, and check every query
+// result — under BOTH retrieval algorithms — against a brute-force
+// evaluation over the object store. This is the end-to-end counterpart of
+// the per-package property tests.
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+type oracleWorld struct {
+	t         *testing.T
+	db        *Database
+	rng       *rand.Rand
+	employees []OID
+	companies []OID
+	vehicles  []OID
+	colors    []string
+}
+
+func newOracleWorld(t *testing.T, seed int64) *oracleWorld {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "", Attr{Name: "Age", Type: Uint64}))
+	must(s.AddClass("Company", "", Attr{Name: "President", Ref: "Employee"}))
+	must(s.AddClass("AutoCompany", "Company"))
+	must(s.AddClass("Vehicle", "",
+		Attr{Name: "Color", Type: String},
+		Attr{Name: "ManufacturedBy", Ref: "Company"}))
+	must(s.AddClass("Automobile", "Vehicle"))
+	must(s.AddClass("CompactAutomobile", "Automobile"))
+	must(s.AddClass("Truck", "Vehicle"))
+	db, err := NewDatabase(s)
+	must(err)
+	must(db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}))
+	must(db.CreateIndex(IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}))
+	return &oracleWorld{
+		t: t, db: db, rng: rand.New(rand.NewSource(seed)),
+		colors: []string{"Red", "Blue", "Green", "White"},
+	}
+}
+
+func (w *oracleWorld) step() {
+	switch op := w.rng.Intn(20); {
+	case op < 3 || len(w.employees) == 0: // new employee
+		oid, err := w.db.Insert("Employee", Attrs{"Age": 30 + w.rng.Intn(8)})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		w.employees = append(w.employees, oid)
+	case op < 6 || len(w.companies) == 0: // new company
+		class := []string{"Company", "AutoCompany"}[w.rng.Intn(2)]
+		oid, err := w.db.Insert(class, Attrs{"President": w.pick(w.employees)})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		w.companies = append(w.companies, oid)
+	case op < 13: // new vehicle
+		class := []string{"Vehicle", "Automobile", "CompactAutomobile", "Truck"}[w.rng.Intn(4)]
+		oid, err := w.db.Insert(class, Attrs{
+			"Color":          w.colors[w.rng.Intn(len(w.colors))],
+			"ManufacturedBy": w.pick(w.companies)})
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		w.vehicles = append(w.vehicles, oid)
+	case op < 15 && len(w.vehicles) > 0: // recolor a vehicle
+		if err := w.db.Set(w.pick(w.vehicles), "Color", w.colors[w.rng.Intn(len(w.colors))]); err != nil {
+			w.t.Fatal(err)
+		}
+	case op < 17 && len(w.companies) > 0: // president switch
+		if err := w.db.Set(w.pick(w.companies), "President", w.pick(w.employees)); err != nil {
+			w.t.Fatal(err)
+		}
+	case op < 18 && len(w.employees) > 0: // age change
+		if err := w.db.Set(w.pick(w.employees), "Age", 30+w.rng.Intn(8)); err != nil {
+			w.t.Fatal(err)
+		}
+	case len(w.vehicles) > 0: // delete a vehicle
+		i := w.rng.Intn(len(w.vehicles))
+		if err := w.db.Delete(w.vehicles[i]); err != nil {
+			w.t.Fatal(err)
+		}
+		w.vehicles = append(w.vehicles[:i], w.vehicles[i+1:]...)
+	}
+}
+
+func (w *oracleWorld) pick(s []OID) OID { return s[w.rng.Intn(len(s))] }
+
+// bruteChains enumerates (vehicle, company, employee) chains from the store.
+func (w *oracleWorld) bruteChains() [][3]OID {
+	var out [][3]OID
+	st := w.db.Store()
+	for _, v := range st.HierarchyExtent("Vehicle") {
+		c, ok := st.Deref(v, "ManufacturedBy")
+		if !ok {
+			continue
+		}
+		e, ok := st.Deref(c, "President")
+		if !ok {
+			continue
+		}
+		out = append(out, [3]OID{v, c, e})
+	}
+	return out
+}
+
+// checkColorQuery compares a color-index query against brute force.
+func (w *oracleWorld) checkColorQuery() {
+	w.t.Helper()
+	classes := []string{"Vehicle", "Automobile", "CompactAutomobile", "Truck"}
+	class := classes[w.rng.Intn(len(classes))]
+	subtree := w.rng.Intn(2) == 0
+	color := w.colors[w.rng.Intn(len(w.colors))]
+	q := Query{Value: Exact(color), Positions: []Position{{Alts: []ClassPattern{{Class: class, Subtree: subtree}}}}}
+
+	want := map[OID]bool{}
+	st := w.db.Store()
+	sch := w.db.Schema()
+	for _, v := range st.HierarchyExtent("Vehicle") {
+		o, _ := st.Get(v)
+		if subtree {
+			if !sch.IsSubclassOf(o.Class, class) {
+				continue
+			}
+		} else if o.Class != class {
+			continue
+		}
+		if c, ok := o.Attr("Color"); ok && c == color {
+			want[v] = true
+		}
+	}
+	for _, alg := range []Algorithm{Parallel, Forward} {
+		ms, _, err := w.db.QueryWith("color", q, alg, nil)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		got := map[OID]bool{}
+		for _, m := range ms {
+			got[m.Path[0].OID] = true
+		}
+		if len(got) != len(want) {
+			w.t.Fatalf("%v color query (%s,%s,subtree=%v): got %d, want %d",
+				alg, color, class, subtree, len(got), len(want))
+		}
+		for v := range want {
+			if !got[v] {
+				w.t.Fatalf("%v color query missing vehicle %d", alg, v)
+			}
+		}
+	}
+}
+
+// checkAgeQuery compares a path-index query against brute force, including
+// mid-path restrictions and distinct prefixes.
+func (w *oracleWorld) checkAgeQuery() {
+	w.t.Helper()
+	lo := uint64(30 + w.rng.Intn(8))
+	hi := lo + uint64(w.rng.Intn(4))
+	q := Query{Value: Range(lo, hi)}
+	var restrictCo OID
+	if len(w.companies) > 0 && w.rng.Intn(2) == 0 {
+		restrictCo = w.pick(w.companies)
+		q.Positions = []Position{Any, OnObjects("Company", restrictCo)}
+	}
+	distinct := w.rng.Intn(3) == 0
+	if distinct {
+		q.Distinct = 2
+	}
+
+	st := w.db.Store()
+	type prefix struct{ e, c OID }
+	wantFull := map[[3]OID]bool{}
+	wantDistinct := map[prefix]bool{}
+	for _, ch := range w.bruteChains() {
+		if restrictCo != 0 && ch[1] != restrictCo {
+			continue
+		}
+		o, _ := st.Get(ch[2])
+		ageAny, ok := o.Attr("Age")
+		if !ok {
+			continue
+		}
+		age := uint64(ageAny.(int))
+		if age < lo || age > hi {
+			continue
+		}
+		wantFull[ch] = true
+		wantDistinct[prefix{ch[2], ch[1]}] = true
+	}
+	for _, alg := range []Algorithm{Parallel, Forward} {
+		ms, _, err := w.db.QueryWith("age", q, alg, nil)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		if distinct {
+			got := map[prefix]bool{}
+			for _, m := range ms {
+				got[prefix{m.Path[0].OID, m.Path[1].OID}] = true
+			}
+			if fmt.Sprint(len(got)) != fmt.Sprint(len(wantDistinct)) {
+				w.t.Fatalf("%v distinct age query [%d,%d] co=%d: got %d prefixes, want %d",
+					alg, lo, hi, restrictCo, len(got), len(wantDistinct))
+			}
+			for p := range wantDistinct {
+				if !got[p] {
+					w.t.Fatalf("%v distinct age query missing prefix %+v", alg, p)
+				}
+			}
+			continue
+		}
+		got := map[[3]OID]bool{}
+		for _, m := range ms {
+			got[[3]OID{m.Path[2].OID, m.Path[1].OID, m.Path[0].OID}] = true
+		}
+		if len(got) != len(wantFull) {
+			w.t.Fatalf("%v age query [%d,%d] co=%d: got %d chains, want %d",
+				alg, lo, hi, restrictCo, len(got), len(wantFull))
+		}
+		for ch := range wantFull {
+			if !got[ch] {
+				w.t.Fatalf("%v age query missing chain %v", alg, ch)
+			}
+		}
+	}
+}
+
+// checkIndexConsistency rebuilds both indexes from scratch and compares
+// entry counts against the incrementally maintained ones.
+func (w *oracleWorld) checkIndexConsistency() {
+	w.t.Helper()
+	for _, name := range w.db.Indexes() {
+		ix, _ := w.db.Index(name)
+		spec := ix.Spec()
+		spec.Name = spec.Name + "-rebuild"
+		rebuilt, err := rebuildIndex(w.db, spec)
+		if err != nil {
+			w.t.Fatal(err)
+		}
+		if rebuilt != ix.Len() {
+			w.t.Fatalf("index %q: incremental %d entries, rebuild %d", name, ix.Len(), rebuilt)
+		}
+	}
+}
+
+func rebuildIndex(db *Database, spec IndexSpec) (int, error) {
+	// Build a throwaway index over the same store via the internal API
+	// surface exposed through the facade: CreateIndex + DropIndex.
+	if err := db.CreateIndex(spec); err != nil {
+		return 0, err
+	}
+	ix, _ := db.Index(spec.Name)
+	n := ix.Len()
+	return n, db.DropIndex(spec.Name)
+}
+
+func TestOracleRandomizedWorkload(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3} {
+		seed := seed
+		t.Run(fmt.Sprint("seed", seed), func(t *testing.T) {
+			w := newOracleWorld(t, seed)
+			for round := 0; round < 12; round++ {
+				for i := 0; i < 60; i++ {
+					w.step()
+				}
+				w.checkColorQuery()
+				w.checkAgeQuery()
+				if round%4 == 3 {
+					w.checkIndexConsistency()
+				}
+			}
+			// Final invariant check on the underlying trees.
+			for _, name := range w.db.Indexes() {
+				ix, _ := w.db.Index(name)
+				if err := ix.Tree().Check(); err != nil {
+					t.Fatalf("index %q tree invariants: %v", name, err)
+				}
+			}
+			// Drain: delete every vehicle and confirm the indexes empty.
+			vehicles := append([]OID(nil), w.vehicles...)
+			sort.Slice(vehicles, func(i, j int) bool { return vehicles[i] < vehicles[j] })
+			for _, v := range vehicles {
+				if err := w.db.Delete(v); err != nil {
+					t.Fatal(err)
+				}
+			}
+			for _, name := range w.db.Indexes() {
+				ix, _ := w.db.Index(name)
+				if ix.Len() != 0 {
+					t.Fatalf("index %q has %d entries after deleting every vehicle", name, ix.Len())
+				}
+			}
+		})
+	}
+}

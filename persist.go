@@ -1,0 +1,378 @@
+package uindex
+
+// Database persistence: Save writes a self-contained binary snapshot —
+// schema declarations, every object, and every index declaration — and Load
+// reconstructs the database, reassigning the identical class codes
+// (deterministic in declaration order) and rebuilding the indexes with bulk
+// loads. The format is versioned and uses only length-prefixed primitives.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+
+	"repro/internal/encoding"
+	"repro/internal/store"
+)
+
+const (
+	snapshotMagic   = 0x554F4442 // "UODB"
+	snapshotVersion = 1
+)
+
+// value tags in the object section.
+const (
+	tagInt = iota
+	tagUint64
+	tagInt64
+	tagFloat64
+	tagString
+	tagOID
+	tagOIDs
+)
+
+type snapshotWriter struct {
+	w   *bufio.Writer
+	err error
+}
+
+func (sw *snapshotWriter) u32(v uint32) {
+	if sw.err != nil {
+		return
+	}
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], v)
+	_, sw.err = sw.w.Write(b[:])
+}
+
+func (sw *snapshotWriter) uvarint(v uint64) {
+	if sw.err != nil {
+		return
+	}
+	var b [binary.MaxVarintLen64]byte
+	n := binary.PutUvarint(b[:], v)
+	_, sw.err = sw.w.Write(b[:n])
+}
+
+func (sw *snapshotWriter) str(s string) {
+	sw.uvarint(uint64(len(s)))
+	if sw.err != nil {
+		return
+	}
+	_, sw.err = sw.w.WriteString(s)
+}
+
+func (sw *snapshotWriter) byte(b byte) {
+	if sw.err != nil {
+		return
+	}
+	sw.err = sw.w.WriteByte(b)
+}
+
+type snapshotReader struct {
+	r   *bufio.Reader
+	err error
+}
+
+func (sr *snapshotReader) u32() uint32 {
+	if sr.err != nil {
+		return 0
+	}
+	var b [4]byte
+	if _, sr.err = io.ReadFull(sr.r, b[:]); sr.err != nil {
+		return 0
+	}
+	return binary.BigEndian.Uint32(b[:])
+}
+
+func (sr *snapshotReader) uvarint() uint64 {
+	if sr.err != nil {
+		return 0
+	}
+	v, err := binary.ReadUvarint(sr.r)
+	sr.err = err
+	return v
+}
+
+func (sr *snapshotReader) str() string {
+	n := sr.uvarint()
+	if sr.err != nil {
+		return ""
+	}
+	if n > 1<<20 {
+		sr.err = fmt.Errorf("uindex: implausible string length %d in snapshot", n)
+		return ""
+	}
+	b := make([]byte, n)
+	if _, sr.err = io.ReadFull(sr.r, b); sr.err != nil {
+		return ""
+	}
+	return string(b)
+}
+
+func (sr *snapshotReader) byte() byte {
+	if sr.err != nil {
+		return 0
+	}
+	b, err := sr.r.ReadByte()
+	sr.err = err
+	return b
+}
+
+// Save writes a snapshot of the database (schema, objects, index
+// declarations) to w. Index contents are not serialized; Load rebuilds
+// them, which is both simpler and usually faster than paging them in.
+func (db *Database) Save(w io.Writer) error {
+	sw := &snapshotWriter{w: bufio.NewWriter(w)}
+	sw.u32(snapshotMagic)
+	sw.u32(snapshotVersion)
+
+	// Schema, in declaration order (codes are deterministic in it).
+	classes := db.sch.Classes()
+	sw.uvarint(uint64(len(classes)))
+	for _, name := range classes {
+		cl, _ := db.sch.Class(name)
+		sw.str(cl.Name)
+		sw.str(cl.Super)
+		sw.uvarint(uint64(len(cl.Attrs)))
+		for _, a := range cl.Attrs {
+			sw.str(a.Name)
+			sw.str(a.Ref)
+			sw.byte(byte(a.Type))
+			if a.Multi {
+				sw.byte(1)
+			} else {
+				sw.byte(0)
+			}
+		}
+	}
+
+	// Objects.
+	objs, next := db.st.Snapshot()
+	sw.u32(uint32(next))
+	sw.uvarint(uint64(len(objs)))
+	for _, o := range objs {
+		sw.u32(uint32(o.OID))
+		sw.str(o.Class)
+		sw.uvarint(uint64(len(o.Attrs)))
+		// Deterministic attribute order.
+		cl, _ := db.sch.Class(o.Class)
+		written := 0
+		emit := func(name string, v any) error {
+			sw.str(name)
+			switch x := v.(type) {
+			case int:
+				sw.byte(tagInt)
+				sw.uvarint(uint64(x))
+			case uint64:
+				sw.byte(tagUint64)
+				sw.uvarint(x)
+			case int64:
+				sw.byte(tagInt64)
+				sw.uvarint(uint64(x))
+			case float64:
+				sw.byte(tagFloat64)
+				sw.uvarint(math.Float64bits(x))
+			case string:
+				sw.byte(tagString)
+				sw.str(x)
+			case OID:
+				sw.byte(tagOID)
+				sw.u32(uint32(x))
+			case []OID:
+				sw.byte(tagOIDs)
+				sw.uvarint(uint64(len(x)))
+				for _, o := range x {
+					sw.u32(uint32(o))
+				}
+			default:
+				return fmt.Errorf("uindex: cannot serialize attribute %q of type %T", name, v)
+			}
+			written++
+			return nil
+		}
+		// Walk the inheritance chain for a stable order.
+		for c := cl; c != nil; {
+			for _, a := range c.Attrs {
+				if v, ok := o.Attrs[a.Name]; ok {
+					if err := emit(a.Name, v); err != nil {
+						return err
+					}
+				}
+			}
+			if c.Super == "" {
+				break
+			}
+			c, _ = db.sch.Class(c.Super)
+		}
+		if written != len(o.Attrs) {
+			return fmt.Errorf("uindex: object %d has %d attributes, serialized %d", o.OID, len(o.Attrs), written)
+		}
+	}
+
+	// Index declarations.
+	sw.uvarint(uint64(len(db.order)))
+	for _, name := range db.order {
+		spec := db.indexes[name].Spec()
+		if spec.Coding != nil {
+			return fmt.Errorf("uindex: index %q uses a custom coding; snapshots support default-coding indexes", name)
+		}
+		sw.str(spec.Name)
+		sw.str(spec.Root)
+		sw.uvarint(uint64(len(spec.Refs)))
+		for _, r := range spec.Refs {
+			sw.str(r)
+		}
+		sw.str(spec.Attr)
+		sw.u32(uint32(spec.MaxEntries))
+		if spec.NoCompression {
+			sw.byte(1)
+		} else {
+			sw.byte(0)
+		}
+	}
+	if sw.err != nil {
+		return sw.err
+	}
+	return sw.w.Flush()
+}
+
+// Load reconstructs a database from a snapshot produced by Save.
+func Load(r io.Reader) (*Database, error) {
+	sr := &snapshotReader{r: bufio.NewReader(r)}
+	if sr.u32() != snapshotMagic {
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		return nil, fmt.Errorf("uindex: not a database snapshot")
+	}
+	if v := sr.u32(); v != snapshotVersion {
+		if sr.err != nil {
+			return nil, sr.err
+		}
+		return nil, fmt.Errorf("uindex: unsupported snapshot version %d", v)
+	}
+
+	s := NewSchema()
+	nClasses := sr.uvarint()
+	for i := uint64(0); i < nClasses && sr.err == nil; i++ {
+		name := sr.str()
+		super := sr.str()
+		nAttrs := sr.uvarint()
+		attrs := make([]Attr, 0, nAttrs)
+		for j := uint64(0); j < nAttrs && sr.err == nil; j++ {
+			a := Attr{Name: sr.str(), Ref: sr.str()}
+			a.Type = attrType(sr.byte())
+			a.Multi = sr.byte() == 1
+			attrs = append(attrs, a)
+		}
+		if sr.err == nil {
+			if err := s.AddClass(name, super, attrs...); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	db, err := NewDatabase(s)
+	if err != nil {
+		return nil, err
+	}
+
+	next := OID(sr.u32())
+	nObjs := sr.uvarint()
+	objs := make([]store.RestoredObject, 0, nObjs)
+	for i := uint64(0); i < nObjs && sr.err == nil; i++ {
+		ro := store.RestoredObject{OID: OID(sr.u32()), Class: sr.str(), Attrs: Attrs{}}
+		nAttrs := sr.uvarint()
+		for j := uint64(0); j < nAttrs && sr.err == nil; j++ {
+			name := sr.str()
+			switch tag := sr.byte(); tag {
+			case tagInt:
+				ro.Attrs[name] = int(sr.uvarint())
+			case tagUint64:
+				ro.Attrs[name] = sr.uvarint()
+			case tagInt64:
+				ro.Attrs[name] = int64(sr.uvarint())
+			case tagFloat64:
+				ro.Attrs[name] = math.Float64frombits(sr.uvarint())
+			case tagString:
+				ro.Attrs[name] = sr.str()
+			case tagOID:
+				ro.Attrs[name] = OID(sr.u32())
+			case tagOIDs:
+				n := sr.uvarint()
+				if n > 1<<20 {
+					return nil, fmt.Errorf("uindex: implausible reference list length %d", n)
+				}
+				oids := make([]OID, n)
+				for k := range oids {
+					oids[k] = OID(sr.u32())
+				}
+				ro.Attrs[name] = oids
+			default:
+				if sr.err == nil {
+					return nil, fmt.Errorf("uindex: unknown value tag %d in snapshot", tag)
+				}
+			}
+		}
+		objs = append(objs, ro)
+	}
+	if sr.err != nil {
+		return nil, sr.err
+	}
+	if err := db.st.Restore(objs, next); err != nil {
+		return nil, err
+	}
+
+	nIdx := sr.uvarint()
+	for i := uint64(0); i < nIdx && sr.err == nil; i++ {
+		spec := IndexSpec{Name: sr.str(), Root: sr.str()}
+		nRefs := sr.uvarint()
+		for j := uint64(0); j < nRefs && sr.err == nil; j++ {
+			spec.Refs = append(spec.Refs, sr.str())
+		}
+		spec.Attr = sr.str()
+		spec.MaxEntries = int(sr.u32())
+		spec.NoCompression = sr.byte() == 1
+		if sr.err == nil {
+			if err := db.CreateIndex(spec); err != nil {
+				return nil, err
+			}
+		}
+	}
+	return db, sr.err
+}
+
+// attrType narrows a byte back to an encoding.AttrType; unknown values
+// surface as validation errors when the schema is used.
+func attrType(b byte) encoding.AttrType {
+	return encoding.AttrType(b)
+}
+
+// SaveFile writes a snapshot to a file.
+func (db *Database) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a snapshot from a file.
+func LoadFile(path string) (*Database, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Load(f)
+}

@@ -1,0 +1,185 @@
+package uindex
+
+import (
+	"bytes"
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	db, ids := paperDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	// Same object population, same codes.
+	if re.Store().Len() != db.Store().Len() {
+		t.Fatalf("object count: %d vs %d", re.Store().Len(), db.Store().Len())
+	}
+	if got, want := re.CODTable(), db.CODTable(); fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("COD tables differ:\n%v\n%v", got, want)
+	}
+	// Same indexes, same answers under both algorithms.
+	if fmt.Sprint(re.Indexes()) != fmt.Sprint(db.Indexes()) {
+		t.Fatalf("indexes differ: %v vs %v", re.Indexes(), db.Indexes())
+	}
+	queries := []struct {
+		index string
+		q     Query
+	}{
+		{"color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}}},
+		{"color", Query{Value: Range("Blue", "Red")}},
+		{"age", Query{Value: Exact(50)}},
+		{"age", Query{Value: Exact(50), Distinct: 2}},
+		{"age", Query{Value: Range(45, 60), Positions: []Position{Any, On("AutoCompany")}}},
+	}
+	for i, tc := range queries {
+		a, _, err := db.Query(tc.index, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _, err := re.Query(tc.index, tc.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fmt.Sprint(a) != fmt.Sprint(b) {
+			t.Fatalf("query %d differs after reload:\n%v\n%v", i, a, b)
+		}
+	}
+	// The reloaded database remains fully operational.
+	v, err := re.Insert("Truck", Attrs{"Name": "New", "Color": "Red", "ManufacturedBy": ids["c1"]})
+	if err != nil {
+		t.Fatalf("insert after reload: %v", err)
+	}
+	ms, _, _ := re.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Truck")}})
+	if len(ms) != 1 || ms[0].Path[0].OID != v {
+		t.Fatalf("post-reload query = %v", ms)
+	}
+	// OIDs continue from where they left off: no collision with old ones.
+	if _, ok := db.Get(v); ok {
+		t.Fatal("OID reuse across snapshots")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	db, _ := paperDB(t)
+	path := filepath.Join(t.TempDir(), "db.uodb")
+	if err := db.SaveFile(path); err != nil {
+		t.Fatalf("SaveFile: %v", err)
+	}
+	re, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if re.Store().Len() != db.Store().Len() {
+		t.Fatal("file round trip lost objects")
+	}
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Error("LoadFile of missing file succeeded")
+	}
+}
+
+// TestSaveLoadMultiValueAndCycles covers reference topologies only
+// constructible via SetAttr: multi-value refs and REF cycles.
+func TestSaveLoadMultiValueAndCycles(t *testing.T) {
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "",
+		Attr{Name: "Age", Type: Uint64},
+		Attr{Name: "Owns", Ref: "Auto", Multi: true}))
+	must(s.AddClass("Auto", "",
+		Attr{Name: "Mileage", Type: Uint64},
+		Attr{Name: "UsedBy", Ref: "Employee"}))
+	db, err := NewDatabase(s)
+	must(err)
+	must(db.CreateIndex(IndexSpec{Name: "own", Root: "Employee", Refs: []string{"Owns"}, Attr: "Mileage"}))
+	e, err := db.Insert("Employee", Attrs{"Age": 40})
+	must(err)
+	a1, err := db.Insert("Auto", Attrs{"Mileage": 100, "UsedBy": e})
+	must(err)
+	a2, err := db.Insert("Auto", Attrs{"Mileage": 50, "UsedBy": e})
+	must(err)
+	must(db.Set(e, "Owns", []OID{a1, a2}))
+
+	var buf bytes.Buffer
+	must(db.Save(&buf))
+	re, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load with cycle: %v", err)
+	}
+	ms, _, err := re.Query("own", Query{Value: Range(uint64(60), nil)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Path[1].OID != e {
+		t.Fatalf("reloaded multi-ref query = %v", ms)
+	}
+	if got := re.Store().DerefMulti(e, "Owns"); len(got) != 2 {
+		t.Fatalf("reloaded multi-ref = %v", got)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("not a snapshot at all")); err == nil {
+		t.Error("garbage accepted")
+	}
+	if _, err := Load(strings.NewReader("")); err == nil {
+		t.Error("empty input accepted")
+	}
+	// Truncated snapshot.
+	db, _ := paperDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{4, 2} {
+		trunc := buf.Bytes()[:buf.Len()/frac]
+		if _, err := Load(bytes.NewReader(trunc)); err == nil {
+			t.Errorf("truncated snapshot (1/%d) accepted", frac)
+		}
+	}
+	// Wrong version.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[7] = 99
+	if _, err := Load(bytes.NewReader(raw)); err == nil {
+		t.Error("future version accepted")
+	}
+}
+
+// TestSnapshotDeterminism: saving twice yields identical bytes.
+func TestSnapshotDeterminism(t *testing.T) {
+	db, _ := paperDB(t)
+	var a, b bytes.Buffer
+	if err := db.Save(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Save(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), b.Bytes()) {
+		t.Fatal("snapshots are not deterministic")
+	}
+	// And a reloaded database saves to the same bytes again.
+	re, err := Load(bytes.NewReader(a.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var c bytes.Buffer
+	if err := re.Save(&c); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(a.Bytes(), c.Bytes()) {
+		t.Fatal("save-load-save is not a fixed point")
+	}
+}

@@ -1,0 +1,311 @@
+// Package uindex is the public API of this repository: a working
+// object-oriented database engine around the U-index of Gudes, "A Uniform
+// Indexing Scheme for Object-Oriented Databases" (ICDE 1996 / Information
+// Systems 22(4), 1997).
+//
+// A Database combines a class schema (with the paper's lexicographic class
+// coding), an object store, and any number of U-indexes — each a single
+// B+-tree with front-compressed keys that serves uniformly as a
+// class-hierarchy index, a path (nested) index, or a combined
+// class-hierarchy/path index. Mutations through the Database keep every
+// index consistent.
+//
+// Quick start:
+//
+//	s := uindex.NewSchema()
+//	s.AddClass("Vehicle", "",
+//		uindex.Attr{Name: "Color", Type: uindex.String},
+//	)
+//	s.AddClass("Automobile", "Vehicle")
+//	db, _ := uindex.NewDatabase(s)
+//	db.CreateIndex(uindex.IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"})
+//	oid, _ := db.Insert("Automobile", uindex.Attrs{"Color": "Red"})
+//	ms, _, _ := db.Query("color", uindex.Query{
+//		Value:     uindex.Exact("Red"),
+//		Positions: []uindex.Position{uindex.On("Automobile")},
+//	})
+//
+// See examples/ for runnable programs covering the paper's scenarios.
+package uindex
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/encoding"
+	"repro/internal/pager"
+	"repro/internal/querylang"
+	"repro/internal/schema"
+	"repro/internal/store"
+)
+
+// Re-exported types: the facade exposes the internal packages' vocabulary
+// under one import path.
+type (
+	// OID is a four-byte object identifier.
+	OID = store.OID
+	// Attrs assigns attribute values for an object.
+	Attrs = store.Attrs
+	// Object is a stored object instance.
+	Object = store.Object
+	// Attr declares one class attribute.
+	Attr = schema.Attr
+	// Schema is a class schema; build with NewSchema.
+	Schema = schema.Schema
+	// Coding is a class-code assignment (the paper's COD relation).
+	Coding = schema.Coding
+	// RefEdge names one REF relationship, for CodingHonoring.
+	RefEdge = schema.RefEdge
+	// Query is the Section-3.4 general query.
+	Query = core.Query
+	// ValuePred restricts the indexed attribute value.
+	ValuePred = core.ValuePred
+	// Position restricts one (terminal-first) path position.
+	Position = core.Position
+	// ClassPattern is one alternative of a Position.
+	ClassPattern = core.ClassPattern
+	// Match is one query result.
+	Match = core.Match
+	// Stats reports query cost in the paper's units.
+	Stats = core.Stats
+	// Algorithm selects parallel (Algorithm 1) or forward retrieval.
+	Algorithm = core.Algorithm
+	// IndexSpec declares a U-index.
+	IndexSpec = core.Spec
+	// PathEntry is one (class code, oid) step of a match path.
+	PathEntry = encoding.PathEntry
+	// Tracker accounts distinct page reads across queries.
+	Tracker = pager.Tracker
+)
+
+// Attribute type selectors for Attr.Type.
+const (
+	Uint64  = encoding.AttrUint64
+	Int64   = encoding.AttrInt64
+	Float64 = encoding.AttrFloat64
+	String  = encoding.AttrString
+)
+
+// Retrieval algorithms (paper Section 3.3/3.4).
+const (
+	// Parallel is the paper's Algorithm 1 (Parscan).
+	Parallel = core.Parallel
+	// Forward is the naive forward-scanning baseline.
+	Forward = core.Forward
+)
+
+// Query constructor helpers, re-exported from the core package.
+var (
+	Exact        = core.Exact
+	OneOf        = core.OneOf
+	Range        = core.Range
+	Uint64Range  = core.Uint64Range
+	On           = core.On
+	OnExact      = core.OnExact
+	OnObjects    = core.OnObjects
+	OneOfClasses = core.OneOfClasses
+	Any          = core.Any
+	NewTracker   = pager.NewTracker
+)
+
+// NewSchema returns an empty schema.
+func NewSchema() *Schema { return schema.New() }
+
+// Database is a schema + object store + U-indexes, kept consistent.
+type Database struct {
+	sch     *schema.Schema
+	st      *store.Store
+	indexes map[string]*core.Index
+	order   []string
+}
+
+// NewDatabase creates a database over the schema, assigning class codes if
+// that has not happened yet. The schema may keep evolving afterwards
+// (paper Figure 4); new classes receive codes automatically.
+func NewDatabase(s *Schema) (*Database, error) {
+	if s.Coding() == nil {
+		if _, err := s.AssignCodes(); err != nil {
+			return nil, err
+		}
+	}
+	return &Database{
+		sch:     s,
+		st:      store.New(s),
+		indexes: make(map[string]*core.Index),
+	}, nil
+}
+
+// Schema returns the database schema.
+func (db *Database) Schema() *Schema { return db.sch }
+
+// Store returns the underlying object store (read-mostly access; prefer
+// the Database mutation methods, which maintain indexes).
+func (db *Database) Store() *store.Store { return db.st }
+
+// Coding returns the default class coding.
+func (db *Database) Coding() *Coding { return db.sch.Coding() }
+
+// CreateIndex declares a U-index and builds it from the current objects.
+// Each index lives in its own in-memory page file with the paper's 1024-byte
+// pages.
+func (db *Database) CreateIndex(spec IndexSpec) error {
+	if _, dup := db.indexes[spec.Name]; dup {
+		return fmt.Errorf("uindex: index %q already exists", spec.Name)
+	}
+	ix, err := core.New(pager.NewMemFile(0), db.st, spec)
+	if err != nil {
+		return err
+	}
+	if err := ix.Build(); err != nil {
+		return err
+	}
+	db.indexes[spec.Name] = ix
+	db.order = append(db.order, spec.Name)
+	return nil
+}
+
+// DropIndex removes an index.
+func (db *Database) DropIndex(name string) error {
+	if _, ok := db.indexes[name]; !ok {
+		return fmt.Errorf("uindex: no index %q", name)
+	}
+	delete(db.indexes, name)
+	for i, n := range db.order {
+		if n == name {
+			db.order = append(db.order[:i], db.order[i+1:]...)
+			break
+		}
+	}
+	return nil
+}
+
+// Index returns a declared index by name.
+func (db *Database) Index(name string) (*core.Index, bool) {
+	ix, ok := db.indexes[name]
+	return ix, ok
+}
+
+// Indexes lists the declared index names in creation order.
+func (db *Database) Indexes() []string {
+	return append([]string(nil), db.order...)
+}
+
+// Insert stores a new object and adds its entries to every index.
+func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
+	oid, err := db.st.Insert(class, attrs)
+	if err != nil {
+		return 0, err
+	}
+	for _, name := range db.order {
+		if err := db.indexes[name].Add(oid); err != nil {
+			return 0, fmt.Errorf("uindex: maintaining index %q: %w", name, err)
+		}
+	}
+	return oid, nil
+}
+
+// Delete removes an object and its entries from every index. Objects that
+// reference the deleted one keep dangling references; their index entries
+// through the deleted object are removed here.
+func (db *Database) Delete(oid OID) error {
+	for _, name := range db.order {
+		if err := db.indexes[name].Remove(oid); err != nil {
+			return fmt.Errorf("uindex: maintaining index %q: %w", name, err)
+		}
+	}
+	return db.st.Delete(oid)
+}
+
+// Set updates one attribute of an object, applying the batch index diff of
+// the paper's Section 3.5 (a president switching companies is exactly one
+// Set call).
+func (db *Database) Set(oid OID, attr string, v any) error {
+	type diff struct {
+		ix   *core.Index
+		old  [][]byte
+		name string
+	}
+	var diffs []diff
+	for _, name := range db.order {
+		ix := db.indexes[name]
+		old, err := ix.EntriesFor(oid)
+		if err != nil {
+			return fmt.Errorf("uindex: index %q: %w", name, err)
+		}
+		diffs = append(diffs, diff{ix: ix, old: old, name: name})
+	}
+	if _, err := db.st.SetAttr(oid, attr, v); err != nil {
+		return err
+	}
+	for _, d := range diffs {
+		newKeys, err := d.ix.EntriesFor(oid)
+		if err != nil {
+			return fmt.Errorf("uindex: index %q: %w", d.name, err)
+		}
+		if err := d.ix.ApplyDiff(d.old, newKeys); err != nil {
+			return fmt.Errorf("uindex: index %q: %w", d.name, err)
+		}
+	}
+	return nil
+}
+
+// Get returns an object by id.
+func (db *Database) Get(oid OID) (*Object, bool) { return db.st.Get(oid) }
+
+// Query runs a query on the named index with the parallel algorithm.
+func (db *Database) Query(index string, q Query) ([]Match, Stats, error) {
+	return db.QueryWith(index, q, Parallel, nil)
+}
+
+// QueryWith runs a query with an explicit algorithm and optional shared
+// tracker.
+func (db *Database) QueryWith(index string, q Query, alg Algorithm, tr *Tracker) ([]Match, Stats, error) {
+	ix, ok := db.indexes[index]
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
+	}
+	return ix.Execute(q, alg, tr)
+}
+
+// QueryString parses and runs a paper-style textual query such as
+//
+//	(Color=Red, [C5A*, C5B])
+//	(Age=[50-60], C1, C2$12 ; distinct 2)
+//
+// against the named index. See the querylang package documentation for the
+// grammar.
+func (db *Database) QueryString(index, query string) ([]Match, Stats, error) {
+	ix, ok := db.indexes[index]
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
+	}
+	q, err := querylang.Parse(ix, query)
+	if err != nil {
+		return nil, Stats{}, err
+	}
+	return ix.Execute(q, Parallel, nil)
+}
+
+// ParseQuery parses a paper-notation textual query (see the querylang
+// package for the grammar) against an index obtained from Index().
+func ParseQuery(ix *core.Index, query string) (Query, error) {
+	return querylang.Parse(ix, query)
+}
+
+// ClassOf resolves an object id to its class name.
+func (db *Database) ClassOf(oid OID) (string, bool) {
+	o, ok := db.st.Get(oid)
+	if !ok {
+		return "", false
+	}
+	return o.Class, true
+}
+
+// CODTable renders the paper's COD relation (Section 3) for display.
+func (db *Database) CODTable() []string {
+	var out []string
+	for _, row := range db.sch.Coding().Table() { // rows sorted by code
+		out = append(out, fmt.Sprintf("%-24s COD %s", row.Class, row.Code.Compact()))
+	}
+	return out
+}

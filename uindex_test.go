@@ -1,0 +1,244 @@
+package uindex
+
+import (
+	"strings"
+	"testing"
+)
+
+// paperDB builds the paper's Example 1 database through the public API.
+func paperDB(t *testing.T) (*Database, map[string]OID) {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "", Attr{Name: "Age", Type: Uint64}))
+	must(s.AddClass("Company", "",
+		Attr{Name: "Name", Type: String},
+		Attr{Name: "President", Ref: "Employee"}))
+	must(s.AddClass("City", "", Attr{Name: "Name", Type: String}))
+	must(s.AddClass("Division", "",
+		Attr{Name: "Belong", Ref: "Company"},
+		Attr{Name: "LocatedIn", Ref: "City"}))
+	must(s.AddClass("Vehicle", "",
+		Attr{Name: "Name", Type: String},
+		Attr{Name: "Color", Type: String},
+		Attr{Name: "ManufacturedBy", Ref: "Company"}))
+	must(s.AddClass("Automobile", "Vehicle"))
+	must(s.AddClass("Truck", "Vehicle"))
+	must(s.AddClass("CompactAutomobile", "Automobile"))
+	must(s.AddClass("AutoCompany", "Company"))
+	must(s.AddClass("TruckCompany", "Company"))
+	must(s.AddClass("JapaneseAutoCompany", "AutoCompany"))
+
+	db, err := NewDatabase(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	must(db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}))
+	must(db.CreateIndex(IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}))
+
+	ids := map[string]OID{}
+	ins := func(name, class string, attrs Attrs) {
+		t.Helper()
+		oid, err := db.Insert(class, attrs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[name] = oid
+	}
+	ins("e1", "Employee", Attrs{"Age": 50})
+	ins("e2", "Employee", Attrs{"Age": 60})
+	ins("e3", "Employee", Attrs{"Age": 45})
+	ins("c1", "JapaneseAutoCompany", Attrs{"Name": "Subaru", "President": ids["e3"]})
+	ins("c2", "AutoCompany", Attrs{"Name": "Fiat", "President": ids["e1"]})
+	ins("c3", "AutoCompany", Attrs{"Name": "Renault", "President": ids["e2"]})
+	ins("v1", "Vehicle", Attrs{"Name": "Legacy", "Color": "White", "ManufacturedBy": ids["c1"]})
+	ins("v2", "Automobile", Attrs{"Name": "Tipo", "Color": "White", "ManufacturedBy": ids["c2"]})
+	ins("v3", "Automobile", Attrs{"Name": "Panda", "Color": "Red", "ManufacturedBy": ids["c2"]})
+	ins("v4", "CompactAutomobile", Attrs{"Name": "R5", "Color": "Red", "ManufacturedBy": ids["c3"]})
+	ins("v5", "CompactAutomobile", Attrs{"Name": "Justy", "Color": "Blue", "ManufacturedBy": ids["c1"]})
+	ins("v6", "CompactAutomobile", Attrs{"Name": "Uno", "Color": "White", "ManufacturedBy": ids["c2"]})
+	return db, ids
+}
+
+func TestDatabaseLifecycle(t *testing.T) {
+	db, ids := paperDB(t)
+	ms, stats, err := db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 || stats.PagesRead == 0 {
+		t.Fatalf("red vehicles = %d, stats %+v", len(ms), stats)
+	}
+	// Path query through the facade.
+	ms, _, err = db.Query("age", Query{Value: Exact(50)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("age-50 vehicles = %d", len(ms))
+	}
+	for _, m := range ms {
+		if m.Path[1].OID != ids["c2"] {
+			t.Fatalf("path = %+v", m.Path)
+		}
+	}
+	// ClassOf, Get.
+	if cls, ok := db.ClassOf(ids["v4"]); !ok || cls != "CompactAutomobile" {
+		t.Fatalf("ClassOf = %q, %v", cls, ok)
+	}
+	if _, ok := db.Get(ids["v4"]); !ok {
+		t.Fatal("Get failed")
+	}
+	if _, ok := db.ClassOf(9999); ok {
+		t.Fatal("ClassOf of missing object succeeded")
+	}
+}
+
+func TestFacadeMutations(t *testing.T) {
+	db, ids := paperDB(t)
+	// Delete a vehicle: entries vanish from both indexes.
+	if err := db.Delete(ids["v3"]); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, _ := db.Query("color", Query{Value: Exact("Red")})
+	if len(ms) != 1 {
+		t.Fatalf("red vehicles after delete = %d", len(ms))
+	}
+	// The president-switch update of Section 3.5 via Set.
+	if err := db.Set(ids["c2"], "President", ids["e2"]); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, _ = db.Query("age", Query{Value: Exact(50)})
+	if len(ms) != 0 {
+		t.Fatalf("stale age-50 entries: %d", len(ms))
+	}
+	ms, _, _ = db.Query("age", Query{Value: Exact(60)})
+	if len(ms) != 3 { // v2, v6 (Fiat) + v4 (Renault)
+		t.Fatalf("age-60 vehicles = %d", len(ms))
+	}
+	// Color change.
+	if err := db.Set(ids["v6"], "Color", "Green"); err != nil {
+		t.Fatal(err)
+	}
+	ms, _, _ = db.Query("color", Query{Value: Exact("Green")})
+	if len(ms) != 1 {
+		t.Fatalf("green vehicles = %d", len(ms))
+	}
+}
+
+func TestQueryString(t *testing.T) {
+	db, _ := paperDB(t)
+	ms, _, err := db.QueryString("color", `(Color=Red, Automobile*)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 2 {
+		t.Fatalf("QueryString matches = %d", len(ms))
+	}
+	ms, _, err = db.QueryString("age", `(Age=50, ?, ?) ; distinct 2`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 {
+		t.Fatalf("distinct companies = %d", len(ms))
+	}
+	if _, _, err := db.QueryString("nope", `(Color=Red)`); err == nil {
+		t.Error("QueryString on missing index succeeded")
+	}
+	if _, _, err := db.QueryString("color", `garbage`); err == nil {
+		t.Error("QueryString with bad syntax succeeded")
+	}
+}
+
+func TestIndexManagement(t *testing.T) {
+	db, _ := paperDB(t)
+	if got := db.Indexes(); len(got) != 2 || got[0] != "color" {
+		t.Fatalf("Indexes = %v", got)
+	}
+	if err := db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}); err == nil {
+		t.Error("duplicate index accepted")
+	}
+	if err := db.CreateIndex(IndexSpec{Name: "bad", Root: "Ghost", Attr: "X"}); err == nil {
+		t.Error("invalid index accepted")
+	}
+	if _, ok := db.Index("color"); !ok {
+		t.Error("Index lookup failed")
+	}
+	if err := db.DropIndex("color"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.DropIndex("color"); err == nil {
+		t.Error("double drop succeeded")
+	}
+	if got := db.Indexes(); len(got) != 1 || got[0] != "age" {
+		t.Fatalf("Indexes after drop = %v", got)
+	}
+	// Mutations still work with the remaining index.
+	if _, err := db.Insert("Employee", Attrs{"Age": 33}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQueryWithAlgorithmsAgree(t *testing.T) {
+	db, _ := paperDB(t)
+	q := Query{Value: OneOf("Red", "Blue"), Positions: []Position{On("Automobile")}}
+	a, _, err := db.QueryWith("color", q, Parallel, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _, err := db.QueryWith("color", q, Forward, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != len(b) {
+		t.Fatalf("algorithms disagree: %d vs %d", len(a), len(b))
+	}
+	if _, _, err := db.QueryWith("missing", q, Parallel, nil); err == nil {
+		t.Error("query on missing index succeeded")
+	}
+}
+
+func TestCODTable(t *testing.T) {
+	db, _ := paperDB(t)
+	rows := db.CODTable()
+	if len(rows) != 11 {
+		t.Fatalf("COD table rows = %d", len(rows))
+	}
+	joined := strings.Join(rows, "\n")
+	for _, want := range []string{"Employee", "COD C1", "COD C5AA", "COD C2AA"} {
+		if !strings.Contains(joined, want) {
+			t.Errorf("COD table missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func TestSchemaEvolutionThroughFacade(t *testing.T) {
+	db, _ := paperDB(t)
+	// Add a class after the database exists; it gets a code and is
+	// immediately indexable.
+	if err := db.Schema().AddClass("Bus", "Vehicle"); err != nil {
+		t.Fatal(err)
+	}
+	oid, err := db.Insert("Bus", Attrs{"Name": "CityBus", "Color": "Red"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ms, _, err := db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Bus")}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 1 || ms[0].Path[0].OID != oid {
+		t.Fatalf("bus query = %v", ms)
+	}
+	// And the full Vehicle subtree picks it up too.
+	ms, _, _ = db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
+	if len(ms) != 3 {
+		t.Fatalf("red vehicles incl. bus = %d", len(ms))
+	}
+}
