@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test race vet
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# Tier-2 concurrency check: the buffer pool and pager are the only
+# packages with concurrent callers, so only they run under -race.
+race:
+	$(GO) test -race ./internal/bufferpool/... ./internal/pager/...
+
+vet:
+	$(GO) vet ./...

@@ -25,12 +25,14 @@ import (
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|storage|updates|all")
-		objects  = flag.Int("objects", 150000, "objects in the large database")
-		reps     = flag.Int("reps", 100, "repetitions per measured point")
-		seed     = flag.Int64("seed", 1996, "random seed")
-		quick    = flag.Bool("quick", false, "scaled-down grid (12,000 objects, 15 reps)")
-		extended = flag.Bool("extended", false, "also measure CH-tree and H-tree curves")
+		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|storage|updates|all")
+		objects   = flag.Int("objects", 150000, "objects in the large database")
+		reps      = flag.Int("reps", 100, "repetitions per measured point")
+		seed      = flag.Int64("seed", 1996, "random seed")
+		quick     = flag.Bool("quick", false, "scaled-down grid (12,000 objects, 15 reps)")
+		extended  = flag.Bool("extended", false, "also measure CH-tree and H-tree curves")
+		poolPages = flag.Int("poolpages", 0, "run page files through a buffer pool with this many frames (0 = off); adds a physical-I/O column, logical counts are unchanged")
+		policy    = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
 	)
 	flag.Parse()
 
@@ -40,6 +42,8 @@ func main() {
 		cfg.Extended = *extended
 		cfg.Seed = *seed
 	}
+	cfg.PoolPages = *poolPages
+	cfg.PoolPolicy = *policy
 
 	run := func(name string, f func() error) {
 		start := time.Now()
@@ -56,7 +60,9 @@ func main() {
 	if want("table1") {
 		any = true
 		run("table1", func() error {
-			r, err := experiments.RunTable1(*seed)
+			r, err := experiments.RunTable1With(*seed, experiments.Table1Options{
+				PoolPages: *poolPages, PoolPolicy: *policy,
+			})
 			if err != nil {
 				return err
 			}

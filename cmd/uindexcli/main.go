@@ -27,7 +27,7 @@ import (
 	"repro/internal/querylang"
 )
 
-func buildDemo() (*uindex.Database, map[uindex.OID]string, error) {
+func buildDemo(opts uindex.Options) (*uindex.Database, map[uindex.OID]string, error) {
 	s := uindex.NewSchema()
 	add := func(name, super string, attrs ...uindex.Attr) error {
 		return s.AddClass(name, super, attrs...)
@@ -65,7 +65,7 @@ func buildDemo() (*uindex.Database, map[uindex.OID]string, error) {
 			return nil, nil, err
 		}
 	}
-	db, err := uindex.NewDatabase(s)
+	db, err := uindex.NewDatabaseWith(s, opts)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -117,32 +117,37 @@ func buildDemo() (*uindex.Database, map[uindex.OID]string, error) {
 
 func main() {
 	var (
-		loadPath = flag.String("load", "", "load a database snapshot instead of building the demo")
-		savePath = flag.String("save", "", "write a snapshot of the database on exit (.quit)")
+		loadPath  = flag.String("load", "", "load a database snapshot instead of building the demo")
+		savePath  = flag.String("save", "", "write a snapshot of the database on exit (.quit)")
+		poolPages = flag.Int("poolpages", 0, "buffer-pool frames per index (0 = no pool)")
+		policy    = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
 	)
 	flag.Parse()
+	opts := uindex.Options{PoolPages: *poolPages, PoolPolicy: *policy}
 	var db *uindex.Database
 	var names map[uindex.OID]string
 	var err error
 	if *loadPath != "" {
-		db, err = uindex.LoadFile(*loadPath)
+		db, err = uindex.LoadFileWith(*loadPath, opts)
 		names = map[uindex.OID]string{}
 	} else {
-		db, names, err = buildDemo()
+		db, names, err = buildDemo(opts)
 	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "uindexcli:", err)
 		os.Exit(1)
 	}
 	save := func() {
-		if *savePath == "" {
-			return
+		if *savePath != "" {
+			if err := db.SaveFile(*savePath); err != nil {
+				fmt.Fprintln(os.Stderr, "uindexcli: save:", err)
+			} else {
+				fmt.Printf("saved snapshot to %s\n", *savePath)
+			}
 		}
-		if err := db.SaveFile(*savePath); err != nil {
-			fmt.Fprintln(os.Stderr, "uindexcli: save:", err)
-			return
+		if err := db.Close(); err != nil {
+			fmt.Fprintln(os.Stderr, "uindexcli: close:", err)
 		}
-		fmt.Printf("saved snapshot to %s\n", *savePath)
 	}
 	defer save()
 	fmt.Println("U-index shell over the paper's Example 1 database.")
@@ -161,6 +166,7 @@ func main() {
   .indexes           list indexes and their paths
   .objects           list the example objects
   .explain <ix> <q>  show the compiled query plan
+  .pool              show buffer-pool counters (run with -poolpages)
   .quit              leave
 Queries: <index> <query>, e.g.
   color (Color=Red, C5A*)
@@ -191,6 +197,14 @@ Queries: <index> <query>, e.g.
 				break
 			}
 			fmt.Print(plan)
+		case line == ".pool":
+			if st, ok := db.PoolStats(); ok {
+				fmt.Printf("  hits %d, misses %d (hit ratio %.1f%%), evictions %d, writebacks %d\n",
+					st.Hits, st.Misses, 100*st.HitRate(), st.Evictions, st.Writebacks)
+				fmt.Printf("  physical: %d reads, %d writes\n", st.PhysicalReads, st.PhysicalWrites)
+			} else {
+				fmt.Println("  no buffer pool (start with -poolpages N)")
+			}
 		case line == ".cod":
 			for _, row := range db.CODTable() {
 				fmt.Println(" ", row)

@@ -10,6 +10,7 @@ import (
 	"log"
 
 	"repro"
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/pager"
 )
@@ -78,7 +79,12 @@ func main() {
 	for _, row := range alt.Table() {
 		fmt.Printf("  %-12s COD %s\n", row.Class, row.Code.Compact())
 	}
-	ix, err := core.New(pager.NewMemFile(0), db.Store(), core.Spec{
+	// A hand-built index's page file goes through a buffer pool here —
+	// the pool implements pager.File, so the index code does not change,
+	// and closing it (checked!) flushes the cached pages back.
+	pool, err := bufferpool.New(pager.NewMemFile(0), bufferpool.Config{Pages: 16})
+	check(err)
+	ix, err := core.New(pool, db.Store(), core.Spec{
 		Name: "user-age", Root: "Vehicle", Refs: []string{"UsedBy"}, Attr: "Age", Coding: alt})
 	check(err)
 	check(ix.Build())
@@ -88,6 +94,9 @@ func main() {
 	for _, m := range ms2 {
 		fmt.Printf("  employee %d -> vehicle %d (%s)\n", m.Path[0].OID, m.Path[1].OID, m.Path[1].Code.Compact())
 	}
+	check(ix.DropCache()) // push tree-cached nodes into the pool
+	check(pool.Close())
+	check(db.Close())
 }
 
 func printCOD(db *uindex.Database) {

@@ -103,6 +103,7 @@ func main() {
 	check(err)
 	fmt.Printf("vehicles under a 99-year-old president: %d -> %d after the switch\n",
 		len(before), len(after))
+	check(db.Close())
 }
 
 func check(err error) {

@@ -57,6 +57,10 @@ func main() {
 	ms, _, err = db.QueryString("color", `(Color={Red,Blue}, [Automobile*, Truck*])`)
 	check(err)
 	fmt.Printf("red or blue automobiles/trucks: %d matches\n", len(ms))
+
+	// 7. Close the database; with a buffer pool configured (Options), this
+	// is where write-back errors would surface, so always check it.
+	check(db.Close())
 }
 
 func check(err error) {

@@ -67,6 +67,7 @@ func main() {
 		fmt.Printf("%-48s %8d %9d %8d\n", tc.label, len(ms), sp.PagesRead, sf.PagesRead)
 	}
 	fmt.Println("\nparallel = the paper's Algorithm 1; forward = naive scan of each value cluster")
+	check(db.Close())
 }
 
 func mustParse(db *uindex.Database, q string) uindex.Query {

@@ -97,7 +97,25 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 		cur.dirty = true
 		count++
 		prevKey = kcopy
-		full := cur.encodedSize(t.noCompress) > limit
+		sz := cur.encodedSize(t.noCompress)
+		if sz > t.f.PageSize() && len(cur.keys) > 1 {
+			// The soft fill limit leaves headroom, but one large entry
+			// (a near-threshold inline value) can still push the leaf
+			// past the page itself; move it into the next leaf so a
+			// sealed node always fits its page.
+			last := len(cur.keys) - 1
+			k, v := cur.keys[last], cur.vals[last]
+			cur.keys = cur.keys[:last:last]
+			cur.vals = cur.vals[:last:last]
+			if err := seal(); err != nil {
+				return err
+			}
+			cur.keys = append(cur.keys, k)
+			cur.vals = append(cur.vals, v)
+			cur.dirty = true
+			sz = cur.encodedSize(t.noCompress)
+		}
+		full := sz > limit
 		if maxEntries > 0 {
 			full = full || len(cur.keys) >= maxEntries
 		}

@@ -1,0 +1,43 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestBulkLoadLargeEntriesFlush reproduces a packing bug: entries just under
+// the inline-value threshold could seal a bulk-loaded leaf above the page
+// size, which only surfaced on the first Flush. Every sealed node must
+// serialize into its page.
+func TestBulkLoadLargeEntriesFlush(t *testing.T) {
+	f := pager.NewMemFile(1024)
+	tr, err := Create(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Values one byte under the overflow threshold stay inline and make
+	// each entry ~page/4 large, so the soft fill limit overshoots.
+	val := make([]byte, 1024/4-1)
+	var keys, vals [][]byte
+	for i := 0; i < 64; i++ {
+		keys = append(keys, []byte(fmt.Sprintf("key-%04d", i)))
+		vals = append(vals, val)
+	}
+	if err := tr.BulkLoad(SliceSource(keys, vals)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatalf("flush after bulk load: %v", err)
+	}
+	if err := tr.Check(); err != nil {
+		t.Fatalf("check: %v", err)
+	}
+	for _, k := range keys {
+		v, ok, err := tr.Get(k, nil)
+		if err != nil || !ok || len(v) != len(val) {
+			t.Fatalf("get %q: ok=%v err=%v len=%d", k, ok, err, len(v))
+		}
+	}
+}

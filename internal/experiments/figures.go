@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"sync"
 
+	"repro/internal/bufferpool"
 	"repro/internal/cgtree"
 	"repro/internal/chtree"
 	"repro/internal/core"
@@ -28,6 +29,10 @@ type Group struct {
 	Keys   int // distinct keys (0 = unique)
 	XSets  []int
 	Curves []Curve
+	// Pool holds the buffer-pool counter deltas incurred by this group
+	// when GridConfig.PoolPages > 0, nil otherwise. The curves themselves
+	// are logical page reads and never depend on the pool.
+	Pool *bufferpool.Stats
 }
 
 // FigureResult is one full figure: groups over the experiment grid.
@@ -52,6 +57,13 @@ type GridConfig struct {
 	Reps     int
 	Seed     int64
 	Extended bool // also measure CH-tree and H-tree curves
+	// PoolPages routes the four structures' page files through buffer
+	// pools of that many frames (0 = no pool); PoolPolicy picks the
+	// replacement policy. With a pool the node caches are dropped before
+	// each repetition so traffic reaches it; neither step changes the
+	// figures' logical page-read curves.
+	PoolPages  int
+	PoolPolicy string
 }
 
 // FullGrid is the paper's configuration: 150,000 objects, 100 repetitions.
@@ -165,11 +177,13 @@ func ResetDBCache() {
 func runGroup(cfg GridConfig, sets, keys int, frac float64) (*Group, error) {
 	db, err := cachedDB(workload.LargeConfig{
 		Objects: cfg.Objects, Sets: sets, Keys: keys, Seed: cfg.Seed,
+		PoolPages: cfg.PoolPages, PoolPolicy: cfg.PoolPolicy,
 	})
 	if err != nil {
 		return nil, err
 	}
 	g := &Group{Sets: sets, Keys: keys, XSets: xAxis(sets)}
+	before := db.PoolStats()
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(sets)*7 + int64(keys)*13 + int64(frac*1e6)))
 	for _, n := range g.XSets {
 		c, err := measurePoint(db, n, frac, cfg.Reps, cfg.Extended, rng)
@@ -177,6 +191,13 @@ func runGroup(cfg GridConfig, sets, keys int, frac float64) (*Group, error) {
 			return nil, err
 		}
 		g.Curves = append(g.Curves, *c)
+	}
+	if cfg.PoolPages > 0 {
+		// The cached database's pools accumulate across groups and
+		// figures; report this group's delta.
+		after := db.PoolStats()
+		after.Sub(before)
+		g.Pool = &after
 	}
 	return g, nil
 }
@@ -186,6 +207,15 @@ func measurePoint(db *workload.LargeDB, nSets int, frac float64, reps int, exten
 	domain := db.KeyDomain()
 	var cur Curve
 	for rep := 0; rep < reps; rep++ {
+		// With pools in play, start each repetition cold at the tree
+		// layer so node fetches reach the pools. Dropping the caches
+		// consumes no randomness and the logical counters are accounted
+		// before any cache, so the measured curves are unchanged.
+		if len(db.Pools) > 0 {
+			if err := db.DropCaches(); err != nil {
+				return nil, err
+			}
+		}
 		// Pick the queried key (exact) or range.
 		var lo, hi uint64
 		if frac == 0 {

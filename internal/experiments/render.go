@@ -7,13 +7,21 @@ import (
 )
 
 // RenderTable1 writes the Table-1 result in the paper's layout, with the
-// paper's own numbers alongside for comparison.
+// paper's own numbers alongside for comparison. Results from a pooled run
+// (RunTable1With) get an extra physical-reads column and a pool summary.
 func RenderTable1(w io.Writer, r *Table1Result) {
 	fmt.Fprintf(w, "Table 1: visited nodes, %d records, color index of %d nodes (paper: 12,000 records, 1562 nodes)\n",
 		r.Records, r.TotalNodes)
-	fmt.Fprintf(w, "%-4s %-40s %9s %9s %8s %14s\n",
-		"id", "query", "parallel", "forward", "matches", "paper(par|fwd)")
-	fmt.Fprintln(w, strings.Repeat("-", 90))
+	pooled := r.Pool != nil
+	if pooled {
+		fmt.Fprintf(w, "%-4s %-40s %9s %9s %8s %14s %9s\n",
+			"id", "query", "parallel", "forward", "matches", "paper(par|fwd)", "physical")
+		fmt.Fprintln(w, strings.Repeat("-", 100))
+	} else {
+		fmt.Fprintf(w, "%-4s %-40s %9s %9s %8s %14s\n",
+			"id", "query", "parallel", "forward", "matches", "paper(par|fwd)")
+		fmt.Fprintln(w, strings.Repeat("-", 90))
+	}
 	for _, row := range r.Rows {
 		paper := ""
 		if p, ok := PaperTable1[row.ID]; ok {
@@ -23,8 +31,17 @@ func RenderTable1(w io.Writer, r *Table1Result) {
 				paper = fmt.Sprintf("%d", p[0])
 			}
 		}
-		fmt.Fprintf(w, "%-4s %-40s %9d %9d %8d %14s\n",
-			row.ID, row.Description, row.Parallel, row.Forward, row.Matches, paper)
+		if pooled {
+			fmt.Fprintf(w, "%-4s %-40s %9d %9d %8d %14s %9d\n",
+				row.ID, row.Description, row.Parallel, row.Forward, row.Matches, paper, row.Physical)
+		} else {
+			fmt.Fprintf(w, "%-4s %-40s %9d %9d %8d %14s\n",
+				row.ID, row.Description, row.Parallel, row.Forward, row.Matches, paper)
+		}
+	}
+	if pooled {
+		fmt.Fprintf(w, "buffer pool: %d hits, %d misses (hit ratio %.1f%%), %d evictions, %d physical reads\n",
+			r.Pool.Hits, r.Pool.Misses, 100*r.Pool.HitRate(), r.Pool.Evictions, r.Pool.PhysicalReads)
 	}
 }
 
@@ -55,6 +72,10 @@ func RenderFigure(w io.Writer, fig *FigureResult) {
 				c := g.Curves[i]
 				fmt.Fprintf(w, "  %6d %12.1f %12.1f %10.1f\n", x, c.UNear, c.UFar, c.CG)
 			}
+		}
+		if g.Pool != nil {
+			fmt.Fprintf(w, "  pool: %d hits, %d misses (hit ratio %.1f%%), %d physical reads\n",
+				g.Pool.Hits, g.Pool.Misses, 100*g.Pool.HitRate(), g.Pool.PhysicalReads)
 		}
 	}
 	fmt.Fprintln(w)

@@ -8,6 +8,7 @@ package experiments
 import (
 	"fmt"
 
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/pager"
 	"repro/internal/workload"
@@ -20,6 +21,11 @@ type Table1Row struct {
 	Parallel    int // nodes visited by the parallel retrieval algorithm
 	Forward     int // nodes visited by forward scanning
 	Matches     int
+	// Physical counts the buffer pool's page fetches from the backing
+	// file for this row (both algorithms); 0 when no pool is configured.
+	// Unlike Parallel/Forward it depends on cache state, so it is
+	// reported alongside, never instead of, the paper's logical counts.
+	Physical int
 }
 
 // Table1Result is the full experiment.
@@ -27,6 +33,19 @@ type Table1Result struct {
 	Rows       []Table1Row
 	TotalNodes int // nodes of the color index (the paper reports 1562)
 	Records    int
+	// Pool holds the aggregate buffer-pool counters when the experiment
+	// ran with Table1Options.PoolPages > 0, nil otherwise.
+	Pool *bufferpool.Stats
+}
+
+// Table1Options configures optional machinery for the Table-1 experiment.
+// The zero value reproduces the paper's setup exactly.
+type Table1Options struct {
+	// PoolPages, when positive, routes both indexes through buffer pools
+	// of that many frames and reports physical-read counts per row. The
+	// logical node counts (the paper's numbers) are unaffected.
+	PoolPages  int
+	PoolPolicy string
 }
 
 // PaperTable1 maps query id to the node count the paper reports, for the
@@ -43,11 +62,43 @@ var PaperTable1 = map[string][2]int{
 // geometry (at most 10 entries per node) and runs the twenty queries of
 // Table 1, measuring visited nodes under both retrieval algorithms.
 func RunTable1(seed int64) (*Table1Result, error) {
+	return RunTable1With(seed, Table1Options{})
+}
+
+// RunTable1With is RunTable1 with explicit options.
+func RunTable1With(seed int64, opts Table1Options) (*Table1Result, error) {
 	db, err := workload.NewFigure1DB(seed)
 	if err != nil {
 		return nil, err
 	}
-	colorIx, err := core.New(pager.NewMemFile(1024), db.Store, core.Spec{
+	var pools []*bufferpool.Pool
+	newFile := func() (pager.File, error) {
+		var f pager.File = pager.NewMemFile(1024)
+		if opts.PoolPages <= 0 {
+			return f, nil
+		}
+		p, err := bufferpool.New(f, bufferpool.Config{
+			Pages:  opts.PoolPages,
+			Policy: opts.PoolPolicy,
+		})
+		if err != nil {
+			return nil, err
+		}
+		pools = append(pools, p)
+		return p, nil
+	}
+	physicalReads := func() int64 {
+		var n int64
+		for _, p := range pools {
+			n += p.PoolStats().PhysicalReads
+		}
+		return n
+	}
+	colorFile, err := newFile()
+	if err != nil {
+		return nil, err
+	}
+	colorIx, err := core.New(colorFile, db.Store, core.Spec{
 		Name: "color", Root: "Vehicle", Attr: "Color", MaxEntries: 10})
 	if err != nil {
 		return nil, err
@@ -55,7 +106,11 @@ func RunTable1(seed int64) (*Table1Result, error) {
 	if err := colorIx.Build(); err != nil {
 		return nil, err
 	}
-	ageIx, err := core.New(pager.NewMemFile(1024), db.Store, core.Spec{
+	ageFile, err := newFile()
+	if err != nil {
+		return nil, err
+	}
+	ageIx, err := core.New(ageFile, db.Store, core.Spec{
 		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"},
 		Attr: "Age", MaxEntries: 10})
 	if err != nil {
@@ -109,6 +164,16 @@ func RunTable1(seed int64) (*Table1Result, error) {
 
 	res := &Table1Result{Records: db.Store.Len()}
 	for _, tc := range queries {
+		// With a pool the tree's own node cache is dropped per query so
+		// page traffic reaches the pool; this consumes no randomness and
+		// cannot change the logical node counts (each query accounts
+		// distinct node visits before any cache is consulted).
+		if opts.PoolPages > 0 {
+			if err := tc.ix.DropCache(); err != nil {
+				return nil, fmt.Errorf("query %s: drop cache: %w", tc.id, err)
+			}
+		}
+		physBefore := physicalReads()
 		mp, sp, err := tc.ix.Execute(tc.query, core.Parallel, nil)
 		if err != nil {
 			return nil, fmt.Errorf("query %s parallel: %w", tc.id, err)
@@ -123,6 +188,7 @@ func RunTable1(seed int64) (*Table1Result, error) {
 		res.Rows = append(res.Rows, Table1Row{
 			ID: tc.id, Description: tc.desc,
 			Parallel: sp.PagesRead, Forward: sf.PagesRead, Matches: len(mp),
+			Physical: int(physicalReads() - physBefore),
 		})
 	}
 	total, err := colorIx.PageCount()
@@ -130,5 +196,12 @@ func RunTable1(seed int64) (*Table1Result, error) {
 		return nil, err
 	}
 	res.TotalNodes = total
+	if opts.PoolPages > 0 {
+		var agg bufferpool.Stats
+		for _, p := range pools {
+			agg.Add(p.PoolStats())
+		}
+		res.Pool = &agg
+	}
 	return res, nil
 }

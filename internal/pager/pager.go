@@ -9,6 +9,13 @@
 // in-memory slice, used by tests and the benchmark harness) and DiskFile (a
 // page store backed by an *os.File with an on-disk free list, used by the
 // CLI tools and examples that persist indexes).
+//
+// Durability: DiskFile.Write hands pages to the operating system but does
+// not force them to stable storage. DiskFile.Sync fsyncs the underlying
+// file, and Close performs a final Sync before closing, so a DiskFile that
+// was closed without error holds every written page durably. Layers that
+// cache pages in front of a DiskFile (internal/bufferpool) build their
+// durability point out of this: flush the dirty pages, then Sync.
 package pager
 
 import (
@@ -379,11 +386,28 @@ func (d *DiskFile) Stats() Stats {
 	return d.stats
 }
 
-// Close implements File.
+// Sync writes the header and forces all written pages to stable storage
+// (fsync). After Sync returns nil, every page written so far survives a
+// crash of the process or the machine.
+func (d *DiskFile) Sync() error {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.syncLocked()
+}
+
+func (d *DiskFile) syncLocked() error {
+	if err := d.writeHeader(); err != nil {
+		return err
+	}
+	return d.f.Sync()
+}
+
+// Close implements File. It syncs before closing, so a nil return means the
+// file's pages are durable on disk.
 func (d *DiskFile) Close() error {
 	d.mu.Lock()
 	defer d.mu.Unlock()
-	if err := d.writeHeader(); err != nil {
+	if err := d.syncLocked(); err != nil {
 		d.f.Close()
 		return err
 	}

@@ -371,3 +371,118 @@ func TestNilTracker(t *testing.T) {
 	}
 	tr.Reset() // must not panic
 }
+
+// TestDiskFileReopenFreeChain exercises the on-disk free list across close/
+// reopen cycles: freed pages must be reclaimed LIFO, NumPages must track
+// live pages exactly, and the file must not grow while freed pages remain.
+func TestDiskFileReopenFreeChain(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "chain.db")
+	f, err := CreateDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []PageID
+	for i := 0; i < 8; i++ {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, id)
+	}
+	// Free three pages; the head of the free chain is the last freed.
+	for _, i := range []int{1, 4, 6} {
+		if err := f.Free(ids[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := f.NumPages(); n != 5 {
+		t.Fatalf("NumPages = %d, want 5", n)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	g, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := g.NumPages(); n != 5 {
+		t.Fatalf("NumPages after reopen = %d, want 5", n)
+	}
+	// Allocation must reclaim the freed pages LIFO before growing the file.
+	for _, want := range []PageID{ids[6], ids[4], ids[1]} {
+		id, err := g.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if id != want {
+			t.Fatalf("Alloc reclaimed %d, want %d", id, want)
+		}
+	}
+	// Free list exhausted: the next alloc extends the file.
+	id, err := g.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := ids[len(ids)-1] + 1; id != want {
+		t.Fatalf("Alloc after chain exhausted = %d, want fresh page %d", id, want)
+	}
+	if n := g.NumPages(); n != 9 {
+		t.Fatalf("NumPages = %d, want 9", n)
+	}
+	if err := g.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A second cycle sees the fully-allocated state.
+	h, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if n := h.NumPages(); n != 9 {
+		t.Fatalf("NumPages after second reopen = %d, want 9", n)
+	}
+	if id, err := h.Alloc(); err != nil || id != 10 {
+		t.Fatalf("Alloc = %d, %v; want page 10", id, err)
+	}
+}
+
+// TestDiskFileSync checks that Sync persists the header: pages allocated
+// and written before a Sync are visible to a reader of the raw file even
+// while the DiskFile stays open.
+func TestDiskFileSync(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sync.db")
+	f, err := CreateDiskFile(path, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{0x5A}, 128)
+	if err := f.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// The synced header and page are observable through the OS file.
+	g, err := OpenDiskFile(path)
+	if err != nil {
+		t.Fatalf("OpenDiskFile after Sync: %v", err)
+	}
+	defer g.Close()
+	if n := g.NumPages(); n != 1 {
+		t.Fatalf("NumPages via synced header = %d, want 1", n)
+	}
+	buf := make([]byte, 128)
+	if err := g.Read(id, buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, payload) {
+		t.Error("synced page contents not visible")
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"math/rand"
 	"sort"
 
+	"repro/internal/bufferpool"
 	"repro/internal/cgtree"
 	"repro/internal/chtree"
 	"repro/internal/core"
@@ -203,6 +204,12 @@ type LargeConfig struct {
 	Keys     int   // distinct key values; 0 = unique keys
 	Seed     int64 //
 	PageSize int   // 1024 in the paper
+	// PoolPages, when positive, routes each structure's page file through
+	// a buffer pool of that many frames; PoolPolicy picks its replacement
+	// policy ("clock" default, "lru"). Logical page-read accounting is
+	// unaffected — the pool only adds a physical-I/O layer.
+	PoolPages  int
+	PoolPolicy string
 }
 
 // LargeDB is the Section-5.1 database loaded into all four structures.
@@ -215,9 +222,55 @@ type LargeDB struct {
 	CG     *cgtree.Tree
 	CH     *chtree.Tree
 	H      *htree.Forest
+	// Pools holds the buffer pools wrapped around the four structures'
+	// page files when Config.PoolPages > 0, in U/CG/CH/H order.
+	Pools []*bufferpool.Pool
 	// KeyOf[i] is the key of object with OID i+1; SetOf[i] its set.
 	KeyOf []uint64
 	SetOf []int
+}
+
+// newFile builds one structure's page file, wrapping it in a buffer pool
+// when the config requests one.
+func (db *LargeDB) newFile() (pager.File, error) {
+	var f pager.File = pager.NewMemFile(db.Config.PageSize)
+	if db.Config.PoolPages <= 0 {
+		return f, nil
+	}
+	p, err := bufferpool.New(f, bufferpool.Config{
+		Pages:  db.Config.PoolPages,
+		Policy: db.Config.PoolPolicy,
+	})
+	if err != nil {
+		return nil, err
+	}
+	db.Pools = append(db.Pools, p)
+	return p, nil
+}
+
+// PoolStats aggregates the pool counters over all four structures; the
+// zero value when the database was built without pools.
+func (db *LargeDB) PoolStats() bufferpool.Stats {
+	var agg bufferpool.Stats
+	for _, p := range db.Pools {
+		agg.Add(p.PoolStats())
+	}
+	return agg
+}
+
+// DropCaches flushes and clears all four structures' node caches, so that
+// subsequent traffic reaches the page files (and any pools) again.
+func (db *LargeDB) DropCaches() error {
+	if err := db.UIndex.DropCache(); err != nil {
+		return err
+	}
+	if err := db.CG.DropCache(); err != nil {
+		return err
+	}
+	if err := db.CH.DropCache(); err != nil {
+		return err
+	}
+	return db.H.DropCache()
 }
 
 // Key8 encodes a key value the way every structure in the large experiment
@@ -277,7 +330,11 @@ func NewLargeDB(cfg LargeConfig) (*LargeDB, error) {
 	}
 
 	// U-index (class-hierarchy index on Obj.Key).
-	db.UIndex, err = core.New(pager.NewMemFile(cfg.PageSize), st, core.Spec{
+	uFile, err := db.newFile()
+	if err != nil {
+		return nil, err
+	}
+	db.UIndex, err = core.New(uFile, st, core.Spec{
 		Name: "large", Root: "Obj", Attr: "Key"})
 	if err != nil {
 		return nil, err
@@ -287,7 +344,11 @@ func NewLargeDB(cfg LargeConfig) (*LargeDB, error) {
 	}
 
 	// CG-tree.
-	db.CG, err = cgtree.New(pager.NewMemFile(cfg.PageSize), cgtree.Config{})
+	cgFile, err := db.newFile()
+	if err != nil {
+		return nil, err
+	}
+	db.CG, err = cgtree.New(cgFile, cgtree.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -314,7 +375,11 @@ func NewLargeDB(cfg LargeConfig) (*LargeDB, error) {
 	}
 
 	// CH-tree.
-	db.CH, err = chtree.New(pager.NewMemFile(cfg.PageSize), chtree.Config{})
+	chFile, err := db.newFile()
+	if err != nil {
+		return nil, err
+	}
+	db.CH, err = chtree.New(chFile, chtree.Config{})
 	if err != nil {
 		return nil, err
 	}
@@ -341,7 +406,11 @@ func NewLargeDB(cfg LargeConfig) (*LargeDB, error) {
 	}
 
 	// H-tree.
-	db.H = htree.New(pager.NewMemFile(cfg.PageSize), htree.Config{})
+	hFile, err := db.newFile()
+	if err != nil {
+		return nil, err
+	}
+	db.H = htree.New(hFile, htree.Config{})
 	hEntries := make([]htree.Entry, cfg.Objects)
 	for i := 0; i < cfg.Objects; i++ {
 		hEntries[i] = htree.Entry{

@@ -242,6 +242,12 @@ func (db *Database) Save(w io.Writer) error {
 
 // Load reconstructs a database from a snapshot produced by Save.
 func Load(r io.Reader) (*Database, error) {
+	return LoadWith(r, Options{})
+}
+
+// LoadWith is Load with explicit Options; the rebuilt indexes run through
+// buffer pools when opts.PoolPages is set.
+func LoadWith(r io.Reader, opts Options) (*Database, error) {
 	sr := &snapshotReader{r: bufio.NewReader(r)}
 	if sr.u32() != snapshotMagic {
 		if sr.err != nil {
@@ -278,7 +284,7 @@ func Load(r io.Reader) (*Database, error) {
 	if sr.err != nil {
 		return nil, sr.err
 	}
-	db, err := NewDatabase(s)
+	db, err := NewDatabaseWith(s, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -369,10 +375,21 @@ func (db *Database) SaveFile(path string) error {
 
 // LoadFile reads a snapshot from a file.
 func LoadFile(path string) (*Database, error) {
+	return LoadFileWith(path, Options{})
+}
+
+// LoadFileWith reads a snapshot from a file with explicit Options.
+func LoadFileWith(path string, opts Options) (*Database, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return Load(f)
+	db, err := LoadWith(f, opts)
+	if cerr := f.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return nil, err
+	}
+	return db, nil
 }

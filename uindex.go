@@ -31,6 +31,7 @@ package uindex
 import (
 	"fmt"
 
+	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/encoding"
 	"repro/internal/pager"
@@ -76,6 +77,8 @@ type (
 	PathEntry = encoding.PathEntry
 	// Tracker accounts distinct page reads across queries.
 	Tracker = pager.Tracker
+	// BufferPoolStats is a snapshot of the buffer-pool cache counters.
+	BufferPoolStats = bufferpool.Stats
 )
 
 // Attribute type selectors for Attr.Type.
@@ -111,18 +114,37 @@ var (
 // NewSchema returns an empty schema.
 func NewSchema() *Schema { return schema.New() }
 
+// Options configures optional Database machinery.
+type Options struct {
+	// PoolPages, when positive, places a buffer pool of that many frames
+	// (internal/bufferpool) between each index and its page file. The
+	// pool is transparent to query results and to the paper's logical
+	// page-read counts; PoolStats exposes its hit/miss counters.
+	PoolPages int
+	// PoolPolicy selects the pool's replacement policy: "clock" (the
+	// default) or "lru".
+	PoolPolicy string
+}
+
 // Database is a schema + object store + U-indexes, kept consistent.
 type Database struct {
 	sch     *schema.Schema
 	st      *store.Store
 	indexes map[string]*core.Index
 	order   []string
+	opts    Options
+	pools   map[string]*bufferpool.Pool
 }
 
 // NewDatabase creates a database over the schema, assigning class codes if
 // that has not happened yet. The schema may keep evolving afterwards
 // (paper Figure 4); new classes receive codes automatically.
 func NewDatabase(s *Schema) (*Database, error) {
+	return NewDatabaseWith(s, Options{})
+}
+
+// NewDatabaseWith is NewDatabase with explicit Options.
+func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 	if s.Coding() == nil {
 		if _, err := s.AssignCodes(); err != nil {
 			return nil, err
@@ -132,7 +154,44 @@ func NewDatabase(s *Schema) (*Database, error) {
 		sch:     s,
 		st:      store.New(s),
 		indexes: make(map[string]*core.Index),
+		opts:    opts,
+		pools:   make(map[string]*bufferpool.Pool),
 	}, nil
+}
+
+// Close releases every index's buffer pool (flushing dirty pages into the
+// backing files first). A database without pools has nothing to release;
+// Close is still safe to call. The database must not be used afterwards
+// when pools were configured.
+func (db *Database) Close() error {
+	var first error
+	for _, name := range db.order {
+		pool, ok := db.pools[name]
+		if !ok {
+			continue
+		}
+		if err := db.indexes[name].DropCache(); err != nil && first == nil {
+			first = err
+		}
+		if err := pool.Close(); err != nil && first == nil {
+			first = err
+		}
+		delete(db.pools, name)
+	}
+	return first
+}
+
+// PoolStats aggregates the buffer-pool counters over every index. ok is
+// false when the database was opened without a pool (Options.PoolPages 0).
+func (db *Database) PoolStats() (BufferPoolStats, bool) {
+	if db.opts.PoolPages <= 0 {
+		return BufferPoolStats{}, false
+	}
+	var agg BufferPoolStats
+	for _, p := range db.pools {
+		agg.Add(p.PoolStats())
+	}
+	return agg, true
 }
 
 // Schema returns the database schema.
@@ -147,12 +206,25 @@ func (db *Database) Coding() *Coding { return db.sch.Coding() }
 
 // CreateIndex declares a U-index and builds it from the current objects.
 // Each index lives in its own in-memory page file with the paper's 1024-byte
-// pages.
+// pages; with Options.PoolPages set, a buffer pool sits in front of it.
 func (db *Database) CreateIndex(spec IndexSpec) error {
 	if _, dup := db.indexes[spec.Name]; dup {
 		return fmt.Errorf("uindex: index %q already exists", spec.Name)
 	}
-	ix, err := core.New(pager.NewMemFile(0), db.st, spec)
+	var f pager.File = pager.NewMemFile(0)
+	var pool *bufferpool.Pool
+	if db.opts.PoolPages > 0 {
+		var err error
+		pool, err = bufferpool.New(f, bufferpool.Config{
+			Pages:  db.opts.PoolPages,
+			Policy: db.opts.PoolPolicy,
+		})
+		if err != nil {
+			return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
+		f = pool
+	}
+	ix, err := core.New(f, db.st, spec)
 	if err != nil {
 		return err
 	}
@@ -160,14 +232,26 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 		return err
 	}
 	db.indexes[spec.Name] = ix
+	if pool != nil {
+		db.pools[spec.Name] = pool
+	}
 	db.order = append(db.order, spec.Name)
 	return nil
 }
 
-// DropIndex removes an index.
+// DropIndex removes an index, closing its buffer pool if it has one.
 func (db *Database) DropIndex(name string) error {
-	if _, ok := db.indexes[name]; !ok {
+	ix, ok := db.indexes[name]
+	if !ok {
 		return fmt.Errorf("uindex: no index %q", name)
+	}
+	var err error
+	if pool, ok := db.pools[name]; ok {
+		err = ix.DropCache() // push tree-cache state down before the pool closes
+		if cerr := pool.Close(); err == nil {
+			err = cerr
+		}
+		delete(db.pools, name)
 	}
 	delete(db.indexes, name)
 	for i, n := range db.order {
@@ -176,7 +260,7 @@ func (db *Database) DropIndex(name string) error {
 			break
 		}
 	}
-	return nil
+	return err
 }
 
 // Index returns a declared index by name.
