@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet
+.PHONY: build test race vet stress ci
 
 build:
 	$(GO) build ./...
@@ -8,10 +8,19 @@ build:
 test:
 	$(GO) test ./...
 
-# Tier-2 concurrency check: the buffer pool and pager are the only
-# packages with concurrent callers, so only they run under -race.
+# Tier-2 concurrency check: every package runs under the race detector —
+# the btree read path, the buffer pool, and the engine facade all have
+# concurrent callers now.
 race:
-	$(GO) test -race ./internal/bufferpool/... ./internal/pager/...
+	$(GO) test -race ./...
+
+# The concurrency stress suite alone, race-enabled and without cached
+# results: engine-level mixed workloads, per-tree reader storms, and the
+# tracker-merge accounting invariance.
+stress:
+	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Race|Stats' ./...
 
 vet:
 	$(GO) vet ./...
+
+ci: build vet test race

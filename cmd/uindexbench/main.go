@@ -9,6 +9,7 @@
 //	uindexbench -exp fig5 -quick         # one figure, scaled down
 //	uindexbench -exp fig6 -extended      # add CH-tree and H-tree curves
 //	uindexbench -exp table1 -seed 7
+//	uindexbench -parallel 8              # concurrent query throughput
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, all.
 package main
@@ -21,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/experiments"
+	parbench "repro/internal/experiments/parallel"
 )
 
 func main() {
@@ -33,8 +35,37 @@ func main() {
 		extended  = flag.Bool("extended", false, "also measure CH-tree and H-tree curves")
 		poolPages = flag.Int("poolpages", 0, "run page files through a buffer pool with this many frames (0 = off); adds a physical-I/O column, logical counts are unchanged")
 		policy    = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
+		parallel  = flag.Int("parallel", 0, "run the concurrent-throughput benchmark with this many worker goroutines instead of an experiment")
+		jobs      = flag.Int("jobs", 400, "queries in the -parallel batch")
 	)
 	flag.Parse()
+
+	if *parallel > 0 {
+		pool := *poolPages
+		if pool == 0 {
+			// The throughput benchmark always reports pool hit/miss
+			// counters, so it defaults to a pool when none is requested.
+			pool = 256
+		}
+		benchObjects := 0 // RunParallel's default scale
+		if *quick {
+			benchObjects = 2000
+		}
+		r, err := parbench.RunParallel(parbench.Config{
+			Workers:   *parallel,
+			Jobs:      *jobs,
+			Objects:   benchObjects,
+			PoolPages: pool,
+			Policy:    *policy,
+			Seed:      *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uindexbench: parallel: %v\n", err)
+			os.Exit(1)
+		}
+		parbench.Render(os.Stdout, r)
+		return
+	}
 
 	cfg := experiments.GridConfig{Objects: *objects, Reps: *reps, Seed: *seed, Extended: *extended}
 	if *quick {

@@ -1,0 +1,287 @@
+package uindex
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// stressDB builds a database large enough that queries span many index
+// pages: a vehicle hierarchy over companies and presidents, with a
+// class-hierarchy index (color) and a two-ref path index (age).
+func stressDB(t testing.TB, poolPages int) *Database {
+	t.Helper()
+	s := NewSchema()
+	must := func(err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	must(s.AddClass("Employee", "", Attr{Name: "Age", Type: Uint64}))
+	must(s.AddClass("Company", "",
+		Attr{Name: "Name", Type: String},
+		Attr{Name: "President", Ref: "Employee"}))
+	must(s.AddClass("Vehicle", "",
+		Attr{Name: "Color", Type: String},
+		Attr{Name: "ManufacturedBy", Ref: "Company"}))
+	must(s.AddClass("Automobile", "Vehicle"))
+	must(s.AddClass("Truck", "Vehicle"))
+	must(s.AddClass("CompactAutomobile", "Automobile"))
+
+	db, err := NewDatabaseWith(s, Options{PoolPages: poolPages})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1996))
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
+	classes := []string{"Vehicle", "Automobile", "Truck", "CompactAutomobile"}
+
+	var employees, companies []OID
+	for i := 0; i < 60; i++ {
+		oid, err := db.Insert("Employee", Attrs{"Age": uint64(30 + rng.Intn(40))})
+		must(err)
+		employees = append(employees, oid)
+	}
+	for i := 0; i < 30; i++ {
+		oid, err := db.Insert("Company", Attrs{
+			"Name":      fmt.Sprintf("Co-%02d", i),
+			"President": employees[rng.Intn(len(employees))],
+		})
+		must(err)
+		companies = append(companies, oid)
+	}
+	must(db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}))
+	must(db.CreateIndex(IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}))
+	for i := 0; i < 600; i++ {
+		_, err := db.Insert(classes[rng.Intn(len(classes))], Attrs{
+			"Color":          colors[rng.Intn(len(colors))],
+			"ManufacturedBy": companies[rng.Intn(len(companies))],
+		})
+		must(err)
+	}
+	return db
+}
+
+// stressQueries is the mixed exact/range/subtree/path workload every
+// concurrency test in this package runs.
+func stressQueries() []QueryJob {
+	return []QueryJob{
+		{Index: "color", Query: Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}}},
+		{Index: "color", Query: Query{Value: Exact("Blue"), Positions: []Position{OnExact("Truck")}}},
+		{Index: "color", Query: Query{Value: Range("Black", "Green"), Positions: []Position{On("Automobile")}}},
+		{Index: "color", Query: Query{Value: OneOf("White", "Silver"), Positions: []Position{On("CompactAutomobile")}}},
+		{Index: "color", Query: Query{Value: Exact("Green"), Positions: []Position{On("Vehicle")}}, Algorithm: Forward},
+		{Index: "age", Query: Query{Value: Exact(uint64(45))}},
+		// Positions are terminal-first: restrict the vehicle class at
+		// position 2 of the Employee<-Company<-Vehicle path.
+		{Index: "age", Query: Query{Value: Range(uint64(50), uint64(60)), Positions: []Position{Any, Any, On("Automobile")}}},
+		{Index: "age", Query: Query{Value: Range(uint64(35), uint64(40))}, Algorithm: Forward},
+		{Index: "age", Query: Query{Value: Exact(uint64(55)), Distinct: 2}},
+	}
+}
+
+// TestConcurrentQueries runs the mixed workload from many goroutines (with
+// and without a buffer pool) and checks every result against the
+// sequential baseline. This is the engine-level -race regression test for
+// the goroutine-safe read path.
+func TestConcurrentQueries(t *testing.T) {
+	for _, poolPages := range []int{0, 24} {
+		t.Run(fmt.Sprintf("pool=%d", poolPages), func(t *testing.T) {
+			db := stressDB(t, poolPages)
+			defer db.Close()
+			jobs := stressQueries()
+
+			want := make([][]Match, len(jobs))
+			for i, j := range jobs {
+				ms, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+				if err != nil {
+					t.Fatalf("baseline job %d: %v", i, err)
+				}
+				want[i] = ms
+			}
+
+			const goroutines = 10
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					for rep := 0; rep < 5; rep++ {
+						i := (g + rep) % len(jobs)
+						j := jobs[i]
+						ms, stats, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+						if err != nil {
+							t.Errorf("g%d job %d: %v", g, i, err)
+							return
+						}
+						if len(ms) != len(want[i]) {
+							t.Errorf("g%d job %d: %d matches, want %d", g, i, len(ms), len(want[i]))
+							return
+						}
+						if stats.PagesRead == 0 {
+							t.Errorf("g%d job %d: no pages read", g, i)
+							return
+						}
+					}
+				}(g)
+			}
+			// Textual queries run concurrently with programmatic ones.
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for rep := 0; rep < 10; rep++ {
+					if _, _, err := db.QueryString("color", "(Color=Red, Vehicle*)"); err != nil {
+						t.Errorf("QueryString: %v", err)
+						return
+					}
+				}
+			}()
+			wg.Wait()
+		})
+	}
+}
+
+// TestQueryParallel checks the worker-pool API: results come back in job
+// order and agree with sequential execution, for several worker counts.
+func TestQueryParallel(t *testing.T) {
+	db := stressDB(t, 32)
+	defer db.Close()
+	jobs := stressQueries()
+
+	want := make([][]Match, len(jobs))
+	for i, j := range jobs {
+		ms, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = ms
+	}
+
+	for _, workers := range []int{0, 1, 4, 16} {
+		results := db.QueryParallel(jobs, workers)
+		if len(results) != len(jobs) {
+			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(results), len(jobs))
+		}
+		for i, r := range results {
+			if r.Err != nil {
+				t.Fatalf("workers=%d job %d: %v", workers, i, r.Err)
+			}
+			if len(r.Matches) != len(want[i]) {
+				t.Fatalf("workers=%d job %d: %d matches, want %d", workers, i, len(r.Matches), len(want[i]))
+			}
+			if r.Stats.Matches != len(want[i]) {
+				t.Fatalf("workers=%d job %d: stats.Matches=%d, want %d", workers, i, r.Stats.Matches, len(want[i]))
+			}
+		}
+	}
+
+	// Unknown index surfaces as a per-job error, not a panic.
+	bad := db.QueryParallel([]QueryJob{{Index: "nope", Query: Query{Value: Exact("Red")}}}, 2)
+	if bad[0].Err == nil {
+		t.Fatal("expected error for unknown index")
+	}
+}
+
+// TestParallelTrackerInvariance is the Table-1/Figs-5-8 accounting
+// acceptance criterion at the engine level: the distinct-page total of the
+// workload run sequentially under one shared tracker equals the total from
+// running it concurrently with per-goroutine trackers merged afterwards.
+func TestParallelTrackerInvariance(t *testing.T) {
+	db := stressDB(t, 0)
+	defer db.Close()
+	jobs := stressQueries()
+
+	shared := NewTracker()
+	for _, j := range jobs {
+		if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	per := make([]*Tracker, len(jobs))
+	var wg sync.WaitGroup
+	for i, j := range jobs {
+		per[i] = NewTracker()
+		wg.Add(1)
+		go func(i int, j QueryJob) {
+			defer wg.Done()
+			if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, per[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, j)
+	}
+	wg.Wait()
+
+	merged := NewTracker()
+	for _, tr := range per {
+		merged.Merge(tr)
+	}
+	if merged.Reads() != shared.Reads() {
+		t.Fatalf("merged per-goroutine pages %d != sequential shared pages %d",
+			merged.Reads(), shared.Reads())
+	}
+}
+
+// TestConcurrentReadersWithWriter interleaves the read workload with
+// mutations through the facade. Results are nondeterministic by design; the
+// test asserts race-freedom (under -race) and that every operation either
+// succeeds or fails cleanly.
+func TestConcurrentReadersWithWriter(t *testing.T) {
+	db := stressDB(t, 24)
+	defer db.Close()
+	jobs := stressQueries()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for rep := 0; ; rep++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				j := jobs[(g+rep)%len(jobs)]
+				if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil); err != nil {
+					t.Errorf("reader %d: %v", g, err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(stop)
+		companies := []OID{}
+		for i := 0; i < 40; i++ {
+			oid, err := db.Insert("Company", Attrs{"Name": fmt.Sprintf("W-%d", i)})
+			if err != nil {
+				t.Errorf("writer insert company: %v", err)
+				return
+			}
+			companies = append(companies, oid)
+			void, err := db.Insert("Automobile", Attrs{"Color": "Teal", "ManufacturedBy": oid})
+			if err != nil {
+				t.Errorf("writer insert vehicle: %v", err)
+				return
+			}
+			if err := db.Set(void, "Color", "Maroon"); err != nil {
+				t.Errorf("writer set: %v", err)
+				return
+			}
+			if i%4 == 3 {
+				if err := db.Delete(void); err != nil {
+					t.Errorf("writer delete: %v", err)
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+}

@@ -36,10 +36,18 @@ type Config struct {
 	NoCompression bool
 }
 
-// Tree is a B+-tree. All methods are safe for concurrent use by multiple
-// goroutines; mutations are serialized internally.
+// Tree is a B+-tree. The concurrency contract is any number of concurrent
+// readers OR a single writer: read operations (Get, Scan, MultiScan,
+// cursors, Stats, PageCount) share an RLock and run in parallel, while
+// mutations (Insert, Delete, BulkLoad, Flush, DropCache) take the write
+// lock. The shared node cache holds nodes the *write* path has touched
+// (including dirty, not-yet-flushed ones); the read path consults it
+// read-only and keeps any nodes it decodes itself in per-operation local
+// caches (readOp), so concurrent descents never write shared state. Page
+// caching across read operations is the buffer pool's job (pager.File
+// implementations are goroutine-safe).
 type Tree struct {
-	mu         sync.Mutex
+	mu         sync.RWMutex
 	f          pager.File
 	cfg        Config
 	meta       pager.PageID
@@ -122,7 +130,9 @@ func (t *Tree) writeMeta() error {
 }
 
 // fetch returns the node for a page, reading and decoding it on a cache
-// miss, and records the access in the tracker.
+// miss, and records the access in the tracker. It inserts decoded nodes
+// into the shared cache and therefore must only be called from mutation
+// paths holding the write lock; read paths go through a readOp.
 func (t *Tree) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
 	tr.Touch(id)
 	if n, ok := t.cache[id]; ok {
@@ -137,6 +147,45 @@ func (t *Tree) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
 		return nil, err
 	}
 	t.cache[id] = n
+	return n, nil
+}
+
+// readOp is the per-operation state of one read-only traversal. It layers a
+// private node cache over the tree's shared one: nodes already resident in
+// the shared cache (write-path state, possibly dirty) are used directly —
+// safe under the read lock, since only write-locked mutators modify them —
+// and nodes the operation decodes itself stay local, so concurrent readers
+// never publish into shared maps. The local cache gives a traversal the
+// same "a page decoded once is free for the rest of the query" behaviour
+// the shared cache used to provide, without the shared mutation.
+type readOp struct {
+	t     *Tree
+	local map[pager.PageID]*node
+}
+
+func (t *Tree) newReadOp() *readOp { return &readOp{t: t} }
+
+// fetch mirrors Tree.fetch for read-only traversals.
+func (o *readOp) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
+	tr.Touch(id)
+	if n, ok := o.t.cache[id]; ok {
+		return n, nil
+	}
+	if n, ok := o.local[id]; ok {
+		return n, nil
+	}
+	buf := make([]byte, o.t.f.PageSize())
+	if err := o.t.f.Read(id, buf); err != nil {
+		return nil, err
+	}
+	n, err := decodeNode(id, buf)
+	if err != nil {
+		return nil, err
+	}
+	if o.local == nil {
+		o.local = make(map[pager.PageID]*node)
+	}
+	o.local[id] = n
 	return n, nil
 }
 
@@ -180,15 +229,15 @@ func (t *Tree) maxKeySize() int {
 
 // Len returns the number of keys in the tree.
 func (t *Tree) Len() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.count
 }
 
 // Height returns the number of levels (1 when the root is a leaf).
 func (t *Tree) Height() int {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	return t.hgt
 }
 
@@ -231,11 +280,12 @@ func (t *Tree) DropCache() error {
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte, tr *pager.Tracker) ([]byte, bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	op := t.newReadOp()
 	id := t.root
 	for {
-		n, err := t.fetch(id, tr)
+		n, err := op.fetch(id, tr)
 		if err != nil {
 			return nil, false, err
 		}
@@ -671,9 +721,10 @@ func (t *Tree) merge(parent *node, si int, left, right *node) error {
 // OverflowPageCount returns the number of pages held by value overflow
 // chains, by walking the leaf level.
 func (t *Tree) OverflowPageCount() (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n, err := t.descendToLeaf(nil, nil)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	op := t.newReadOp()
+	n, err := op.descendToLeaf(nil, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -685,7 +736,7 @@ func (t *Tree) OverflowPageCount() (int, error) {
 		if n.next == pager.NilPage {
 			return total, nil
 		}
-		if n, err = t.fetch(n.next, nil); err != nil {
+		if n, err = op.fetch(n.next, nil); err != nil {
 			return 0, err
 		}
 	}
@@ -694,20 +745,20 @@ func (t *Tree) OverflowPageCount() (int, error) {
 // PageCount returns the number of tree pages (internal + leaf), excluding
 // the meta page and overflow chains. It walks the tree.
 func (t *Tree) PageCount() (int, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.countPages(t.root)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.newReadOp().countPages(t.root)
 }
 
-func (t *Tree) countPages(id pager.PageID) (int, error) {
-	n, err := t.fetch(id, nil)
+func (o *readOp) countPages(id pager.PageID) (int, error) {
+	n, err := o.fetch(id, nil)
 	if err != nil {
 		return 0, err
 	}
 	total := 1
 	if !n.leaf {
 		for _, c := range n.children {
-			sub, err := t.countPages(c)
+			sub, err := o.countPages(c)
 			if err != nil {
 				return 0, err
 			}
@@ -733,13 +784,14 @@ type TreeStats struct {
 
 // Stats walks the tree and reports its physical shape.
 func (t *Tree) Stats() (TreeStats, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	op := t.newReadOp()
 	st := TreeStats{Height: t.hgt, Entries: t.count}
 	var fill, bytes float64
 	var walk func(id pager.PageID) error
 	walk = func(id pager.PageID) error {
-		n, err := t.fetch(id, nil)
+		n, err := op.fetch(id, nil)
 		if err != nil {
 			return err
 		}

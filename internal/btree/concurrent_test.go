@@ -1,0 +1,221 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/bufferpool"
+	"repro/internal/pager"
+)
+
+// buildConcurrentTree populates a tree with enough keys to span many pages.
+func buildConcurrentTree(t *testing.T, f pager.File) *Tree {
+	t.Helper()
+	tree, err := Create(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		key := []byte(fmt.Sprintf("key-%06d", i*7%3000))
+		if err := tree.Insert(key, []byte(fmt.Sprintf("val-%d", i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tree
+}
+
+// TestConcurrentReaders runs mixed Get/Scan/MultiScan/Cursor traffic from
+// many goroutines, each with a private tracker, and checks every result
+// against a sequential baseline. Run under -race this is the regression
+// test for the goroutine-safe read path.
+func TestConcurrentReaders(t *testing.T) {
+	for _, pooled := range []bool{false, true} {
+		name := "direct"
+		if pooled {
+			name = "pooled"
+		}
+		t.Run(name, func(t *testing.T) {
+			var f pager.File = pager.NewMemFile(0)
+			if pooled {
+				pool, err := bufferpool.New(f, bufferpool.Config{Pages: 32})
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer pool.Close()
+				f = pool
+			}
+			tree := buildConcurrentTree(t, f)
+			// Reads must hit the page file under the read lock, not the
+			// write path's shared cache, for this test to mean anything.
+			if err := tree.DropCache(); err != nil {
+				t.Fatal(err)
+			}
+
+			// Sequential baselines.
+			exactKey := []byte("key-001234")
+			wantV, ok, err := tree.Get(exactKey, nil)
+			if err != nil || !ok {
+				t.Fatalf("baseline Get: %v ok=%v", err, ok)
+			}
+			var wantScan [][]byte
+			err = tree.Scan([]byte("key-001000"), []byte("key-001100"), nil,
+				func(k, _ []byte) ([]byte, bool, error) {
+					wantScan = append(wantScan, append([]byte(nil), k...))
+					return nil, false, nil
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ivs := []Interval{
+				{Lo: []byte("key-000100"), Hi: []byte("key-000200")},
+				{Lo: []byte("key-002000"), Hi: []byte("key-002050")},
+			}
+			var wantMulti [][]byte
+			err = tree.MultiScan(ivs, nil, func(k, _ []byte) ([]byte, bool, error) {
+				wantMulti = append(wantMulti, append([]byte(nil), k...))
+				return nil, false, nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			const goroutines = 10
+			var wg sync.WaitGroup
+			for g := 0; g < goroutines; g++ {
+				wg.Add(1)
+				go func(g int) {
+					defer wg.Done()
+					tr := pager.NewTracker()
+					for rep := 0; rep < 20; rep++ {
+						switch (g + rep) % 4 {
+						case 0:
+							v, ok, err := tree.Get(exactKey, tr)
+							if err != nil || !ok || !bytes.Equal(v, wantV) {
+								t.Errorf("g%d Get: err=%v ok=%v val=%q want %q", g, err, ok, v, wantV)
+								return
+							}
+						case 1:
+							var got [][]byte
+							err := tree.Scan([]byte("key-001000"), []byte("key-001100"), tr,
+								func(k, _ []byte) ([]byte, bool, error) {
+									got = append(got, append([]byte(nil), k...))
+									return nil, false, nil
+								})
+							if err != nil || len(got) != len(wantScan) {
+								t.Errorf("g%d Scan: err=%v got %d keys want %d", g, err, len(got), len(wantScan))
+								return
+							}
+						case 2:
+							var got [][]byte
+							err := tree.MultiScan(ivs, tr, func(k, _ []byte) ([]byte, bool, error) {
+								got = append(got, append([]byte(nil), k...))
+								return nil, false, nil
+							})
+							if err != nil || len(got) != len(wantMulti) {
+								t.Errorf("g%d MultiScan: err=%v got %d keys want %d", g, err, len(got), len(wantMulti))
+								return
+							}
+						case 3:
+							c := tree.NewCursor(tr)
+							c.Seek([]byte("key-000500"))
+							n := 0
+							for c.Valid() && n < 25 {
+								if _, err := c.Value(); err != nil {
+									t.Errorf("g%d cursor value: %v", g, err)
+									return
+								}
+								c.Next()
+								n++
+							}
+							if err := c.Err(); err != nil {
+								t.Errorf("g%d cursor: %v", g, err)
+								return
+							}
+						}
+					}
+				}(g)
+			}
+			wg.Wait()
+		})
+	}
+}
+
+// TestConcurrentTrackerCountsMatchSequential checks the accounting
+// invariance end-to-end on a real tree: running a fixed query set
+// concurrently with per-goroutine trackers and merging them reports exactly
+// the distinct-page total of the same query set run sequentially under one
+// shared tracker.
+func TestConcurrentTrackerCountsMatchSequential(t *testing.T) {
+	tree := buildConcurrentTree(t, pager.NewMemFile(0))
+	if err := tree.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	queries := make([]Interval, 0, 16)
+	for i := 0; i < 16; i++ {
+		lo := []byte(fmt.Sprintf("key-%06d", i*180))
+		hi := []byte(fmt.Sprintf("key-%06d", i*180+40))
+		queries = append(queries, Interval{Lo: lo, Hi: hi})
+	}
+	scan := func(iv Interval, tr *pager.Tracker) error {
+		return tree.Scan(iv.Lo, iv.Hi, tr, func(_, _ []byte) ([]byte, bool, error) {
+			return nil, false, nil
+		})
+	}
+
+	shared := pager.NewTracker()
+	for _, iv := range queries {
+		if err := scan(iv, shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	per := make([]*pager.Tracker, len(queries))
+	var wg sync.WaitGroup
+	for i, iv := range queries {
+		per[i] = pager.NewTracker()
+		wg.Add(1)
+		go func(i int, iv Interval) {
+			defer wg.Done()
+			if err := scan(iv, per[i]); err != nil {
+				t.Error(err)
+			}
+		}(i, iv)
+	}
+	wg.Wait()
+
+	merged := pager.NewTracker()
+	for _, tr := range per {
+		merged.Merge(tr)
+	}
+	if merged.Reads() != shared.Reads() {
+		t.Fatalf("merged concurrent count %d != sequential shared count %d",
+			merged.Reads(), shared.Reads())
+	}
+}
+
+// TestReadersDoNotPolluteSharedCache pins the design invariant the read
+// path relies on: read-only traversals must not insert nodes into the
+// tree's shared cache (that is the write path's, under the write lock).
+func TestReadersDoNotPolluteSharedCache(t *testing.T) {
+	tree := buildConcurrentTree(t, pager.NewMemFile(0))
+	if err := tree.DropCache(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.cache); got != 0 {
+		t.Fatalf("cache not empty after DropCache: %d nodes", got)
+	}
+	if _, _, err := tree.Get([]byte("key-001234"), nil); err != nil {
+		t.Fatal(err)
+	}
+	err := tree.Scan(nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
+		return nil, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := len(tree.cache); got != 0 {
+		t.Fatalf("read path published %d nodes into the shared cache", got)
+	}
+}

@@ -83,19 +83,19 @@ type ScanFunc func(key, val []byte) (skipTo []byte, stop bool, err error)
 // several partial keys are read a single time. Intervals are normalized
 // internally.
 func (t *Tree) MultiScan(ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	ivs = NormalizeIntervals(ivs)
 	if len(ivs) == 0 {
 		return nil
 	}
-	s := &multiScan{t: t, tr: tr, ivs: ivs, fn: fn}
+	s := &multiScan{op: t.newReadOp(), tr: tr, ivs: ivs, fn: fn}
 	_, err := s.walk(t.root)
 	return err
 }
 
 type multiScan struct {
-	t    *Tree
+	op   *readOp
 	tr   *pager.Tracker
 	ivs  []Interval
 	iv   int    // current interval index (monotonically advances)
@@ -118,7 +118,7 @@ func (s *multiScan) advance(key []byte) bool {
 
 // walk processes a subtree; it returns stop=true when the scan is complete.
 func (s *multiScan) walk(id pager.PageID) (bool, error) {
-	n, err := s.t.fetch(id, s.tr)
+	n, err := s.op.fetch(id, s.tr)
 	if err != nil {
 		return true, err
 	}
@@ -133,7 +133,7 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 			if !s.ivs[s.iv].contains(key) {
 				continue
 			}
-			val, err := s.t.loadValue(n.vals[i], s.tr)
+			val, err := s.op.t.loadValue(n.vals[i], s.tr)
 			if err != nil {
 				return true, err
 			}
@@ -184,9 +184,10 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 // the index forwards from that point on"): one descent, then a walk of the
 // leaf chain over the whole [lo, hi) range, fetching every leaf touched.
 func (t *Tree) Scan(lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	n, err := t.descendToLeaf(lo, tr)
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	op := t.newReadOp()
+	n, err := op.descendToLeaf(lo, tr)
 	if err != nil {
 		return err
 	}
@@ -216,7 +217,7 @@ func (t *Tree) Scan(lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
 		if n.next == pager.NilPage {
 			return nil
 		}
-		if n, err = t.fetch(n.next, tr); err != nil {
+		if n, err = op.fetch(n.next, tr); err != nil {
 			return err
 		}
 		i = 0
@@ -225,10 +226,10 @@ func (t *Tree) Scan(lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
 
 // descendToLeaf returns the leaf that would contain key (or the leftmost
 // leaf when key is nil).
-func (t *Tree) descendToLeaf(key []byte, tr *pager.Tracker) (*node, error) {
-	id := t.root
+func (o *readOp) descendToLeaf(key []byte, tr *pager.Tracker) (*node, error) {
+	id := o.t.root
 	for {
-		n, err := t.fetch(id, tr)
+		n, err := o.fetch(id, tr)
 		if err != nil {
 			return nil, err
 		}
@@ -245,9 +246,11 @@ func (t *Tree) descendToLeaf(key []byte, tr *pager.Tracker) (*node, error) {
 
 // Cursor iterates the tree in ascending key order. A cursor is only valid
 // while the tree is not mutated; interleaving writes with cursor use is a
-// programming error.
+// programming error. Concurrent cursors (each its own Cursor value) are
+// safe: every cursor carries a private readOp.
 type Cursor struct {
 	t     *Tree
+	op    *readOp
 	tr    *pager.Tracker
 	leaf  *node
 	idx   int
@@ -257,15 +260,15 @@ type Cursor struct {
 
 // NewCursor returns an unpositioned cursor; call Seek or First.
 func (t *Tree) NewCursor(tr *pager.Tracker) *Cursor {
-	return &Cursor{t: t, tr: tr}
+	return &Cursor{t: t, op: t.newReadOp(), tr: tr}
 }
 
 // Seek positions the cursor at the first key >= key (nil = first key).
 func (c *Cursor) Seek(key []byte) {
-	c.t.mu.Lock()
-	defer c.t.mu.Unlock()
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	c.valid, c.err = false, nil
-	n, err := c.t.descendToLeaf(key, c.tr)
+	n, err := c.op.descendToLeaf(key, c.tr)
 	if err != nil {
 		c.err = err
 		return
@@ -289,7 +292,7 @@ func (c *Cursor) settle() {
 		if c.leaf.next == pager.NilPage {
 			return
 		}
-		n, err := c.t.fetch(c.leaf.next, c.tr)
+		n, err := c.op.fetch(c.leaf.next, c.tr)
 		if err != nil {
 			c.err = err
 			return
@@ -304,8 +307,8 @@ func (c *Cursor) Next() {
 	if !c.valid {
 		return
 	}
-	c.t.mu.Lock()
-	defer c.t.mu.Unlock()
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	c.valid = false
 	c.idx++
 	c.settle()
@@ -331,7 +334,7 @@ func (c *Cursor) Value() ([]byte, error) {
 	if !c.valid {
 		return nil, fmt.Errorf("btree: Value on invalid cursor")
 	}
-	c.t.mu.Lock()
-	defer c.t.mu.Unlock()
+	c.t.mu.RLock()
+	defer c.t.mu.RUnlock()
 	return c.t.loadValue(c.leaf.vals[c.idx], c.tr)
 }

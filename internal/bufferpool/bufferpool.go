@@ -28,6 +28,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/pager"
 )
@@ -98,12 +99,43 @@ func (s *Stats) Sub(other Stats) {
 	s.PhysicalWrites -= other.PhysicalWrites
 }
 
-// frame is one cache slot.
+// counters is the pool's live cache accounting. Every field is atomic so
+// PoolStats can snapshot without taking the pool mutex: a Stats reader never
+// blocks (or races with) an eviction in progress.
+type counters struct {
+	hits           atomic.Int64
+	misses         atomic.Int64
+	evictions      atomic.Int64
+	writebacks     atomic.Int64
+	flushes        atomic.Int64
+	physicalReads  atomic.Int64
+	physicalWrites atomic.Int64
+}
+
+// snapshot materializes the counters into the exported Stats form.
+func (c *counters) snapshot() Stats {
+	return Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Evictions:      c.evictions.Load(),
+		Writebacks:     c.writebacks.Load(),
+		Flushes:        c.flushes.Load(),
+		PhysicalReads:  c.physicalReads.Load(),
+		PhysicalWrites: c.physicalWrites.Load(),
+	}
+}
+
+// frame is one cache slot. The latch serializes access to buf while the
+// frame is pinned: Read/Write copy page bytes under the latch with the pool
+// mutex released, so long memcpys of different frames proceed in parallel.
+// Latch holders always hold a pin (so the frame cannot be evicted or
+// reassigned under them) and never hold the pool mutex at the same time.
 type frame struct {
 	id    pager.PageID
 	buf   []byte
 	pins  int
 	dirty bool
+	latch sync.RWMutex
 }
 
 // Pool is a buffer-pool manager over a pager.File. It implements pager.File
@@ -117,7 +149,7 @@ type Pool struct {
 	table  map[pager.PageID]int // resident page -> frame index
 	free   []int                // unused frame indices
 	rep    replacer
-	stats  Stats
+	stats  counters
 	calls  pager.Stats // caller-visible op counts (File.Stats)
 	closed bool
 }
@@ -181,11 +213,11 @@ func (p *Pool) reclaimLocked() (int, error) {
 			p.rep.setEvictable(fi, true) // give the frame back
 			return 0, fmt.Errorf("bufferpool: writing back page %d: %w", f.id, err)
 		}
-		p.stats.PhysicalWrites++
-		p.stats.Writebacks++
+		p.stats.physicalWrites.Add(1)
+		p.stats.writebacks.Add(1)
 		f.dirty = false
 	}
-	p.stats.Evictions++
+	p.stats.evictions.Add(1)
 	delete(p.table, f.id)
 	return fi, nil
 }
@@ -194,14 +226,14 @@ func (p *Pool) reclaimLocked() (int, error) {
 // a miss) and takes one pin on it.
 func (p *Pool) pinLocked(id pager.PageID) (int, error) {
 	if fi, ok := p.table[id]; ok {
-		p.stats.Hits++
+		p.stats.hits.Add(1)
 		f := &p.frames[fi]
 		f.pins++
 		p.rep.noteAccess(fi)
 		p.rep.setEvictable(fi, false)
 		return fi, nil
 	}
-	p.stats.Misses++
+	p.stats.misses.Add(1)
 	fi, err := p.reclaimLocked()
 	if err != nil {
 		return 0, err
@@ -211,7 +243,7 @@ func (p *Pool) pinLocked(id pager.PageID) (int, error) {
 		p.free = append(p.free, fi)
 		return 0, err
 	}
-	p.stats.PhysicalReads++
+	p.stats.physicalReads.Add(1)
 	f.id = id
 	f.pins = 1
 	f.dirty = false
@@ -266,23 +298,35 @@ func (p *Pool) Unpin(id pager.PageID, dirty bool) error {
 }
 
 // Read implements pager.File: it serves the page from its frame, loading it
-// from the backing file first on a miss.
+// from the backing file first on a miss. The copy out of the frame happens
+// under the frame's latch with the pool mutex released, so concurrent
+// readers of different pages overlap their copies.
 func (p *Pool) Read(id pager.PageID, buf []byte) error {
 	p.mu.Lock()
-	defer p.mu.Unlock()
 	if p.closed {
+		p.mu.Unlock()
 		return ErrClosed
 	}
 	if len(buf) != p.size {
+		p.mu.Unlock()
 		return pager.ErrPageSize
 	}
 	p.calls.Reads++
 	fi, err := p.pinLocked(id)
 	if err != nil {
+		p.mu.Unlock()
 		return err
 	}
-	copy(buf, p.frames[fi].buf)
+	f := &p.frames[fi]
+	p.mu.Unlock()
+
+	f.latch.RLock()
+	copy(buf, f.buf)
+	f.latch.RUnlock()
+
+	p.mu.Lock()
 	p.unpinLocked(fi, false)
+	p.mu.Unlock()
 	return nil
 }
 
@@ -301,17 +345,27 @@ func (p *Pool) Write(id pager.PageID, buf []byte) error {
 	}
 	p.calls.Writes++
 	if fi, ok := p.table[id]; ok {
-		p.stats.Hits++
+		p.stats.hits.Add(1)
 		f := &p.frames[fi]
-		copy(f.buf, buf)
-		f.dirty = true
+		// Pin the frame so it survives the mutex gap, then copy under
+		// the exclusive frame latch; the unpin marks it dirty.
+		f.pins++
 		p.rep.noteAccess(fi)
+		p.rep.setEvictable(fi, false)
+		p.mu.Unlock()
+
+		f.latch.Lock()
+		copy(f.buf, buf)
+		f.latch.Unlock()
+
+		p.mu.Lock()
+		p.unpinLocked(fi, true)
 		return nil
 	}
 	if err := p.inner.Write(id, buf); err != nil {
 		return err
 	}
-	p.stats.PhysicalWrites++
+	p.stats.physicalWrites.Add(1)
 	return nil
 }
 
@@ -377,11 +431,12 @@ func (p *Pool) Stats() pager.Stats {
 	return p.calls
 }
 
-// PoolStats returns a snapshot of the cache counters.
+// PoolStats returns a snapshot of the cache counters. The counters are
+// atomic, so the snapshot never takes the pool mutex and is safe to call
+// concurrently with evictions and page traffic; each counter is internally
+// consistent, while cross-counter sums may be mid-update by one operation.
 func (p *Pool) PoolStats() Stats {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.stats
+	return p.stats.snapshot()
 }
 
 // flushLocked writes back every dirty frame and syncs the backing file when
@@ -392,11 +447,16 @@ func (p *Pool) flushLocked() error {
 		if !f.dirty {
 			continue
 		}
-		if err := p.inner.Write(f.id, f.buf); err != nil {
+		// A dirty frame may be pinned with a writer mid-copy under its
+		// latch; the read latch makes the flushed image a consistent one.
+		f.latch.RLock()
+		err := p.inner.Write(f.id, f.buf)
+		f.latch.RUnlock()
+		if err != nil {
 			return fmt.Errorf("bufferpool: flushing page %d: %w", f.id, err)
 		}
-		p.stats.PhysicalWrites++
-		p.stats.Flushes++
+		p.stats.physicalWrites.Add(1)
+		p.stats.flushes.Add(1)
 		f.dirty = false
 	}
 	if s, ok := p.inner.(syncer); ok {

@@ -43,6 +43,36 @@ type Stats struct {
 	Intervals      int // search intervals after compilation
 }
 
+// ExecContext is the mutable per-query execution state: the page tracker,
+// the algorithm choice, and the accumulated cost counters. Every
+// Query/ExecuteFunc call that is not handed one explicitly gets a fresh
+// ExecContext, so two concurrent Parscan descents never share mutable
+// state — this is the unit the engine's "any number of readers" contract
+// is built from. An ExecContext must not be shared between goroutines;
+// combine per-goroutine contexts afterwards with Tracker.Merge (the
+// distinct-page union is identical to a sequential run under one shared
+// tracker).
+//
+// Reusing one ExecContext across several sequential queries reproduces the
+// paper's buffered experiment model: the tracker deduplicates pages across
+// the whole sequence, Stats.PagesRead reports cumulative distinct pages,
+// and the scan counters accumulate.
+type ExecContext struct {
+	// Tracker deduplicates page reads. NewExecContext allocates one; a
+	// zero-value ExecContext lazily gets one on first use.
+	Tracker *pager.Tracker
+	// Algorithm is the retrieval strategy for queries run under this
+	// context.
+	Algorithm Algorithm
+	// Stats accumulates cost over every query executed with this context.
+	Stats Stats
+}
+
+// NewExecContext returns an ExecContext with a fresh tracker.
+func NewExecContext(alg Algorithm) *ExecContext {
+	return &ExecContext{Tracker: pager.NewTracker(), Algorithm: alg}
+}
+
 // Execute runs a query and materializes the matches. tr may be nil, in
 // which case a fresh tracker is used; pass an explicit tracker to share
 // page accounting across several queries.
@@ -56,16 +86,28 @@ func (ix *Index) Execute(q Query, alg Algorithm, tr *pager.Tracker) ([]Match, St
 }
 
 // ExecuteFunc runs a query, streaming matches to fn; fn returning false
-// stops the scan early.
+// stops the scan early. It wraps the query in a private ExecContext (or
+// one around the caller's tracker) and delegates to ExecuteCtx.
 func (ix *Index) ExecuteFunc(q Query, alg Algorithm, tr *pager.Tracker, fn func(Match) bool) (Stats, error) {
-	if tr == nil {
-		tr = pager.NewTracker()
+	return ix.ExecuteCtx(q, &ExecContext{Tracker: tr, Algorithm: alg}, fn)
+}
+
+// ExecuteCtx runs a query under an explicit execution context, streaming
+// matches to fn (fn returning false stops the scan early). The returned
+// Stats are this query's own counters; ctx.Stats additionally accumulates
+// them (with PagesRead always the context tracker's cumulative distinct
+// count). ExecuteCtx is safe to call concurrently on the same Index as
+// long as each goroutine uses its own ExecContext.
+func (ix *Index) ExecuteCtx(q Query, ctx *ExecContext, fn func(Match) bool) (Stats, error) {
+	if ctx.Tracker == nil {
+		ctx.Tracker = pager.NewTracker()
 	}
+	tr := ctx.Tracker
 	p, err := ix.compile(q)
 	if err != nil {
 		return Stats{}, err
 	}
-	stats := Stats{Algorithm: alg, Intervals: len(p.intervals)}
+	stats := Stats{Algorithm: ctx.Algorithm, Intervals: len(p.intervals)}
 	lastDistinct := "" // forward-scan duplicate suppression for Distinct
 	emit := func(key []byte) (skipTo []byte, stop bool, err error) {
 		stats.EntriesScanned++
@@ -93,7 +135,7 @@ func (ix *Index) ExecuteFunc(q Query, alg Algorithm, tr *pager.Tracker, fn func(
 		}
 		return skip, false, nil
 	}
-	switch alg {
+	switch ctx.Algorithm {
 	case Parallel:
 		err = ix.tree.MultiScan(p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
 			return emit(k)
@@ -120,8 +162,13 @@ func (ix *Index) ExecuteFunc(q Query, alg Algorithm, tr *pager.Tracker, fn func(
 			}
 		}
 	default:
-		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(alg))
+		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(ctx.Algorithm))
 	}
 	stats.PagesRead = tr.Reads()
+	ctx.Stats.Algorithm = ctx.Algorithm
+	ctx.Stats.Intervals += stats.Intervals
+	ctx.Stats.EntriesScanned += stats.EntriesScanned
+	ctx.Stats.Matches += stats.Matches
+	ctx.Stats.PagesRead = tr.Reads()
 	return stats, err
 }

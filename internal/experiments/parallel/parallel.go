@@ -1,0 +1,219 @@
+// Package parallel is the concurrent-throughput benchmark: one
+// QueryParallel batch of mixed exact/range/subtree/path queries against
+// the engine facade, reporting aggregate queries/sec and buffer-pool
+// hit/miss counters. It lives apart from the main experiments package
+// because it drives the public repro facade (the experiments package is
+// itself imported by the facade's benchmarks).
+package parallel
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"runtime"
+	"time"
+
+	uindex "repro"
+)
+
+// Config sizes the concurrent-throughput benchmark.
+type Config struct {
+	Workers   int // goroutines in the query pool (<=0: GOMAXPROCS)
+	Jobs      int // queries in the batch
+	Objects   int // vehicles in the database
+	PoolPages int // buffer-pool frames (0 = direct page file)
+	Policy    string
+	Seed      int64
+}
+
+// Result reports aggregate throughput of one QueryParallel batch
+// plus the buffer pool's hit/miss counters (zero when no pool).
+type Result struct {
+	Config        Config
+	Elapsed       time.Duration
+	QueriesPerSec float64
+	Matches       int // total matches across the batch
+	PagesRead     int // sum of per-query logical distinct-page counts
+	Pool          *uindex.BufferPoolStats
+}
+
+// buildParallelDB grows a vehicle/company/employee database with a
+// class-hierarchy color index and a two-ref age path index — the same shape
+// as the engine's concurrency tests, at benchmark scale.
+func buildParallelDB(cfg Config) (*uindex.Database, error) {
+	s := uindex.NewSchema()
+	add := func(name, parent string, attrs ...uindex.Attr) error {
+		return s.AddClass(name, parent, attrs...)
+	}
+	if err := add("Employee", "", uindex.Attr{Name: "Age", Type: uindex.Uint64}); err != nil {
+		return nil, err
+	}
+	if err := add("Company", "",
+		uindex.Attr{Name: "Name", Type: uindex.String},
+		uindex.Attr{Name: "President", Ref: "Employee"}); err != nil {
+		return nil, err
+	}
+	if err := add("Vehicle", "",
+		uindex.Attr{Name: "Color", Type: uindex.String},
+		uindex.Attr{Name: "ManufacturedBy", Ref: "Company"}); err != nil {
+		return nil, err
+	}
+	for _, c := range [][2]string{{"Automobile", "Vehicle"}, {"Truck", "Vehicle"}, {"CompactAutomobile", "Automobile"}} {
+		if err := add(c[0], c[1]); err != nil {
+			return nil, err
+		}
+	}
+	db, err := uindex.NewDatabaseWith(s, uindex.Options{PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy})
+	if err != nil {
+		return nil, err
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
+	classes := []string{"Vehicle", "Automobile", "Truck", "CompactAutomobile"}
+	var employees, companies []uindex.OID
+	for i := 0; i < cfg.Objects/10+1; i++ {
+		oid, err := db.Insert("Employee", uindex.Attrs{"Age": uint64(30 + rng.Intn(40))})
+		if err != nil {
+			return nil, err
+		}
+		employees = append(employees, oid)
+	}
+	for i := 0; i < cfg.Objects/20+1; i++ {
+		oid, err := db.Insert("Company", uindex.Attrs{
+			"Name":      fmt.Sprintf("Co-%04d", i),
+			"President": employees[rng.Intn(len(employees))],
+		})
+		if err != nil {
+			return nil, err
+		}
+		companies = append(companies, oid)
+	}
+	if err := db.CreateIndex(uindex.IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}); err != nil {
+		return nil, err
+	}
+	if err := db.CreateIndex(uindex.IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}); err != nil {
+		return nil, err
+	}
+	for i := 0; i < cfg.Objects; i++ {
+		if _, err := db.Insert(classes[rng.Intn(len(classes))], uindex.Attrs{
+			"Color":          colors[rng.Intn(len(colors))],
+			"ManufacturedBy": companies[rng.Intn(len(companies))],
+		}); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
+}
+
+// parallelJobs generates the mixed exact/range/subtree/path batch.
+func parallelJobs(n int, seed int64) []uindex.QueryJob {
+	rng := rand.New(rand.NewSource(seed + 1))
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
+	classes := []string{"Vehicle", "Automobile", "Truck", "CompactAutomobile"}
+	jobs := make([]uindex.QueryJob, 0, n)
+	for i := 0; i < n; i++ {
+		switch i % 4 {
+		case 0: // exact color over a class subtree
+			jobs = append(jobs, uindex.QueryJob{Index: "color", Query: uindex.Query{
+				Value:     uindex.Exact(colors[rng.Intn(len(colors))]),
+				Positions: []uindex.Position{uindex.On(classes[rng.Intn(len(classes))])},
+			}})
+		case 1: // color range
+			lo, hi := rng.Intn(len(colors)), rng.Intn(len(colors))
+			if colors[lo] > colors[hi] {
+				lo, hi = hi, lo
+			}
+			jobs = append(jobs, uindex.QueryJob{Index: "color", Query: uindex.Query{
+				Value:     uindex.Range(colors[lo], colors[hi]),
+				Positions: []uindex.Position{uindex.On("Vehicle")},
+			}})
+		case 2: // exact path-index probe
+			jobs = append(jobs, uindex.QueryJob{Index: "age", Query: uindex.Query{
+				Value: uindex.Exact(uint64(30 + rng.Intn(40))),
+			}})
+		default: // age range restricted to a vehicle subtree (terminal-first)
+			lo := uint64(30 + rng.Intn(30))
+			jobs = append(jobs, uindex.QueryJob{Index: "age", Query: uindex.Query{
+				Value:     uindex.Range(lo, lo+8),
+				Positions: []uindex.Position{uindex.Any, uindex.Any, uindex.On(classes[rng.Intn(len(classes))])},
+			}})
+		}
+	}
+	return jobs
+}
+
+// RunParallel builds the database, executes one QueryParallel batch, and
+// reports aggregate throughput plus pool counters. Pool counters are
+// snapshotted around the batch only, so build-time traffic is excluded.
+func RunParallel(cfg Config) (*Result, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 400
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 6000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	db, err := buildParallelDB(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	// Clear the trees' write-path node caches so the measured reads go
+	// through the page files and their pools.
+	if err := db.DropCaches(); err != nil {
+		return nil, err
+	}
+	jobs := parallelJobs(cfg.Jobs, cfg.Seed)
+
+	before, hasPool := db.PoolStats()
+	start := time.Now()
+	results := db.QueryParallel(jobs, cfg.Workers)
+	elapsed := time.Since(start)
+
+	res := &Result{Config: cfg, Elapsed: elapsed}
+	if secs := elapsed.Seconds(); secs > 0 {
+		res.QueriesPerSec = float64(len(jobs)) / secs
+	}
+	for i, r := range results {
+		if r.Err != nil {
+			return nil, fmt.Errorf("job %d: %w", i, r.Err)
+		}
+		res.Matches += r.Stats.Matches
+		res.PagesRead += r.Stats.PagesRead
+	}
+	if hasPool {
+		after, _ := db.PoolStats()
+		delta := uindex.BufferPoolStats{
+			Hits:           after.Hits - before.Hits,
+			Misses:         after.Misses - before.Misses,
+			Evictions:      after.Evictions - before.Evictions,
+			Writebacks:     after.Writebacks - before.Writebacks,
+			Flushes:        after.Flushes - before.Flushes,
+			PhysicalReads:  after.PhysicalReads - before.PhysicalReads,
+			PhysicalWrites: after.PhysicalWrites - before.PhysicalWrites,
+		}
+		res.Pool = &delta
+	}
+	return res, nil
+}
+
+// Render prints one RunParallel result.
+func Render(w io.Writer, r *Result) {
+	fmt.Fprintf(w, "parallel query throughput (%d objects, %d jobs, %d workers)\n",
+		r.Config.Objects, r.Config.Jobs, r.Config.Workers)
+	fmt.Fprintf(w, "  elapsed        %s\n", r.Elapsed.Round(time.Microsecond))
+	fmt.Fprintf(w, "  queries/sec    %.0f\n", r.QueriesPerSec)
+	fmt.Fprintf(w, "  matches        %d\n", r.Matches)
+	fmt.Fprintf(w, "  logical pages  %d (sum of per-query distinct counts)\n", r.PagesRead)
+	if r.Pool != nil {
+		fmt.Fprintf(w, "  pool hits      %d\n", r.Pool.Hits)
+		fmt.Fprintf(w, "  pool misses    %d\n", r.Pool.Misses)
+		fmt.Fprintf(w, "  pool hit-rate  %.1f%%\n", r.Pool.HitRate()*100)
+		fmt.Fprintf(w, "  physical reads %d\n", r.Pool.PhysicalReads)
+	} else {
+		fmt.Fprintf(w, "  pool           off (run with -poolpages N for hit/miss counters)\n")
+	}
+}

@@ -1,0 +1,31 @@
+package parallel
+
+import "testing"
+
+// TestRunParallel smoke-tests the throughput benchmark at a small scale,
+// with and without a buffer pool.
+func TestRunParallel(t *testing.T) {
+	for _, pool := range []int{0, 64} {
+		r, err := RunParallel(Config{Workers: 4, Jobs: 32, Objects: 400, PoolPages: pool, Seed: 7})
+		if err != nil {
+			t.Fatalf("pool=%d: %v", pool, err)
+		}
+		if r.QueriesPerSec <= 0 {
+			t.Fatalf("pool=%d: no throughput reported", pool)
+		}
+		if r.PagesRead == 0 {
+			t.Fatalf("pool=%d: no logical pages counted", pool)
+		}
+		if pool == 0 && r.Pool != nil {
+			t.Fatal("pool counters reported without a pool")
+		}
+		if pool > 0 {
+			if r.Pool == nil {
+				t.Fatal("no pool counters with a pool configured")
+			}
+			if r.Pool.Hits+r.Pool.Misses == 0 {
+				t.Fatal("pool saw no traffic; DropCaches did not take effect")
+			}
+		}
+	}
+}

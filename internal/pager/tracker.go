@@ -10,6 +10,14 @@ package pager
 //
 // A nil *Tracker is valid everywhere and counts nothing, so read paths that
 // do not care about accounting can pass nil.
+//
+// A Tracker is NOT safe for concurrent use: it is per-query state. The
+// concurrency contract of the engine is one Tracker per goroutine (the core
+// package's ExecContext creates one per query); per-goroutine trackers are
+// combined afterwards with Merge, which deduplicates pages the goroutines
+// touched in common, so experiment-level "distinct pages read" totals are
+// identical whether the queries ran sequentially under one shared tracker
+// or concurrently under private ones.
 type Tracker struct {
 	seen  map[PageID]struct{}
 	reads int
@@ -49,6 +57,20 @@ func (t *Tracker) Reads() int {
 		return 0
 	}
 	return t.reads
+}
+
+// Merge folds the pages seen by other into t without double-counting:
+// after the call t.Reads() is the number of distinct pages touched by
+// either tracker. other may be nil or empty. Merging the per-goroutine
+// trackers of a concurrent run therefore reproduces exactly the count a
+// single shared tracker would have reported for the same page set.
+func (t *Tracker) Merge(other *Tracker) {
+	if t == nil || other == nil {
+		return
+	}
+	for id := range other.seen {
+		t.Touch(id)
+	}
 }
 
 // Reset clears the tracker for reuse by the next query.

@@ -1,0 +1,73 @@
+package pager
+
+import "testing"
+
+func TestTrackerMerge(t *testing.T) {
+	a, b := NewTracker(), NewTracker()
+	for _, id := range []PageID{1, 2, 3, 4} {
+		a.Touch(id)
+	}
+	for _, id := range []PageID{3, 4, 5, 6} {
+		b.Touch(id)
+	}
+	a.Merge(b)
+	if got := a.Reads(); got != 6 {
+		t.Fatalf("merged reads = %d, want 6 (distinct pages 1-6)", got)
+	}
+	// b is untouched by the merge.
+	if got := b.Reads(); got != 4 {
+		t.Fatalf("source tracker changed by Merge: reads = %d, want 4", got)
+	}
+	// Merge is idempotent: folding the same pages in again adds nothing.
+	a.Merge(b)
+	if got := a.Reads(); got != 6 {
+		t.Fatalf("re-merged reads = %d, want 6", got)
+	}
+	// Nil source and nil receiver are no-ops.
+	a.Merge(nil)
+	var nilTr *Tracker
+	nilTr.Merge(a)
+	if got := a.Reads(); got != 6 {
+		t.Fatalf("after nil merges reads = %d, want 6", got)
+	}
+}
+
+// TestTrackerMergeEqualsSequential is the accounting invariance the
+// concurrent executor relies on: splitting a page-access sequence across
+// per-goroutine trackers and merging them yields the same distinct-page
+// count as feeding the whole sequence through one shared tracker.
+func TestTrackerMergeEqualsSequential(t *testing.T) {
+	accesses := []PageID{7, 1, 7, 3, 9, 1, 12, 3, 3, 40, 9, 7, 2}
+
+	shared := NewTracker()
+	for _, id := range accesses {
+		shared.Touch(id)
+	}
+
+	per := []*Tracker{NewTracker(), NewTracker(), NewTracker()}
+	for i, id := range accesses {
+		per[i%len(per)].Touch(id)
+	}
+	merged := NewTracker()
+	for _, tr := range per {
+		merged.Merge(tr)
+	}
+
+	if merged.Reads() != shared.Reads() {
+		t.Fatalf("merged per-goroutine count %d != sequential shared count %d",
+			merged.Reads(), shared.Reads())
+	}
+}
+
+func TestTrackerReset(t *testing.T) {
+	tr := NewTracker()
+	tr.Touch(1)
+	tr.Touch(2)
+	tr.Reset()
+	if tr.Reads() != 0 || tr.Touched(1) {
+		t.Fatalf("Reset left state behind: reads=%d touched(1)=%v", tr.Reads(), tr.Touched(1))
+	}
+	if !tr.Touch(1) {
+		t.Fatal("Touch after Reset did not count the page as new")
+	}
+}

@@ -32,6 +32,28 @@ import (
 	"repro/internal/store"
 )
 
+// Run parses input and executes it on the index under the given execution
+// context (nil selects a fresh Parallel-algorithm context). This is the
+// textual-query entry point of the executor layer: every run gets its own
+// per-query ExecContext unless the caller passes one to share page
+// accounting, so concurrent textual queries are as independent as
+// programmatic ones.
+func Run(ix *core.Index, input string, ctx *core.ExecContext) ([]core.Match, core.Stats, error) {
+	q, err := Parse(ix, input)
+	if err != nil {
+		return nil, core.Stats{}, err
+	}
+	if ctx == nil {
+		ctx = core.NewExecContext(core.Parallel)
+	}
+	var out []core.Match
+	stats, err := ix.ExecuteCtx(q, ctx, func(m core.Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, stats, err
+}
+
 // Parse compiles a textual query against the given index.
 func Parse(ix *core.Index, input string) (core.Query, error) {
 	p := &parser{ix: ix, in: input}

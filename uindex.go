@@ -30,6 +30,9 @@ package uindex
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/bufferpool"
 	"repro/internal/core"
@@ -79,6 +82,10 @@ type (
 	Tracker = pager.Tracker
 	// BufferPoolStats is a snapshot of the buffer-pool cache counters.
 	BufferPoolStats = bufferpool.Stats
+	// ExecContext is the per-query execution state (tracker + algorithm +
+	// accumulated stats); one is created per query unless shared
+	// explicitly.
+	ExecContext = core.ExecContext
 )
 
 // Attribute type selectors for Attr.Type.
@@ -99,16 +106,17 @@ const (
 
 // Query constructor helpers, re-exported from the core package.
 var (
-	Exact        = core.Exact
-	OneOf        = core.OneOf
-	Range        = core.Range
-	Uint64Range  = core.Uint64Range
-	On           = core.On
-	OnExact      = core.OnExact
-	OnObjects    = core.OnObjects
-	OneOfClasses = core.OneOfClasses
-	Any          = core.Any
-	NewTracker   = pager.NewTracker
+	Exact          = core.Exact
+	OneOf          = core.OneOf
+	Range          = core.Range
+	Uint64Range    = core.Uint64Range
+	On             = core.On
+	OnExact        = core.OnExact
+	OnObjects      = core.OnObjects
+	OneOfClasses   = core.OneOfClasses
+	Any            = core.Any
+	NewTracker     = pager.NewTracker
+	NewExecContext = core.NewExecContext
 )
 
 // NewSchema returns an empty schema.
@@ -127,7 +135,17 @@ type Options struct {
 }
 
 // Database is a schema + object store + U-indexes, kept consistent.
+//
+// Concurrency contract: any number of concurrent readers OR a single
+// writer. Query, QueryWith, QueryString, QueryParallel, Get, ClassOf and
+// the other read-only accessors share a read lock and run in parallel (each
+// query executes under its own ExecContext, so no per-query state is
+// shared); Insert, Delete, Set, CreateIndex, DropIndex and Close take the
+// write lock and run exclusively. The same contract holds layer by layer
+// underneath: goroutine-safe buffer pools and page files, and index trees
+// whose read paths never mutate shared state.
 type Database struct {
+	mu      sync.RWMutex
 	sch     *schema.Schema
 	st      *store.Store
 	indexes map[string]*core.Index
@@ -164,6 +182,8 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 // Close is still safe to call. The database must not be used afterwards
 // when pools were configured.
 func (db *Database) Close() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	var first error
 	for _, name := range db.order {
 		pool, ok := db.pools[name]
@@ -181,12 +201,31 @@ func (db *Database) Close() error {
 	return first
 }
 
+// DropCaches flushes every index's in-memory node cache so subsequent
+// reads go through the page files (and their buffer pools, when
+// configured). Cold-cache measurements call this between the build and
+// measure phases; it takes the writer lock, so no queries may be in
+// flight.
+func (db *Database) DropCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	var first error
+	for _, name := range db.order {
+		if err := db.indexes[name].DropCache(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
 // PoolStats aggregates the buffer-pool counters over every index. ok is
 // false when the database was opened without a pool (Options.PoolPages 0).
 func (db *Database) PoolStats() (BufferPoolStats, bool) {
 	if db.opts.PoolPages <= 0 {
 		return BufferPoolStats{}, false
 	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	var agg BufferPoolStats
 	for _, p := range db.pools {
 		agg.Add(p.PoolStats())
@@ -208,6 +247,8 @@ func (db *Database) Coding() *Coding { return db.sch.Coding() }
 // Each index lives in its own in-memory page file with the paper's 1024-byte
 // pages; with Options.PoolPages set, a buffer pool sits in front of it.
 func (db *Database) CreateIndex(spec IndexSpec) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	if _, dup := db.indexes[spec.Name]; dup {
 		return fmt.Errorf("uindex: index %q already exists", spec.Name)
 	}
@@ -241,6 +282,8 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 
 // DropIndex removes an index, closing its buffer pool if it has one.
 func (db *Database) DropIndex(name string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	ix, ok := db.indexes[name]
 	if !ok {
 		return fmt.Errorf("uindex: no index %q", name)
@@ -263,19 +306,27 @@ func (db *Database) DropIndex(name string) error {
 	return err
 }
 
-// Index returns a declared index by name.
+// Index returns a declared index by name. The returned index may be used
+// for concurrent read-only calls; interleaving direct mutations with
+// Database traffic is the caller's responsibility.
 func (db *Database) Index(name string) (*core.Index, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ix, ok := db.indexes[name]
 	return ix, ok
 }
 
 // Indexes lists the declared index names in creation order.
 func (db *Database) Indexes() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	return append([]string(nil), db.order...)
 }
 
 // Insert stores a new object and adds its entries to every index.
 func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	oid, err := db.st.Insert(class, attrs)
 	if err != nil {
 		return 0, err
@@ -292,6 +343,8 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 // reference the deleted one keep dangling references; their index entries
 // through the deleted object are removed here.
 func (db *Database) Delete(oid OID) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	for _, name := range db.order {
 		if err := db.indexes[name].Remove(oid); err != nil {
 			return fmt.Errorf("uindex: maintaining index %q: %w", name, err)
@@ -304,6 +357,8 @@ func (db *Database) Delete(oid OID) error {
 // the paper's Section 3.5 (a president switching companies is exactly one
 // Set call).
 func (db *Database) Set(oid OID, attr string, v any) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
 	type diff struct {
 		ix   *core.Index
 		old  [][]byte
@@ -334,21 +389,104 @@ func (db *Database) Set(oid OID, attr string, v any) error {
 }
 
 // Get returns an object by id.
-func (db *Database) Get(oid OID) (*Object, bool) { return db.st.Get(oid) }
+func (db *Database) Get(oid OID) (*Object, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.st.Get(oid)
+}
 
-// Query runs a query on the named index with the parallel algorithm.
+// Query runs a query on the named index with the parallel algorithm. Each
+// call executes under a fresh ExecContext, so any number of Query calls may
+// run concurrently (they share the engine read lock).
 func (db *Database) Query(index string, q Query) ([]Match, Stats, error) {
 	return db.QueryWith(index, q, Parallel, nil)
 }
 
 // QueryWith runs a query with an explicit algorithm and optional shared
-// tracker.
+// tracker. A nil tracker gives the query a private one; a shared tracker
+// must not be used from multiple goroutines at once (give each goroutine
+// its own and combine them with Tracker.Merge).
 func (db *Database) QueryWith(index string, q Query, alg Algorithm, tr *Tracker) ([]Match, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ix, ok := db.indexes[index]
 	if !ok {
 		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
 	}
 	return ix.Execute(q, alg, tr)
+}
+
+// QueryJob names one query of a QueryParallel batch.
+type QueryJob struct {
+	// Index is the name of the index to query.
+	Index string
+	// Query is the query to run.
+	Query Query
+	// Algorithm selects the retrieval strategy; the zero value is
+	// Parallel (the paper's Algorithm 1).
+	Algorithm Algorithm
+}
+
+// QueryResult is the outcome of one QueryJob.
+type QueryResult struct {
+	Matches []Match
+	Stats   Stats
+	Err     error
+}
+
+// QueryParallel executes a batch of queries concurrently on a pool of
+// worker goroutines and returns the results in job order. workers <= 0
+// selects GOMAXPROCS. Every job runs under its own ExecContext (private
+// tracker, per-job stats), so jobs never share mutable state; the whole
+// batch holds the engine read lock, so it runs against one consistent
+// database snapshot while writers wait.
+//
+// Per-job Stats.PagesRead counts are the same as the job would report run
+// alone on a cold tracker; experiment-level totals that must match a
+// sequential shared-tracker run can be rebuilt by merging per-job trackers
+// (see Tracker.Merge) — QueryParallel itself keeps jobs independent.
+func (db *Database) QueryParallel(jobs []QueryJob, workers int) []QueryResult {
+	results := make([]QueryResult, len(jobs))
+	if len(jobs) == 0 {
+		return results
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				job := jobs[i]
+				ix, ok := db.indexes[job.Index]
+				if !ok {
+					results[i].Err = fmt.Errorf("uindex: no index %q", job.Index)
+					continue
+				}
+				ctx := core.NewExecContext(job.Algorithm)
+				var ms []Match
+				stats, err := ix.ExecuteCtx(job.Query, ctx, func(m Match) bool {
+					ms = append(ms, m)
+					return true
+				})
+				results[i] = QueryResult{Matches: ms, Stats: stats, Err: err}
+			}
+		}()
+	}
+	wg.Wait()
+	return results
 }
 
 // QueryString parses and runs a paper-style textual query such as
@@ -359,15 +497,13 @@ func (db *Database) QueryWith(index string, q Query, alg Algorithm, tr *Tracker)
 // against the named index. See the querylang package documentation for the
 // grammar.
 func (db *Database) QueryString(index, query string) ([]Match, Stats, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	ix, ok := db.indexes[index]
 	if !ok {
 		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
 	}
-	q, err := querylang.Parse(ix, query)
-	if err != nil {
-		return nil, Stats{}, err
-	}
-	return ix.Execute(q, Parallel, nil)
+	return querylang.Run(ix, query, nil)
 }
 
 // ParseQuery parses a paper-notation textual query (see the querylang
@@ -378,6 +514,8 @@ func ParseQuery(ix *core.Index, query string) (Query, error) {
 
 // ClassOf resolves an object id to its class name.
 func (db *Database) ClassOf(oid OID) (string, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	o, ok := db.st.Get(oid)
 	if !ok {
 		return "", false
