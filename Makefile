@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress ci
+.PHONY: build test race vet stress apicheck ci
 
 build:
 	$(GO) build ./...
@@ -15,12 +15,26 @@ race:
 	$(GO) test -race ./...
 
 # The concurrency stress suite alone, race-enabled and without cached
-# results: engine-level mixed workloads, per-tree reader storms, and the
-# tracker-merge accounting invariance.
+# results: engine-level mixed workloads, snapshot isolation under
+# committing writers, per-tree reader storms, and the tracker-merge
+# accounting invariance.
 stress:
-	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Race|Stats' ./...
+	$(GO) test -race -count=1 -run 'Concurrent|Parallel|Race|Stats|Snapshot|Stress|Writer' ./...
 
 vet:
 	$(GO) vet ./...
 
-ci: build vet test race
+# API-surface check: vet plus a grep that keeps the deprecated query
+# wrappers (QueryWith/QueryString) out of commands, examples, and internal
+# packages. The repo root is exempt — it holds the wrapper definitions and
+# their compatibility tests.
+apicheck: vet
+	@deprecated=$$(grep -rnE '\.(QueryWith|QueryString)\(' cmd/ examples/ internal/ || true); \
+	if [ -n "$$deprecated" ]; then \
+		echo "deprecated query API used outside the facade:"; \
+		echo "$$deprecated"; \
+		exit 1; \
+	fi
+	@echo "apicheck: ok"
+
+ci: build apicheck test race stress

@@ -10,6 +10,7 @@
 //	uindexbench -exp fig6 -extended      # add CH-tree and H-tree curves
 //	uindexbench -exp table1 -seed 7
 //	uindexbench -parallel 8              # concurrent query throughput
+//	uindexbench -mixed                   # read throughput vs. concurrent writers
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, all.
 package main
@@ -37,8 +38,42 @@ func main() {
 		policy    = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
 		parallel  = flag.Int("parallel", 0, "run the concurrent-throughput benchmark with this many worker goroutines instead of an experiment")
 		jobs      = flag.Int("jobs", 400, "queries in the -parallel batch")
+		mixed     = flag.Bool("mixed", false, "run the mixed read/write throughput benchmark: read throughput alone vs. with concurrent writers")
+		writers   = flag.Int("writers", 1, "writer goroutines in the -mixed benchmark")
+		writerate = flag.Int("writerate", 500, "paced mutations/sec per -mixed writer (-1 = unthrottled)")
+		duration  = flag.Duration("duration", 2*time.Second, "length of each -mixed phase")
 	)
 	flag.Parse()
+
+	if *mixed {
+		pool := *poolPages
+		if pool == 0 {
+			pool = 256
+		}
+		benchObjects := 0 // RunMixed's default scale
+		if *quick {
+			benchObjects = 2000
+		}
+		r, err := parbench.RunMixed(parbench.MixedConfig{
+			Config: parbench.Config{
+				Workers:   *parallel,
+				Jobs:      *jobs,
+				Objects:   benchObjects,
+				PoolPages: pool,
+				Policy:    *policy,
+				Seed:      *seed,
+			},
+			Duration:  *duration,
+			Writers:   *writers,
+			WriteRate: *writerate,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "uindexbench: mixed: %v\n", err)
+			os.Exit(1)
+		}
+		parbench.RenderMixed(os.Stdout, r)
+		return
+	}
 
 	if *parallel > 0 {
 		pool := *poolPages

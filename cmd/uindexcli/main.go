@@ -18,13 +18,13 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 
 	"repro"
-	"repro/internal/querylang"
 )
 
 func buildDemo(opts uindex.Options) (*uindex.Database, map[uindex.OID]string, error) {
@@ -186,7 +186,7 @@ Queries: <index> <query>, e.g.
 				fmt.Printf("  no index %q\n", parts[0])
 				break
 			}
-			parsed, err := querylang.Parse(ix, strings.TrimSpace(parts[1]))
+			parsed, err := uindex.ParseQuery(ix, strings.TrimSpace(parts[1]))
 			if err != nil {
 				fmt.Println(" ", err)
 				break
@@ -240,17 +240,18 @@ func runQuery(db *uindex.Database, names map[uindex.OID]string, line string) {
 		fmt.Printf("  no index %q (try .indexes)\n", ixName)
 		return
 	}
-	parsed, err := querylang.Parse(ix, q)
+	parsed, err := uindex.ParseQuery(ix, q)
 	if err != nil {
 		fmt.Println(" ", err)
 		return
 	}
-	ms, sp, err := ix.Execute(parsed, uindex.Parallel, nil)
+	ctx := context.Background()
+	ms, sp, err := db.Query(ctx, ixName, parsed)
 	if err != nil {
 		fmt.Println(" ", err)
 		return
 	}
-	_, sf, err := ix.Execute(parsed, uindex.Forward, nil)
+	_, sf, err := db.Query(ctx, ixName, parsed, uindex.WithAlgorithm(uindex.Forward))
 	if err != nil {
 		fmt.Println(" ", err)
 		return

@@ -1,6 +1,7 @@
 package uindex
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -161,7 +162,7 @@ func TestQueryParallel(t *testing.T) {
 	}
 
 	for _, workers := range []int{0, 1, 4, 16} {
-		results := db.QueryParallel(jobs, workers)
+		results := db.QueryParallel(context.Background(), jobs, workers)
 		if len(results) != len(jobs) {
 			t.Fatalf("workers=%d: %d results for %d jobs", workers, len(results), len(jobs))
 		}
@@ -179,7 +180,7 @@ func TestQueryParallel(t *testing.T) {
 	}
 
 	// Unknown index surfaces as a per-job error, not a panic.
-	bad := db.QueryParallel([]QueryJob{{Index: "nope", Query: Query{Value: Exact("Red")}}}, 2)
+	bad := db.QueryParallel(context.Background(), []QueryJob{{Index: "nope", Query: Query{Value: Exact("Red")}}}, 2)
 	if bad[0].Err == nil {
 		t.Fatal("expected error for unknown index")
 	}

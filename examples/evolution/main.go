@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -62,7 +63,7 @@ func main() {
 	// so the Owns path indexes directly.
 	check(db.CreateIndex(uindex.IndexSpec{
 		Name: "owned-mileage", Root: "Employee", Refs: []string{"Owns"}, Attr: "Mileage"}))
-	ms, _, err := db.Query("owned-mileage", uindex.Query{Value: uindex.Range(uint64(100), nil)})
+	ms, _, err := db.Query(context.Background(), "owned-mileage", uindex.Query{Value: uindex.Range(uint64(100), nil)})
 	check(err)
 	fmt.Printf("\nemployees owning a vehicle with mileage >= 100: %d match(es)\n", len(ms))
 

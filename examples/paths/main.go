@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -66,8 +67,20 @@ func main() {
 		check(err)
 	}
 
+	ctx := context.Background()
+	run := func(index, q string) ([]uindex.Match, uindex.Stats, error) {
+		ix, ok := db.Index(index)
+		if !ok {
+			return nil, uindex.Stats{}, fmt.Errorf("no index %q", index)
+		}
+		parsed, err := uindex.ParseQuery(ix, q)
+		if err != nil {
+			return nil, uindex.Stats{}, err
+		}
+		return db.Query(ctx, index, parsed)
+	}
 	show := func(label, index, q string) {
-		ms, stats, err := db.QueryString(index, q)
+		ms, stats, err := run(index, q)
 		check(err)
 		fmt.Printf("%-64s %5d matches %4d pages\n", label+"  "+q, len(ms), stats.PagesRead)
 	}
@@ -75,7 +88,7 @@ func main() {
 	fmt.Println("-- path queries (Section 3.3) --")
 	show("vehicles by companies with president aged 55", "vage", `(Age=55)`)
 	// Restrict to one company that actually has a 55-year-old president.
-	first, _, err := db.QueryString("vage", `(Age=55, ?, ?) ; distinct 2`)
+	first, _, err := run("vage", `(Age=55, ?, ?) ; distinct 2`)
 	check(err)
 	if len(first) > 0 {
 		show("  ... for one particular company", "vage",
@@ -94,12 +107,12 @@ func main() {
 	// The Section-3.5 update: a company replaces its president. One Set
 	// call; the facade applies the batch diff to both indexes.
 	fmt.Println("\n-- president switch (Section 3.5 batch update) --")
-	before, _, err := db.Query("vage", uindex.Query{Value: uindex.Exact(99)})
+	before, _, err := db.Query(ctx, "vage", uindex.Query{Value: uindex.Exact(99)})
 	check(err)
 	old, err := db.Insert("Employee", uindex.Attrs{"Age": 99})
 	check(err)
 	check(db.Set(companies[0], "President", old))
-	after, _, err := db.Query("vage", uindex.Query{Value: uindex.Exact(99)})
+	after, _, err := db.Query(ctx, "vage", uindex.Query{Value: uindex.Exact(99)})
 	check(err)
 	fmt.Printf("vehicles under a 99-year-old president: %d -> %d after the switch\n",
 		len(before), len(after))

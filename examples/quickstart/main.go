@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -43,7 +44,8 @@ func main() {
 
 	// 5. Query. On("Automobile") covers the class and its subclasses —
 	// the defining capability of a class-hierarchy index.
-	ms, stats, err := db.Query("color", uindex.Query{
+	ctx := context.Background()
+	ms, stats, err := db.Query(ctx, "color", uindex.Query{
 		Value:     uindex.Exact("Red"),
 		Positions: []uindex.Position{uindex.On("Automobile")},
 	})
@@ -53,8 +55,12 @@ func main() {
 		fmt.Printf("  %v -> object %d (class code %s)\n", m.Value, m.Path[0].OID, m.Path[0].Code.Compact())
 	}
 
-	// 6. The same query in the paper's textual notation.
-	ms, _, err = db.QueryString("color", `(Color={Red,Blue}, [Automobile*, Truck*])`)
+	// 6. The same query in the paper's textual notation, parsed first and
+	// then run through the same Query entry point.
+	ix, _ := db.Index("color")
+	q, err := uindex.ParseQuery(ix, `(Color={Red,Blue}, [Automobile*, Truck*])`)
+	check(err)
+	ms, _, err = db.Query(ctx, "color", q)
 	check(err)
 	fmt.Printf("red or blue automobiles/trucks: %d matches\n", len(ms))
 

@@ -15,13 +15,20 @@ package btree
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/bufferpool"
 	"repro/internal/pager"
 )
+
+// ErrSnapshotReleased is returned by operations on a released Snap.
+var ErrSnapshotReleased = errors.New("btree: snapshot released")
 
 // Config controls tree geometry.
 type Config struct {
@@ -36,25 +43,42 @@ type Config struct {
 	NoCompression bool
 }
 
-// Tree is a B+-tree. The concurrency contract is any number of concurrent
-// readers OR a single writer: read operations (Get, Scan, MultiScan,
-// cursors, Stats, PageCount) share an RLock and run in parallel, while
-// mutations (Insert, Delete, BulkLoad, Flush, DropCache) take the write
-// lock. The shared node cache holds nodes the *write* path has touched
-// (including dirty, not-yet-flushed ones); the read path consults it
-// read-only and keeps any nodes it decodes itself in per-operation local
-// caches (readOp), so concurrent descents never write shared state. Page
-// caching across read operations is the buffer pool's job (pager.File
-// implementations are goroutine-safe).
+// version is one immutable published state of the tree. Mutations never
+// modify a version's pages: every commit builds fresh pages along the
+// changed root-to-leaf path (copy-on-write), writes them to the page file,
+// and atomically publishes a new version. Readers load the pointer once and
+// traverse a frozen tree.
+type version struct {
+	root  pager.PageID
+	hgt   int // 1 = root is a leaf
+	count int
+	epoch uint64
+}
+
+// Tree is a multi-version B+-tree. Writers never block readers: mutations
+// (Insert, Delete, BulkLoad) are serialized by a per-tree writer mutex and
+// commit by publishing a new immutable version via an atomic pointer, while
+// read operations pin the current version (a cheap epoch registration in the
+// bufferpool.Reclaimer), traverse it without any tree-level lock, and unpin.
+// Superseded pages are retired to the Reclaimer and freed once no snapshot
+// pins an epoch that can reach them — with no snapshots open, space is
+// reclaimed at commit, so the page footprint matches an update-in-place
+// tree.
+//
+// Snapshot returns a long-lived pinned version with the read surface; the
+// per-operation reads below are one-shot snapshots. The decoded-node cache
+// holds committed nodes the write path has touched and is only accessed
+// under the writer mutex; read operations decode pages privately (caching
+// pages across reads is the buffer pool's job — pager.File implementations
+// are goroutine-safe).
 type Tree struct {
-	mu         sync.RWMutex
+	wmu        sync.Mutex // serializes mutations; commit publishes cur
 	f          pager.File
 	cfg        Config
 	meta       pager.PageID
-	root       pager.PageID
-	hgt        int // 1 = root is a leaf
-	count      int
-	cache      map[pager.PageID]*node
+	cur        atomic.Pointer[version]
+	rec        *bufferpool.Reclaimer
+	cache      map[pager.PageID]*node // committed nodes; writer path only
 	noCompress bool
 }
 
@@ -68,7 +92,7 @@ func Create(f pager.File, cfg Config) (*Tree, error) {
 	if cfg.MaxEntries == 1 {
 		return nil, fmt.Errorf("btree: MaxEntries must be 0 or >= 2")
 	}
-	t := &Tree{f: f, cfg: cfg, cache: make(map[pager.PageID]*node)}
+	t := &Tree{f: f, cfg: cfg, cache: make(map[pager.PageID]*node), rec: bufferpool.NewReclaimer(f)}
 	if cfg.NoCompression {
 		t.noCompress = true
 	}
@@ -81,9 +105,17 @@ func Create(f pager.File, cfg Config) (*Tree, error) {
 	if err != nil {
 		return nil, err
 	}
-	t.root = rootID
-	t.hgt = 1
-	t.cache[rootID] = &node{id: rootID, leaf: true, dirty: true}
+	// The empty root leaf is written out immediately: readers traverse
+	// published versions straight from the page file.
+	root := &node{id: rootID, leaf: true}
+	buf := make([]byte, f.PageSize())
+	if err := root.encode(buf, t.noCompress); err != nil {
+		return nil, err
+	}
+	if err := f.Write(rootID, buf); err != nil {
+		return nil, err
+	}
+	t.cur.Store(&version{root: rootID, hgt: 1})
 	if err := t.writeMeta(); err != nil {
 		return nil, err
 	}
@@ -103,13 +135,16 @@ func Open(f pager.File, meta pager.PageID) (*Tree, error) {
 	t := &Tree{
 		f:     f,
 		meta:  meta,
+		cfg:   Config{MaxEntries: int(binary.BigEndian.Uint32(buf[20:])), NoCompression: buf[24] == 1},
+		cache: make(map[pager.PageID]*node),
+		rec:   bufferpool.NewReclaimer(f),
+	}
+	t.noCompress = t.cfg.NoCompression
+	t.cur.Store(&version{
 		root:  pager.PageID(binary.BigEndian.Uint32(buf[4:])),
 		hgt:   int(binary.BigEndian.Uint32(buf[8:])),
 		count: int(binary.BigEndian.Uint64(buf[12:])),
-		cfg:   Config{MaxEntries: int(binary.BigEndian.Uint32(buf[20:])), NoCompression: buf[24] == 1},
-		cache: make(map[pager.PageID]*node),
-	}
-	t.noCompress = t.cfg.NoCompression
+	})
 	return t, nil
 }
 
@@ -117,11 +152,12 @@ func Open(f pager.File, meta pager.PageID) (*Tree, error) {
 func (t *Tree) MetaPage() pager.PageID { return t.meta }
 
 func (t *Tree) writeMeta() error {
+	v := t.cur.Load()
 	buf := make([]byte, t.f.PageSize())
 	binary.BigEndian.PutUint32(buf[0:], treeMagic)
-	binary.BigEndian.PutUint32(buf[4:], uint32(t.root))
-	binary.BigEndian.PutUint32(buf[8:], uint32(t.hgt))
-	binary.BigEndian.PutUint64(buf[12:], uint64(t.count))
+	binary.BigEndian.PutUint32(buf[4:], uint32(v.root))
+	binary.BigEndian.PutUint32(buf[8:], uint32(v.hgt))
+	binary.BigEndian.PutUint64(buf[12:], uint64(v.count))
 	binary.BigEndian.PutUint32(buf[20:], uint32(t.cfg.MaxEntries))
 	if t.noCompress {
 		buf[24] = 1
@@ -129,48 +165,32 @@ func (t *Tree) writeMeta() error {
 	return t.f.Write(t.meta, buf)
 }
 
-// fetch returns the node for a page, reading and decoding it on a cache
-// miss, and records the access in the tracker. It inserts decoded nodes
-// into the shared cache and therefore must only be called from mutation
-// paths holding the write lock; read paths go through a readOp.
-func (t *Tree) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
-	tr.Touch(id)
-	if n, ok := t.cache[id]; ok {
-		return n, nil
-	}
-	buf := make([]byte, t.f.PageSize())
-	if err := t.f.Read(id, buf); err != nil {
-		return nil, err
-	}
-	n, err := decodeNode(id, buf)
-	if err != nil {
-		return nil, err
-	}
-	t.cache[id] = n
-	return n, nil
+// pin registers a one-operation snapshot: it atomically loads the current
+// version and pins its epoch, so a concurrent commit cannot free the pages
+// the operation is about to traverse. The returned release func must be
+// called when the operation finishes.
+func (t *Tree) pin() (*version, func() error) {
+	var v *version
+	epoch := t.rec.Pin(func() uint64 {
+		v = t.cur.Load()
+		return v.epoch
+	})
+	return v, func() error { return t.rec.Unpin(epoch) }
 }
 
-// readOp is the per-operation state of one read-only traversal. It layers a
-// private node cache over the tree's shared one: nodes already resident in
-// the shared cache (write-path state, possibly dirty) are used directly —
-// safe under the read lock, since only write-locked mutators modify them —
-// and nodes the operation decodes itself stay local, so concurrent readers
-// never publish into shared maps. The local cache gives a traversal the
-// same "a page decoded once is free for the rest of the query" behaviour
-// the shared cache used to provide, without the shared mutation.
+// readOp is the per-operation state of one read-only traversal: a private
+// decoded-node cache, so a page decoded once is free for the rest of the
+// operation. Read operations never touch the tree's shared cache (that is
+// writer state under the writer mutex); cross-operation page caching is the
+// buffer pool's job.
 type readOp struct {
 	t     *Tree
 	local map[pager.PageID]*node
 }
 
-func (t *Tree) newReadOp() *readOp { return &readOp{t: t} }
-
-// fetch mirrors Tree.fetch for read-only traversals.
+// fetch reads and decodes a page, and records the access in the tracker.
 func (o *readOp) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
 	tr.Touch(id)
-	if n, ok := o.t.cache[id]; ok {
-		return n, nil
-	}
 	if n, ok := o.local[id]; ok {
 		return n, nil
 	}
@@ -187,22 +207,6 @@ func (o *readOp) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
 	}
 	o.local[id] = n
 	return n, nil
-}
-
-// allocNode allocates a fresh page and registers an empty dirty node for it.
-func (t *Tree) allocNode(leaf bool) (*node, error) {
-	id, err := t.f.Alloc()
-	if err != nil {
-		return nil, err
-	}
-	n := &node{id: id, leaf: leaf, dirty: true}
-	t.cache[id] = n
-	return n, nil
-}
-
-func (t *Tree) freeNode(n *node) error {
-	delete(t.cache, n.id)
-	return t.f.Free(n.id)
 }
 
 // fits reports whether the node respects the capacity limit.
@@ -228,62 +232,45 @@ func (t *Tree) maxKeySize() int {
 }
 
 // Len returns the number of keys in the tree.
-func (t *Tree) Len() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.count
-}
+func (t *Tree) Len() int { return t.cur.Load().count }
 
 // Height returns the number of levels (1 when the root is a leaf).
-func (t *Tree) Height() int {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.hgt
-}
+func (t *Tree) Height() int { return t.cur.Load().hgt }
 
-// Flush serializes every dirty node and the metadata to the page file.
+// Epoch returns the epoch of the current published version; it advances by
+// one per committed mutation.
+func (t *Tree) Epoch() uint64 { return t.cur.Load().epoch }
+
+// Flush persists the tree metadata to the page file. Node pages are written
+// at commit time (copy-on-write), so the metadata is all Flush has left to
+// do; Open at MetaPage restores the flushed version.
 func (t *Tree) Flush() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	return t.flushLocked()
-}
-
-func (t *Tree) flushLocked() error {
-	buf := make([]byte, t.f.PageSize())
-	for _, n := range t.cache {
-		if !n.dirty {
-			continue
-		}
-		if err := n.encode(buf, t.noCompress); err != nil {
-			return err
-		}
-		if err := t.f.Write(n.id, buf); err != nil {
-			return err
-		}
-		n.dirty = false
-	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	return t.writeMeta()
 }
 
-// DropCache flushes and evicts every cached node, forcing subsequent
-// operations to re-read (and re-count) pages. Benchmarks call it between
-// queries to model a cold buffer pool.
+// DropCache drops the write path's decoded-node cache and persists the tree
+// metadata. Read operations always decode pages from the page file (or its
+// buffer pool), so there is no read-side cache to drop; benchmarks call this
+// between build and measurement to model a cold cache.
 func (t *Tree) DropCache() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if err := t.flushLocked(); err != nil {
-		return err
-	}
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
 	clear(t.cache)
-	return nil
+	return t.writeMeta()
 }
 
 // Get returns the value stored under key.
 func (t *Tree) Get(key []byte, tr *pager.Tracker) ([]byte, bool, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	op := t.newReadOp()
-	id := t.root
+	v, release := t.pin()
+	defer release()
+	return t.getAt(v, key, tr)
+}
+
+func (t *Tree) getAt(v *version, key []byte, tr *pager.Tracker) ([]byte, bool, error) {
+	op := &readOp{t: t}
+	id := v.root
 	for {
 		n, err := op.fetch(id, tr)
 		if err != nil {
@@ -294,8 +281,8 @@ func (t *Tree) Get(key []byte, tr *pager.Tracker) ([]byte, bool, error) {
 			if !ok {
 				return nil, false, nil
 			}
-			v, err := t.loadValue(n.vals[i], tr)
-			return v, true, err
+			val, err := t.loadValue(n.vals[i], tr)
+			return val, true, err
 		}
 		id = n.children[findChild(n.keys, key)]
 	}
@@ -332,422 +319,52 @@ func shortestSep(a, b []byte) []byte {
 	return append([]byte(nil), b[:i+1]...)
 }
 
-type splitResult struct {
-	sep   []byte
-	right pager.PageID
-}
-
-// Insert stores val under key, replacing any existing value. Keys and
-// values are copied; the caller keeps ownership of its slices.
-func (t *Tree) Insert(key, val []byte) error {
-	if len(key) == 0 {
-		return fmt.Errorf("btree: empty key")
+// ctxErr reports a context's cancellation; a nil context never cancels.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
 	}
-	if len(key) > t.maxKeySize() {
-		return fmt.Errorf("btree: key of %d bytes exceeds maximum %d", len(key), t.maxKeySize())
-	}
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	stored, err := t.storeValue(val)
-	if err != nil {
-		return err
-	}
-	split, added, err := t.insertRec(t.root, key, stored)
-	if err != nil {
-		return err
-	}
-	if split != nil {
-		// Grow a new root.
-		oldRoot := t.root
-		nr, err := t.allocNode(false)
-		if err != nil {
-			return err
-		}
-		nr.keys = [][]byte{split.sep}
-		nr.children = []pager.PageID{oldRoot, split.right}
-		t.root = nr.id
-		t.hgt++
-	}
-	if added {
-		t.count++
-	}
-	return nil
-}
-
-func (t *Tree) insertRec(id pager.PageID, key, stored []byte) (*splitResult, bool, error) {
-	n, err := t.fetch(id, nil)
-	if err != nil {
-		return nil, false, err
-	}
-	if n.leaf {
-		i, ok := findKey(n.keys, key)
-		if ok {
-			// Replacing a value can grow the node past the page
-			// (a larger stored value); split like an insert would.
-			if err := t.freeValue(n.vals[i]); err != nil {
-				return nil, false, err
-			}
-			n.vals[i] = stored
-			n.dirty = true
-			if t.fits(n) {
-				return nil, false, nil
-			}
-			split, err := t.splitLeaf(n)
-			return split, false, err
-		}
-		kcopy := append([]byte(nil), key...)
-		n.insertAt(i, kcopy, stored)
-		if t.fits(n) {
-			return nil, true, nil
-		}
-		split, err := t.splitLeaf(n)
-		return split, true, err
-	}
-	ci := findChild(n.keys, key)
-	split, added, err := t.insertRec(n.children[ci], key, stored)
-	if err != nil || split == nil {
-		return nil, added, err
-	}
-	n.insertAt(ci, split.sep, nil)
-	n.insertChildAt(ci+1, split.right)
-	if t.fits(n) {
-		return nil, added, nil
-	}
-	s, err := t.splitInternal(n)
-	return s, added, err
-}
-
-// splitLeaf moves the upper half of a leaf into a new right sibling and
-// returns the separator to push up.
-func (t *Tree) splitLeaf(n *node) (*splitResult, error) {
-	at := t.splitPoint(n)
-	right, err := t.allocNode(true)
-	if err != nil {
-		return nil, err
-	}
-	right.keys = append(right.keys, n.keys[at:]...)
-	right.vals = append(right.vals, n.vals[at:]...)
-	right.next = n.next
-	n.keys = n.keys[:at:at]
-	n.vals = n.vals[:at:at]
-	n.next = right.id
-	n.dirty = true
-	sep := shortestSep(n.keys[len(n.keys)-1], right.keys[0])
-	return &splitResult{sep: sep, right: right.id}, nil
-}
-
-// splitInternal promotes the middle key of an internal node and moves the
-// upper half into a new right sibling.
-func (t *Tree) splitInternal(n *node) (*splitResult, error) {
-	at := t.splitPoint(n)
-	if at == len(n.keys) {
-		at--
-	}
-	right, err := t.allocNode(false)
-	if err != nil {
-		return nil, err
-	}
-	sep := n.keys[at]
-	right.keys = append(right.keys, n.keys[at+1:]...)
-	right.children = append(right.children, n.children[at+1:]...)
-	n.keys = n.keys[:at:at]
-	n.children = n.children[: at+1 : at+1]
-	n.dirty = true
-	return &splitResult{sep: sep, right: right.id}, nil
-}
-
-// splitPoint picks the index at which to split an over-full node: the
-// median entry in count mode; in byte mode, the index that minimizes the
-// larger serialized half, accounting for front compression (the first entry
-// of the right half re-expands to its full key). The returned index is
-// always in [1, len(keys)-1], so both halves are non-empty.
-func (t *Tree) splitPoint(n *node) int {
-	if t.cfg.MaxEntries > 0 {
-		return max(1, min(len(n.keys)-1, len(n.keys)/2))
-	}
-	m := len(n.keys)
-	sizes := make([]int, m)  // serialized size of entry i in situ
-	expand := make([]int, m) // extra bytes when entry i starts a node
-	var prev []byte
-	total := 0
-	for i, k := range n.keys {
-		p := 0
-		if !t.noCompress {
-			p = commonPrefix(prev, k)
-		}
-		s := len(k) - p
-		sz := uvarintLen(uint64(p)) + uvarintLen(uint64(s)) + s
-		full := uvarintLen(0) + uvarintLen(uint64(len(k))) + len(k)
-		if n.leaf {
-			sz += uvarintLen(uint64(len(n.vals[i]))) + len(n.vals[i])
-		} else {
-			sz += 4
-		}
-		sizes[i] = sz
-		expand[i] = full - (uvarintLen(uint64(p)) + uvarintLen(uint64(s)) + s)
-		total += sz
-		prev = k
-	}
-	best, bestCost := 1, int(^uint(0)>>1)
-	left := sizes[0]
-	for at := 1; at < m; at++ {
-		var right int
-		if n.leaf {
-			right = total - left + expand[at]
-		} else {
-			// The separator keys[at] is promoted, not stored, and
-			// the right half starts with keys[at+1].
-			right = total - left - sizes[at]
-			if at+1 < m {
-				right += expand[at+1]
-			}
-		}
-		if cost := max(left, right); cost < bestCost {
-			best, bestCost = at, cost
-		}
-		left += sizes[at]
-	}
-	return best
-}
-
-// Delete removes key from the tree. It reports whether the key was present.
-func (t *Tree) Delete(key []byte) (bool, error) {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-
-	type frame struct {
-		n  *node
-		ci int // child index taken from this node
-	}
-	var path []frame
-	n, err := t.fetch(t.root, nil)
-	if err != nil {
-		return false, err
-	}
-	for !n.leaf {
-		ci := findChild(n.keys, key)
-		path = append(path, frame{n, ci})
-		n, err = t.fetch(n.children[ci], nil)
-		if err != nil {
-			return false, err
-		}
-	}
-	i, ok := findKey(n.keys, key)
-	if !ok {
-		return false, nil
-	}
-	if err := t.freeValue(n.vals[i]); err != nil {
-		return false, err
-	}
-	n.removeAt(i)
-	t.count--
-
-	// Rebalance bottom-up.
-	child := n
-	for lvl := len(path) - 1; lvl >= 0; lvl-- {
-		parent, ci := path[lvl].n, path[lvl].ci
-		if !t.underfull(child) {
-			break
-		}
-		if err := t.rebalance(parent, ci); err != nil {
-			return false, err
-		}
-		child = parent
-	}
-	// Collapse the root when it is an internal node with a single child.
-	for {
-		r, err := t.fetch(t.root, nil)
-		if err != nil {
-			return false, err
-		}
-		if r.leaf || len(r.keys) > 0 {
-			break
-		}
-		t.root = r.children[0]
-		t.hgt--
-		if err := t.freeNode(r); err != nil {
-			return false, err
-		}
-	}
-	return true, nil
-}
-
-// rebalance restores the fill of parent.children[ci] by borrowing from or
-// merging with an adjacent sibling. If neither is possible (byte mode with
-// incompatible sizes) the node is left underfull, which affects space
-// utilization but never correctness.
-func (t *Tree) rebalance(parent *node, ci int) error {
-	child, err := t.fetch(parent.children[ci], nil)
-	if err != nil {
-		return err
-	}
-	var left, right *node
-	if ci > 0 {
-		if left, err = t.fetch(parent.children[ci-1], nil); err != nil {
-			return err
-		}
-	}
-	if ci < len(parent.children)-1 {
-		if right, err = t.fetch(parent.children[ci+1], nil); err != nil {
-			return err
-		}
-	}
-
-	// Borrow from the richer sibling while it stays above minimum. A
-	// rotation can overflow the receiver (a long key moves in) or the
-	// parent (the boundary separator is replaced by a longer one); both
-	// cases are undone exactly.
-	if left != nil && t.canDonate(left) {
-		for t.underfull(child) && t.canDonate(left) {
-			savedSep := parent.keys[ci-1]
-			t.rotateRight(parent, ci-1, left, child)
-			if !t.fits(child) || !t.fits(parent) {
-				t.rotateLeft(parent, ci-1, left, child)
-				parent.keys[ci-1] = savedSep
-				break
-			}
-		}
-		if !t.underfull(child) {
-			return nil
-		}
-	}
-	if right != nil && t.canDonate(right) {
-		for t.underfull(child) && t.canDonate(right) {
-			savedSep := parent.keys[ci]
-			t.rotateLeft(parent, ci, child, right)
-			if !t.fits(child) || !t.fits(parent) {
-				t.rotateRight(parent, ci, child, right)
-				parent.keys[ci] = savedSep
-				break
-			}
-		}
-		if !t.underfull(child) {
-			return nil
-		}
-	}
-	// Merge with a sibling when the result fits one node.
-	if left != nil && t.canMerge(left, child, parent.keys[ci-1]) {
-		return t.merge(parent, ci-1, left, child)
-	}
-	if right != nil && t.canMerge(child, right, parent.keys[ci]) {
-		return t.merge(parent, ci, child, right)
-	}
-	return nil
-}
-
-// canDonate reports whether a node can give up one entry and stay at or
-// above the minimum fill.
-func (t *Tree) canDonate(n *node) bool {
-	if len(n.keys) <= 1 {
-		return false
-	}
-	if t.cfg.MaxEntries > 0 {
-		return len(n.keys)-1 >= t.cfg.MaxEntries/2
-	}
-	// Approximate: dropping the largest entry must keep it above min.
-	return n.encodedSize(t.noCompress)*(len(n.keys)-1)/len(n.keys) >= t.f.PageSize()/3
-}
-
-func (t *Tree) canMerge(l, r *node, sep []byte) bool {
-	merged := l.encodedSize(t.noCompress) + r.encodedSize(t.noCompress) - headerSize
-	if !l.leaf {
-		merged += len(sep) + 6
-	}
-	if merged > t.f.PageSize() {
-		return false
-	}
-	if t.cfg.MaxEntries > 0 {
-		n := len(l.keys) + len(r.keys)
-		if !l.leaf {
-			n++
-		}
-		return n <= t.cfg.MaxEntries
-	}
-	return true
-}
-
-// rotateLeft moves the smallest entry of right into left (the child being
-// refilled is left). si is the separator index in parent between the two.
-func (t *Tree) rotateLeft(parent *node, si int, left, right *node) {
-	if left.leaf {
-		left.keys = append(left.keys, right.keys[0])
-		left.vals = append(left.vals, right.vals[0])
-		right.removeAt(0)
-		parent.keys[si] = shortestSep(left.keys[len(left.keys)-1], right.keys[0])
-	} else {
-		left.keys = append(left.keys, parent.keys[si])
-		left.children = append(left.children, right.children[0])
-		parent.keys[si] = right.keys[0]
-		right.removeAt(0)
-		right.removeChildAt(0)
-	}
-	left.dirty, right.dirty, parent.dirty = true, true, true
-}
-
-// rotateRight moves the largest entry of left into right.
-func (t *Tree) rotateRight(parent *node, si int, left, right *node) {
-	last := len(left.keys) - 1
-	if left.leaf {
-		right.insertAt(0, left.keys[last], left.vals[last])
-		left.removeAt(last)
-		parent.keys[si] = shortestSep(left.keys[len(left.keys)-1], right.keys[0])
-	} else {
-		right.insertAt(0, parent.keys[si], nil)
-		right.insertChildAt(0, left.children[len(left.children)-1])
-		parent.keys[si] = left.keys[last]
-		left.removeAt(last)
-		left.removeChildAt(len(left.children) - 1)
-	}
-	left.dirty, right.dirty, parent.dirty = true, true, true
-}
-
-// merge folds right into left and removes the separator at parent.keys[si].
-func (t *Tree) merge(parent *node, si int, left, right *node) error {
-	if left.leaf {
-		left.keys = append(left.keys, right.keys...)
-		left.vals = append(left.vals, right.vals...)
-		left.next = right.next
-	} else {
-		left.keys = append(left.keys, parent.keys[si])
-		left.keys = append(left.keys, right.keys...)
-		left.children = append(left.children, right.children...)
-	}
-	left.dirty = true
-	parent.removeAt(si)
-	parent.removeChildAt(si + 1)
-	return t.freeNode(right)
+	return ctx.Err()
 }
 
 // OverflowPageCount returns the number of pages held by value overflow
 // chains, by walking the leaf level.
 func (t *Tree) OverflowPageCount() (int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	op := t.newReadOp()
-	n, err := op.descendToLeaf(nil, nil)
-	if err != nil {
+	v, release := t.pin()
+	defer release()
+	op := &readOp{t: t}
+	total := 0
+	var walk func(id pager.PageID) error
+	walk = func(id pager.PageID) error {
+		n, err := op.fetch(id, nil)
+		if err != nil {
+			return err
+		}
+		if n.leaf {
+			for _, val := range n.vals {
+				total += t.overflowPages(val)
+			}
+			return nil
+		}
+		for _, c := range n.children {
+			if err := walk(c); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(v.root); err != nil {
 		return 0, err
 	}
-	total := 0
-	for {
-		for _, v := range n.vals {
-			total += t.overflowPages(v)
-		}
-		if n.next == pager.NilPage {
-			return total, nil
-		}
-		if n, err = op.fetch(n.next, nil); err != nil {
-			return 0, err
-		}
-	}
+	return total, nil
 }
 
 // PageCount returns the number of tree pages (internal + leaf), excluding
 // the meta page and overflow chains. It walks the tree.
 func (t *Tree) PageCount() (int, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	return t.newReadOp().countPages(t.root)
+	v, release := t.pin()
+	defer release()
+	return (&readOp{t: t}).countPages(v.root)
 }
 
 func (o *readOp) countPages(id pager.PageID) (int, error) {
@@ -784,11 +401,11 @@ type TreeStats struct {
 
 // Stats walks the tree and reports its physical shape.
 func (t *Tree) Stats() (TreeStats, error) {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	op := t.newReadOp()
-	st := TreeStats{Height: t.hgt, Entries: t.count}
-	var fill, bytes float64
+	v, release := t.pin()
+	defer release()
+	op := &readOp{t: t}
+	st := TreeStats{Height: v.hgt, Entries: v.count}
+	var fill, size float64
 	var walk func(id pager.PageID) error
 	walk = func(id pager.PageID) error {
 		n, err := op.fetch(id, nil)
@@ -798,7 +415,7 @@ func (t *Tree) Stats() (TreeStats, error) {
 		if n.leaf {
 			st.LeafNodes++
 			sz := n.encodedSize(t.noCompress)
-			bytes += float64(sz - headerSize)
+			size += float64(sz - headerSize)
 			if t.cfg.MaxEntries > 0 {
 				fill += float64(len(n.keys)) / float64(t.cfg.MaxEntries)
 			} else {
@@ -814,14 +431,14 @@ func (t *Tree) Stats() (TreeStats, error) {
 		}
 		return nil
 	}
-	if err := walk(t.root); err != nil {
+	if err := walk(v.root); err != nil {
 		return st, err
 	}
 	if st.LeafNodes > 0 {
 		st.LeafFill = fill / float64(st.LeafNodes)
 	}
 	if st.Entries > 0 {
-		st.BytesPerEntry = bytes / float64(st.Entries)
+		st.BytesPerEntry = size / float64(st.Entries)
 	}
 	return st, nil
 }

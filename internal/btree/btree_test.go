@@ -176,7 +176,7 @@ func compareToModel(t *testing.T, tr *Tree, model map[string]string) {
 		t.Fatalf("Len = %d, model has %d", tr.Len(), len(model))
 	}
 	got := map[string]string{}
-	err := tr.Scan(nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+	err := tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
 		got[string(k)] = string(v)
 		return nil, false, nil
 	})
@@ -250,7 +250,7 @@ func TestOpenPersistedTree(t *testing.T) {
 	if !ok || !bytes.Equal(v, val(123)) {
 		t.Fatalf("reopened Get = %q, %v", v, ok)
 	}
-	if _, err := Open(f, tr.root); err == nil {
+	if _, err := Open(f, tr.cur.Load().root); err == nil {
 		t.Error("Open on a non-meta page succeeded")
 	}
 }
@@ -263,7 +263,7 @@ func TestScanRange(t *testing.T) {
 		}
 	}
 	var got []string
-	err := tr.Scan(key(100), key(110), nil, func(k, v []byte) ([]byte, bool, error) {
+	err := tr.Scan(nil, key(100), key(110), nil, func(k, v []byte) ([]byte, bool, error) {
 		got = append(got, string(k))
 		return nil, false, nil
 	})
@@ -280,7 +280,7 @@ func TestScanRange(t *testing.T) {
 	}
 	// Early stop.
 	count := 0
-	err = tr.Scan(nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+	err = tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
 		count++
 		return nil, count == 7, nil
 	})
@@ -299,7 +299,7 @@ func TestScanCountsPages(t *testing.T) {
 	// A full scan must touch at least every leaf.
 	trk := pager.NewTracker()
 	n := 0
-	if err := tr.Scan(nil, nil, trk, func(k, v []byte) ([]byte, bool, error) {
+	if err := tr.Scan(nil, nil, nil, trk, func(k, v []byte) ([]byte, bool, error) {
 		n++
 		return nil, false, nil
 	}); err != nil {
@@ -404,7 +404,7 @@ func TestMultiScan(t *testing.T) {
 		{key(990), nil},
 	}
 	var got []string
-	err := tr.MultiScan(ivs, nil, func(k, v []byte) ([]byte, bool, error) {
+	err := tr.MultiScan(nil, ivs, nil, func(k, v []byte) ([]byte, bool, error) {
 		got = append(got, string(k))
 		return nil, false, nil
 	})
@@ -446,7 +446,7 @@ func TestMultiScanPageEfficiency(t *testing.T) {
 
 	trkPar := pager.NewTracker()
 	parCount := 0
-	if err := tr.MultiScan(ivs, trkPar, func(k, v []byte) ([]byte, bool, error) {
+	if err := tr.MultiScan(nil, ivs, trkPar, func(k, v []byte) ([]byte, bool, error) {
 		parCount++
 		return nil, false, nil
 	}); err != nil {
@@ -455,7 +455,7 @@ func TestMultiScanPageEfficiency(t *testing.T) {
 
 	trkFwd := pager.NewTracker()
 	fwdCount := 0
-	if err := tr.Scan(key(0), key(4995), trkFwd, func(k, v []byte) ([]byte, bool, error) {
+	if err := tr.Scan(nil, key(0), key(4995), trkFwd, func(k, v []byte) ([]byte, bool, error) {
 		for _, iv := range ivs {
 			if iv.contains(k) {
 				fwdCount++
@@ -486,7 +486,7 @@ func TestMultiScanSkip(t *testing.T) {
 	// Visit one key then skip ahead by 100 each time.
 	var got []string
 	next := 0
-	err := tr.MultiScan([]Interval{{key(0), nil}}, nil, func(k, v []byte) ([]byte, bool, error) {
+	err := tr.MultiScan(nil, []Interval{{key(0), nil}}, nil, func(k, v []byte) ([]byte, bool, error) {
 		got = append(got, string(k))
 		next += 100
 		if next >= n {
@@ -506,7 +506,7 @@ func TestMultiScanSkip(t *testing.T) {
 		}
 	}
 	// A skip that does not advance must error.
-	err = tr.MultiScan([]Interval{{key(0), nil}}, nil, func(k, v []byte) ([]byte, bool, error) {
+	err = tr.MultiScan(nil, []Interval{{key(0), nil}}, nil, func(k, v []byte) ([]byte, bool, error) {
 		return key(0), false, nil
 	})
 	if err == nil {
@@ -527,7 +527,7 @@ func TestMultiScanSkipSavesPages(t *testing.T) {
 	}
 	trk := pager.NewTracker()
 	seen := 0
-	err := tr.MultiScan([]Interval{{nil, nil}}, trk, func(k, v []byte) ([]byte, bool, error) {
+	err := tr.MultiScan(nil, []Interval{{nil, nil}}, trk, func(k, v []byte) ([]byte, bool, error) {
 		seen++
 		if seen == 1 {
 			return key(n - 2), false, nil // jump over almost everything
@@ -565,7 +565,7 @@ func TestMultiScanMatchesScanRandomized(t *testing.T) {
 			ivs = append(ivs, Interval{key(a), key(b)})
 		}
 		var multi []string
-		if err := tr.MultiScan(ivs, nil, func(k, v []byte) ([]byte, bool, error) {
+		if err := tr.MultiScan(nil, ivs, nil, func(k, v []byte) ([]byte, bool, error) {
 			multi = append(multi, string(k))
 			return nil, false, nil
 		}); err != nil {
@@ -573,7 +573,7 @@ func TestMultiScanMatchesScanRandomized(t *testing.T) {
 		}
 		var fwd []string
 		norm := NormalizeIntervals(ivs)
-		if err := tr.Scan(nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+		if err := tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
 			for _, iv := range norm {
 				if iv.contains(k) {
 					fwd = append(fwd, string(k))
@@ -676,7 +676,7 @@ func TestBulkLoadEqualsInsertLoad(t *testing.T) {
 	}
 	var a, b []string
 	collect := func(tr *Tree, out *[]string) {
-		if err := tr.Scan(nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+		if err := tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
 			*out = append(*out, string(k)+"="+string(v))
 			return nil, false, nil
 		}); err != nil {

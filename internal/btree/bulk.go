@@ -35,18 +35,37 @@ const bulkFillFraction = 0.90
 // BulkLoad builds the tree bottom-up from a sorted entry stream. It is far
 // faster than repeated Insert for large builds (the 150,000-object databases
 // of the paper's Section 5 experiments) and produces near-optimally packed
-// pages. The tree must be empty.
+// pages. The tree must be empty. The build is one mutation: nodes are
+// allocated, encoded, and written as they seal (never held in memory beyond
+// the level being packed), and the finished tree is published as one new
+// version at the end — a concurrent reader sees the empty tree until then.
 func (t *Tree) BulkLoad(src EntrySource) error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	if t.count != 0 {
+	t.wmu.Lock()
+	defer t.wmu.Unlock()
+	v := t.cur.Load()
+	if v.count != 0 {
 		return fmt.Errorf("btree: BulkLoad requires an empty tree")
 	}
+	w := t.newWriteOp()
 
 	limit := int(float64(t.f.PageSize()) * bulkFillFraction)
 	maxEntries := t.cfg.MaxEntries
 	if maxEntries > 0 {
 		maxEntries = max(2, maxEntries*9/10)
+	}
+
+	// seal allocates a page for the packed node and writes it out.
+	buf := make([]byte, t.f.PageSize())
+	seal := func(n *node) (pager.PageID, error) {
+		id, err := w.alloc()
+		if err != nil {
+			return pager.NilPage, err
+		}
+		n.id = id
+		if err := n.encode(buf, t.noCompress); err != nil {
+			return pager.NilPage, err
+		}
+		return id, t.f.Write(id, buf)
 	}
 
 	// Level 0: pack leaves.
@@ -57,44 +76,38 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 	}
 	var level []built
 	var prevKey []byte
-	var prevLeaf *node
-	cur, err := t.allocNode(true)
-	if err != nil {
-		return err
-	}
+	cur := &node{leaf: true}
 	count := 0
-	seal := func() error {
-		if prevLeaf != nil {
-			prevLeaf.next = cur.id
+	sealLeaf := func() error {
+		id, err := seal(cur)
+		if err != nil {
+			return err
 		}
-		level = append(level, built{cur.id, cur.keys[0], cur.keys[len(cur.keys)-1]})
-		prevLeaf = cur
-		var err error
-		cur, err = t.allocNode(true)
-		return err
+		level = append(level, built{id, cur.keys[0], cur.keys[len(cur.keys)-1]})
+		cur = &node{leaf: true}
+		return nil
 	}
 	for {
 		key, val, ok, err := src()
 		if err != nil {
-			return err
+			return w.abort(err)
 		}
 		if !ok {
 			break
 		}
 		if len(key) == 0 || len(key) > t.maxKeySize() {
-			return fmt.Errorf("btree: BulkLoad key of %d bytes invalid", len(key))
+			return w.abort(fmt.Errorf("btree: BulkLoad key of %d bytes invalid", len(key)))
 		}
 		if prevKey != nil && bytes.Compare(prevKey, key) >= 0 {
-			return fmt.Errorf("btree: BulkLoad keys not strictly ascending at %q", key)
+			return w.abort(fmt.Errorf("btree: BulkLoad keys not strictly ascending at %q", key))
 		}
-		stored, err := t.storeValue(val)
+		stored, err := w.storeValue(val)
 		if err != nil {
-			return err
+			return w.abort(err)
 		}
 		kcopy := append([]byte(nil), key...)
 		cur.keys = append(cur.keys, kcopy)
 		cur.vals = append(cur.vals, stored)
-		cur.dirty = true
 		count++
 		prevKey = kcopy
 		sz := cur.encodedSize(t.noCompress)
@@ -104,15 +117,14 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 			// past the page itself; move it into the next leaf so a
 			// sealed node always fits its page.
 			last := len(cur.keys) - 1
-			k, v := cur.keys[last], cur.vals[last]
+			k, vv := cur.keys[last], cur.vals[last]
 			cur.keys = cur.keys[:last:last]
 			cur.vals = cur.vals[:last:last]
-			if err := seal(); err != nil {
-				return err
+			if err := sealLeaf(); err != nil {
+				return w.abort(err)
 			}
 			cur.keys = append(cur.keys, k)
-			cur.vals = append(cur.vals, v)
-			cur.dirty = true
+			cur.vals = append(cur.vals, vv)
 			sz = cur.encodedSize(t.noCompress)
 		}
 		full := sz > limit
@@ -120,39 +132,26 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 			full = full || len(cur.keys) >= maxEntries
 		}
 		if full {
-			if err := seal(); err != nil {
-				return err
+			if err := sealLeaf(); err != nil {
+				return w.abort(err)
 			}
 		}
 	}
 	if len(cur.keys) > 0 {
-		if prevLeaf != nil {
-			prevLeaf.next = cur.id
-		}
-		level = append(level, built{cur.id, cur.keys[0], cur.keys[len(cur.keys)-1]})
-	} else {
-		if err := t.freeNode(cur); err != nil {
-			return err
+		if err := sealLeaf(); err != nil {
+			return w.abort(err)
 		}
 	}
 	if len(level) == 0 {
-		// Empty input: keep the pre-allocated empty root leaf intact.
-		t.count = 0
+		// Empty input: keep the published empty tree as is.
 		return nil
 	}
 
 	// Separator between adjacent leaves i-1 and i: the shortest key above
-	// everything in leaf i-1 and at most the first key of leaf i. We use
-	// the first key of leaf i directly when computing from built info is
-	// unavailable; prevKey tracking gives us the tighter separator.
+	// everything in leaf i-1 and at most the first key of leaf i.
 	seps := make([][]byte, len(level)) // seps[i] separates level[i-1] | level[i]
 	for i := 1; i < len(level); i++ {
 		seps[i] = shortestSep(level[i-1].lastKey, level[i].firstKey)
-	}
-
-	// Replace the original empty root.
-	if err := t.freeNode(t.cache[t.root]); err != nil {
-		return err
 	}
 
 	// Upper levels: pack (separator, child) pairs into internal nodes;
@@ -162,34 +161,35 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 	for len(level) > 1 {
 		var nextLevel []built
 		var promoted [][]byte
-		node, err := t.allocNode(false)
-		if err != nil {
-			return err
-		}
-		node.children = append(node.children, level[0].id)
-		node.dirty = true
+		nd := &node{leaf: false}
+		nd.children = append(nd.children, level[0].id)
 		for i := 1; i < len(level); i++ {
 			sep, child := seps[i], level[i].id
-			node.keys = append(node.keys, sep)
-			node.children = append(node.children, child)
-			full := node.encodedSize(t.noCompress) > limit
+			nd.keys = append(nd.keys, sep)
+			nd.children = append(nd.children, child)
+			full := nd.encodedSize(t.noCompress) > limit
 			if maxEntries > 0 {
-				full = full || len(node.keys) > maxEntries
+				full = full || len(nd.keys) > maxEntries
 			}
-			if full && len(node.keys) > 1 {
+			if full && len(nd.keys) > 1 {
 				// Undo, seal the node, promote the separator.
-				node.keys = node.keys[:len(node.keys)-1]
-				node.children = node.children[:len(node.children)-1]
-				nextLevel = append(nextLevel, built{node.id, nil, nil})
-				promoted = append(promoted, sep)
-				if node, err = t.allocNode(false); err != nil {
-					return err
+				nd.keys = nd.keys[:len(nd.keys)-1]
+				nd.children = nd.children[:len(nd.children)-1]
+				id, err := seal(nd)
+				if err != nil {
+					return w.abort(err)
 				}
-				node.children = append(node.children, child)
-				node.dirty = true
+				nextLevel = append(nextLevel, built{id, nil, nil})
+				promoted = append(promoted, sep)
+				nd = &node{leaf: false}
+				nd.children = append(nd.children, child)
 			}
 		}
-		nextLevel = append(nextLevel, built{node.id, nil, nil})
+		id, err := seal(nd)
+		if err != nil {
+			return w.abort(err)
+		}
+		nextLevel = append(nextLevel, built{id, nil, nil})
 		// promoted[j] separates nextLevel[j] | nextLevel[j+1]; realign
 		// to the seps convention (seps[i] separates level[i-1]|level[i]).
 		ns := make([][]byte, len(nextLevel))
@@ -197,8 +197,7 @@ func (t *Tree) BulkLoad(src EntrySource) error {
 		level, seps = nextLevel, ns
 		height++
 	}
-	t.root = level[0].id
-	t.hgt = height
-	t.count = count
-	return nil
+	// The pre-allocated empty root is superseded by the built tree.
+	w.retired = append(w.retired, v.root)
+	return w.commit(level[0].id, height, count)
 }

@@ -7,52 +7,35 @@ import (
 	"repro/internal/pager"
 )
 
-// Check validates the structural invariants of the whole tree:
+// Check validates the structural invariants of the current version:
 //
 //   - keys inside every node are strictly ascending;
 //   - every key in child i of an internal node lies in [keys[i-1], keys[i]);
 //   - all leaves are at the same depth, equal to Height();
-//   - the leaf chain visits exactly the leaves, left to right;
 //   - every node fits its page;
 //   - the tree's Len matches the number of leaf entries.
 //
 // It is exported for tests and the fuzzing harness; production code never
 // needs it.
 func (t *Tree) Check() error {
-	t.mu.Lock()
-	defer t.mu.Unlock()
-	var leaves []pager.PageID
-	n, err := t.checkRec(t.root, 1, nil, nil, &leaves)
+	v, release := t.pin()
+	defer release()
+	op := &readOp{t: t}
+	n, err := op.checkRec(v, v.root, 1, nil, nil)
 	if err != nil {
 		return err
 	}
-	if n != t.count {
-		return fmt.Errorf("btree: count mismatch: tree says %d, leaves hold %d", t.count, n)
-	}
-	// Leaf chain must equal the in-order leaf sequence.
-	if len(leaves) > 0 {
-		id := leaves[0]
-		for i, want := range leaves {
-			if id != want {
-				return fmt.Errorf("btree: leaf chain diverges at position %d: chain %d, tree %d", i, id, want)
-			}
-			nd, err := t.fetch(id, nil)
-			if err != nil {
-				return err
-			}
-			id = nd.next
-		}
-		if id != pager.NilPage {
-			return fmt.Errorf("btree: leaf chain continues past the last leaf to %d", id)
-		}
+	if n != v.count {
+		return fmt.Errorf("btree: count mismatch: tree says %d, leaves hold %d", v.count, n)
 	}
 	return nil
 }
 
 // checkRec validates the subtree at id, whose keys must lie in [lo, hi).
 // It returns the number of leaf entries underneath.
-func (t *Tree) checkRec(id pager.PageID, depth int, lo, hi []byte, leaves *[]pager.PageID) (int, error) {
-	n, err := t.fetch(id, nil)
+func (o *readOp) checkRec(v *version, id pager.PageID, depth int, lo, hi []byte) (int, error) {
+	t := o.t
+	n, err := o.fetch(id, nil)
 	if err != nil {
 		return 0, err
 	}
@@ -76,19 +59,18 @@ func (t *Tree) checkRec(id pager.PageID, depth int, lo, hi []byte, leaves *[]pag
 		prev = k
 	}
 	if n.leaf {
-		if depth != t.hgt {
-			return 0, fmt.Errorf("btree: leaf %d at depth %d, height is %d", id, depth, t.hgt)
+		if depth != v.hgt {
+			return 0, fmt.Errorf("btree: leaf %d at depth %d, height is %d", id, depth, v.hgt)
 		}
 		if len(n.vals) != len(n.keys) {
 			return 0, fmt.Errorf("btree: leaf %d has %d keys but %d values", id, len(n.keys), len(n.vals))
 		}
-		*leaves = append(*leaves, id)
 		return len(n.keys), nil
 	}
 	if len(n.children) != len(n.keys)+1 {
 		return 0, fmt.Errorf("btree: internal %d has %d keys but %d children", id, len(n.keys), len(n.children))
 	}
-	if len(n.keys) == 0 && id != t.root {
+	if len(n.keys) == 0 && id != v.root {
 		return 0, fmt.Errorf("btree: non-root internal %d has no keys", id)
 	}
 	total := 0
@@ -100,7 +82,7 @@ func (t *Tree) checkRec(id pager.PageID, depth int, lo, hi []byte, leaves *[]pag
 		if i < len(n.keys) {
 			chi = n.keys[i]
 		}
-		sub, err := t.checkRec(c, depth+1, clo, chi, leaves)
+		sub, err := o.checkRec(v, c, depth+1, clo, chi)
 		if err != nil {
 			return 0, err
 		}

@@ -60,7 +60,7 @@ func TestConcurrentReaders(t *testing.T) {
 				t.Fatalf("baseline Get: %v ok=%v", err, ok)
 			}
 			var wantScan [][]byte
-			err = tree.Scan([]byte("key-001000"), []byte("key-001100"), nil,
+			err = tree.Scan(nil, []byte("key-001000"), []byte("key-001100"), nil,
 				func(k, _ []byte) ([]byte, bool, error) {
 					wantScan = append(wantScan, append([]byte(nil), k...))
 					return nil, false, nil
@@ -73,7 +73,7 @@ func TestConcurrentReaders(t *testing.T) {
 				{Lo: []byte("key-002000"), Hi: []byte("key-002050")},
 			}
 			var wantMulti [][]byte
-			err = tree.MultiScan(ivs, nil, func(k, _ []byte) ([]byte, bool, error) {
+			err = tree.MultiScan(nil, ivs, nil, func(k, _ []byte) ([]byte, bool, error) {
 				wantMulti = append(wantMulti, append([]byte(nil), k...))
 				return nil, false, nil
 			})
@@ -98,7 +98,7 @@ func TestConcurrentReaders(t *testing.T) {
 							}
 						case 1:
 							var got [][]byte
-							err := tree.Scan([]byte("key-001000"), []byte("key-001100"), tr,
+							err := tree.Scan(nil, []byte("key-001000"), []byte("key-001100"), tr,
 								func(k, _ []byte) ([]byte, bool, error) {
 									got = append(got, append([]byte(nil), k...))
 									return nil, false, nil
@@ -109,7 +109,7 @@ func TestConcurrentReaders(t *testing.T) {
 							}
 						case 2:
 							var got [][]byte
-							err := tree.MultiScan(ivs, tr, func(k, _ []byte) ([]byte, bool, error) {
+							err := tree.MultiScan(nil, ivs, tr, func(k, _ []byte) ([]byte, bool, error) {
 								got = append(got, append([]byte(nil), k...))
 								return nil, false, nil
 							})
@@ -159,7 +159,7 @@ func TestConcurrentTrackerCountsMatchSequential(t *testing.T) {
 		queries = append(queries, Interval{Lo: lo, Hi: hi})
 	}
 	scan := func(iv Interval, tr *pager.Tracker) error {
-		return tree.Scan(iv.Lo, iv.Hi, tr, func(_, _ []byte) ([]byte, bool, error) {
+		return tree.Scan(nil, iv.Lo, iv.Hi, tr, func(_, _ []byte) ([]byte, bool, error) {
 			return nil, false, nil
 		})
 	}
@@ -209,7 +209,7 @@ func TestReadersDoNotPolluteSharedCache(t *testing.T) {
 	if _, _, err := tree.Get([]byte("key-001234"), nil); err != nil {
 		t.Fatal(err)
 	}
-	err := tree.Scan(nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
+	err := tree.Scan(nil, nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
 		return nil, false, nil
 	})
 	if err != nil {

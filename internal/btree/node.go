@@ -11,8 +11,12 @@ import (
 //
 //	byte  0      flags (bit 0: leaf)
 //	bytes 1..2   number of keys n (big-endian uint16)
-//	bytes 3..6   leaf: next-leaf page id; internal: children[0]
+//	bytes 3..6   leaf: reserved (zero); internal: children[0]
 //	bytes 7..    n entries
+//
+// Leaves carry no sibling link: pages are copy-on-write, and a next pointer
+// would force every leaf update to shadow its left neighbor too. Range scans
+// walk down from the root instead (scan.go).
 //
 // Leaf entry (front-compressed):
 //
@@ -41,15 +45,15 @@ const (
 )
 
 // node is the in-memory form of a page. Keys are held fully decompressed;
-// compression is applied on encode and undone on decode.
+// compression is applied on encode and undone on decode. A decoded node is
+// immutable once committed — mutations operate on private shadow copies
+// (writeOp.shadow) and commit them as new pages.
 type node struct {
 	id       pager.PageID
 	leaf     bool
 	keys     [][]byte
 	vals     [][]byte       // leaf only: stored values (tagged, see overflow.go)
 	children []pager.PageID // internal only: len(keys)+1
-	next     pager.PageID   // leaf only: right sibling
-	dirty    bool
 }
 
 func uvarintLen(x uint64) int {
@@ -106,9 +110,7 @@ func (n *node) encode(buf []byte, noCompress bool) error {
 		buf[0] = flagLeaf
 	}
 	binary.BigEndian.PutUint16(buf[1:], uint16(len(n.keys)))
-	if n.leaf {
-		binary.BigEndian.PutUint32(buf[3:], uint32(n.next))
-	} else if len(n.children) > 0 {
+	if !n.leaf && len(n.children) > 0 {
 		binary.BigEndian.PutUint32(buf[3:], uint32(n.children[0]))
 	}
 	off := headerSize
@@ -140,11 +142,8 @@ func decodeNode(id pager.PageID, buf []byte) (*node, error) {
 	}
 	n := &node{id: id, leaf: buf[0]&flagLeaf != 0}
 	count := int(binary.BigEndian.Uint16(buf[1:]))
-	link := pager.PageID(binary.BigEndian.Uint32(buf[3:]))
-	if n.leaf {
-		n.next = link
-	} else {
-		n.children = append(n.children, link)
+	if !n.leaf {
+		n.children = append(n.children, pager.PageID(binary.BigEndian.Uint32(buf[3:])))
 	}
 	off := headerSize
 	var prev []byte
@@ -207,7 +206,6 @@ func (n *node) insertAt(i int, key, val []byte) {
 		copy(n.vals[i+1:], n.vals[i:])
 		n.vals[i] = val
 	}
-	n.dirty = true
 }
 
 // removeAt removes the key (and value) at index i.
@@ -216,7 +214,6 @@ func (n *node) removeAt(i int) {
 	if n.leaf {
 		n.vals = append(n.vals[:i], n.vals[i+1:]...)
 	}
-	n.dirty = true
 }
 
 // insertChildAt inserts a child page id at index i of an internal node.
@@ -224,11 +221,9 @@ func (n *node) insertChildAt(i int, id pager.PageID) {
 	n.children = append(n.children, 0)
 	copy(n.children[i+1:], n.children[i:])
 	n.children[i] = id
-	n.dirty = true
 }
 
 // removeChildAt removes the child at index i of an internal node.
 func (n *node) removeChildAt(i int) {
 	n.children = append(n.children[:i], n.children[i+1:]...)
-	n.dirty = true
 }

@@ -30,8 +30,11 @@ func (t *Tree) overflowThreshold() int {
 }
 
 // storeValue converts a logical value into its stored form, spilling to an
-// overflow chain when large.
-func (t *Tree) storeValue(val []byte) ([]byte, error) {
+// overflow chain when large. Chain pages are allocated through the writeOp,
+// so an aborted mutation frees them and nothing leaks; they are written
+// immediately but stay unreachable until the op commits.
+func (w *writeOp) storeValue(val []byte) ([]byte, error) {
+	t := w.t
 	if len(val) <= t.overflowThreshold() {
 		return append([]byte{valInline}, val...), nil
 	}
@@ -41,7 +44,7 @@ func (t *Tree) storeValue(val []byte) ([]byte, error) {
 	var prevID pager.PageID
 	buf := make([]byte, t.f.PageSize())
 	for off := 0; off < len(val); off += chunk {
-		id, err := t.f.Alloc()
+		id, err := w.alloc()
 		if err != nil {
 			return nil, err
 		}
@@ -106,8 +109,10 @@ func (t *Tree) loadValue(stored []byte, tr *pager.Tracker) ([]byte, error) {
 	return nil, fmt.Errorf("btree: unknown value tag 0x%02x", stored[0])
 }
 
-// freeValue releases the overflow chain of a stored value, if any.
-func (t *Tree) freeValue(stored []byte) error {
+// retireValue hands the overflow chain of a stored value (if any) to the
+// op's retired set: the pages stay readable for pinned snapshots and are
+// freed by the reclaimer once unreachable.
+func (w *writeOp) retireValue(stored []byte) error {
 	if len(stored) == 0 || stored[0] != valOverflow {
 		return nil
 	}
@@ -115,16 +120,13 @@ func (t *Tree) freeValue(stored []byte) error {
 		return fmt.Errorf("btree: corrupt overflow reference")
 	}
 	id := pager.PageID(binary.BigEndian.Uint32(stored[1:]))
-	buf := make([]byte, t.f.PageSize())
+	buf := make([]byte, w.t.f.PageSize())
 	for id != pager.NilPage {
-		if err := t.f.Read(id, buf); err != nil {
+		if err := w.t.f.Read(id, buf); err != nil {
 			return err
 		}
-		next := pager.PageID(binary.BigEndian.Uint32(buf[:4]))
-		if err := t.f.Free(id); err != nil {
-			return err
-		}
-		id = next
+		w.retired = append(w.retired, id)
+		id = pager.PageID(binary.BigEndian.Uint32(buf[:4]))
 	}
 	return nil
 }

@@ -87,7 +87,7 @@ func checkQuickRandomOps(t *testing.T, seed int64, countMode bool) bool {
 			return false
 		}
 		n := 0
-		err = tr.Scan(nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+		err = tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
 			n++
 			if model[string(k)] != string(v) {
 				return nil, true, fmt.Errorf("content mismatch at %q", k)
@@ -129,7 +129,7 @@ func TestQuickMultiScan(t *testing.T) {
 			ivs = append(ivs, Interval{lo, hi})
 		}
 		var got []string
-		if err := tr.MultiScan(ivs, nil, func(k, v []byte) ([]byte, bool, error) {
+		if err := tr.MultiScan(nil, ivs, nil, func(k, v []byte) ([]byte, bool, error) {
 			got = append(got, string(k))
 			return nil, false, nil
 		}); err != nil {
@@ -300,7 +300,7 @@ func TestConcurrentReads(t *testing.T) {
 				case 1:
 					lo := rng.Intn(n - 10)
 					cnt := 0
-					if err := tr.Scan(key(lo), key(lo+10), nil, func(k, v []byte) ([]byte, bool, error) {
+					if err := tr.Scan(nil, key(lo), key(lo+10), nil, func(k, v []byte) ([]byte, bool, error) {
 						cnt++
 						return nil, false, nil
 					}); err != nil || cnt != 10 {
@@ -309,7 +309,7 @@ func TestConcurrentReads(t *testing.T) {
 					}
 				case 2:
 					a, b := rng.Intn(n/2), n/2+rng.Intn(n/2-5)
-					if err := tr.MultiScan([]Interval{{key(a), key(a + 3)}, {key(b), key(b + 3)}}, nil,
+					if err := tr.MultiScan(nil, []Interval{{key(a), key(a + 3)}, {key(b), key(b + 3)}}, nil,
 						func(k, v []byte) ([]byte, bool, error) { return nil, false, nil }); err != nil {
 						errs <- err
 						return

@@ -2,6 +2,7 @@ package btree
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"sort"
 
@@ -81,20 +82,27 @@ type ScanFunc func(key, val []byte) (skipTo []byte, stop bool, err error)
 // Parscan): it walks the B-tree once for an entire set of key intervals,
 // descending into each relevant subtree exactly once, so pages shared by
 // several partial keys are read a single time. Intervals are normalized
-// internally.
-func (t *Tree) MultiScan(ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
+// internally. The scan runs against the version current when it starts;
+// concurrent commits are not observed. ctx (which may be nil) is checked
+// once per node visited.
+func (t *Tree) MultiScan(ctx context.Context, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
+	v, release := t.pin()
+	defer release()
+	return t.multiScanAt(ctx, v, ivs, tr, fn)
+}
+
+func (t *Tree) multiScanAt(ctx context.Context, v *version, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
 	ivs = NormalizeIntervals(ivs)
 	if len(ivs) == 0 {
 		return nil
 	}
-	s := &multiScan{op: t.newReadOp(), tr: tr, ivs: ivs, fn: fn}
-	_, err := s.walk(t.root)
+	s := &multiScan{ctx: ctx, op: &readOp{t: t}, tr: tr, ivs: ivs, fn: fn}
+	_, err := s.walk(v.root)
 	return err
 }
 
 type multiScan struct {
+	ctx  context.Context
 	op   *readOp
 	tr   *pager.Tracker
 	ivs  []Interval
@@ -118,6 +126,9 @@ func (s *multiScan) advance(key []byte) bool {
 
 // walk processes a subtree; it returns stop=true when the scan is complete.
 func (s *multiScan) walk(id pager.PageID) (bool, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return true, err
+	}
 	n, err := s.op.fetch(id, s.tr)
 	if err != nil {
 		return true, err
@@ -181,125 +192,177 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 
 // Scan is the forward-scanning baseline (Section 3.3 "finding the first
 // relevant index entry using the standard B-tree search, and then scanning
-// the index forwards from that point on"): one descent, then a walk of the
-// leaf chain over the whole [lo, hi) range, fetching every leaf touched.
-func (t *Tree) Scan(lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
-	t.mu.RLock()
-	defer t.mu.RUnlock()
-	op := t.newReadOp()
-	n, err := op.descendToLeaf(lo, tr)
+// the index forwards from that point on"): it visits every entry in [lo, hi)
+// in order, fetching every leaf in the range plus the internal pages that
+// cover it (copy-on-write leaves carry no sibling links, so the walk comes
+// down from the root). The scan runs against the version current when it
+// starts. ctx (which may be nil) is checked once per node visited.
+func (t *Tree) Scan(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
+	v, release := t.pin()
+	defer release()
+	return t.scanAt(ctx, v, lo, hi, tr, fn)
+}
+
+func (t *Tree) scanAt(ctx context.Context, v *version, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
+	s := &rangeScan{ctx: ctx, op: &readOp{t: t}, tr: tr, lo: lo, hi: hi, fn: fn}
+	_, err := s.walk(v.root)
+	return err
+}
+
+type rangeScan struct {
+	ctx    context.Context
+	op     *readOp
+	tr     *pager.Tracker
+	lo, hi []byte
+	fn     ScanFunc
+}
+
+// walk visits the subtree in order; it returns stop=true when the range end
+// was reached or the callback stopped the scan.
+func (s *rangeScan) walk(id pager.PageID) (bool, error) {
+	if err := ctxErr(s.ctx); err != nil {
+		return true, err
+	}
+	n, err := s.op.fetch(id, s.tr)
 	if err != nil {
-		return err
+		return true, err
 	}
-	i := 0
-	if lo != nil {
-		i = sort.Search(len(n.keys), func(j int) bool {
-			return bytes.Compare(n.keys[j], lo) >= 0
-		})
-	}
-	for {
+	if n.leaf {
+		i := 0
+		if s.lo != nil {
+			i = sort.Search(len(n.keys), func(j int) bool {
+				return bytes.Compare(n.keys[j], s.lo) >= 0
+			})
+		}
 		for ; i < len(n.keys); i++ {
 			key := n.keys[i]
-			if hi != nil && bytes.Compare(key, hi) >= 0 {
-				return nil
+			if s.hi != nil && bytes.Compare(key, s.hi) >= 0 {
+				return true, nil
 			}
-			val, err := t.loadValue(n.vals[i], tr)
+			val, err := s.op.t.loadValue(n.vals[i], s.tr)
 			if err != nil {
-				return err
+				return true, err
 			}
 			// The forward scan honors stop but not skip: skipping is
 			// what distinguishes the parallel algorithm.
-			_, stop, err := fn(key, val)
+			_, stop, err := s.fn(key, val)
 			if err != nil || stop {
-				return err
+				return true, err
 			}
 		}
-		if n.next == pager.NilPage {
-			return nil
-		}
-		if n, err = op.fetch(n.next, tr); err != nil {
-			return err
-		}
-		i = 0
+		return false, nil
 	}
-}
-
-// descendToLeaf returns the leaf that would contain key (or the leftmost
-// leaf when key is nil).
-func (o *readOp) descendToLeaf(key []byte, tr *pager.Tracker) (*node, error) {
-	id := o.t.root
-	for {
-		n, err := o.fetch(id, tr)
-		if err != nil {
-			return nil, err
+	ci := 0
+	if s.lo != nil {
+		ci = findChild(n.keys, s.lo)
+	}
+	for ; ci <= len(n.keys); ci++ {
+		// Child ci starts at keys[ci-1]; past hi, nothing qualifies.
+		if ci > 0 && s.hi != nil && bytes.Compare(n.keys[ci-1], s.hi) >= 0 {
+			return true, nil
 		}
-		if n.leaf {
-			return n, nil
-		}
-		if key == nil {
-			id = n.children[0]
-		} else {
-			id = n.children[findChild(n.keys, key)]
+		stop, err := s.walk(n.children[ci])
+		if err != nil || stop {
+			return stop, err
 		}
 	}
+	return false, nil
 }
 
-// Cursor iterates the tree in ascending key order. A cursor is only valid
-// while the tree is not mutated; interleaving writes with cursor use is a
-// programming error. Concurrent cursors (each its own Cursor value) are
-// safe: every cursor carries a private readOp.
+// Cursor iterates the tree in ascending key order. A cursor captures the
+// tree version current at Seek time and is only valid while the tree is not
+// mutated; interleaving writes with cursor use is a programming error.
+// Concurrent cursors (each its own Cursor value) are safe: every cursor
+// carries a private readOp and root-to-leaf path.
 type Cursor struct {
 	t     *Tree
 	op    *readOp
 	tr    *pager.Tracker
-	leaf  *node
-	idx   int
+	path  []cursorFrame // root first; last frame is the current leaf
 	valid bool
 	err   error
 }
 
+// cursorFrame is one level of the cursor's descent: for the leaf (last
+// frame) idx indexes keys; for internal frames it is the child taken.
+type cursorFrame struct {
+	n   *node
+	idx int
+}
+
 // NewCursor returns an unpositioned cursor; call Seek or First.
 func (t *Tree) NewCursor(tr *pager.Tracker) *Cursor {
-	return &Cursor{t: t, op: t.newReadOp(), tr: tr}
+	return &Cursor{t: t, op: &readOp{t: t}, tr: tr}
 }
 
 // Seek positions the cursor at the first key >= key (nil = first key).
 func (c *Cursor) Seek(key []byte) {
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
 	c.valid, c.err = false, nil
-	n, err := c.op.descendToLeaf(key, c.tr)
-	if err != nil {
-		c.err = err
-		return
+	c.path = c.path[:0]
+	id := c.t.cur.Load().root
+	for {
+		n, err := c.op.fetch(id, c.tr)
+		if err != nil {
+			c.err = err
+			return
+		}
+		if n.leaf {
+			i := 0
+			if key != nil {
+				i = sort.Search(len(n.keys), func(j int) bool {
+					return bytes.Compare(n.keys[j], key) >= 0
+				})
+			}
+			c.path = append(c.path, cursorFrame{n, i})
+			c.settle()
+			return
+		}
+		ci := 0
+		if key != nil {
+			ci = findChild(n.keys, key)
+		}
+		c.path = append(c.path, cursorFrame{n, ci})
+		id = n.children[ci]
 	}
-	i := 0
-	if key != nil {
-		i = sort.Search(len(n.keys), func(j int) bool {
-			return bytes.Compare(n.keys[j], key) >= 0
-		})
-	}
-	c.leaf, c.idx = n, i
-	c.settle()
 }
 
 // First positions the cursor at the smallest key.
 func (c *Cursor) First() { c.Seek(nil) }
 
-// settle advances past empty leaves to the next real entry.
+// settle walks forward to the next real entry: it pops exhausted frames,
+// advances the parent to its next child, and descends to that subtree's
+// leftmost leaf.
 func (c *Cursor) settle() {
-	for c.idx >= len(c.leaf.keys) {
-		if c.leaf.next == pager.NilPage {
-			return
+	for len(c.path) > 0 {
+		top := &c.path[len(c.path)-1]
+		if top.n.leaf {
+			if top.idx < len(top.n.keys) {
+				c.valid = true
+				return
+			}
+			c.path = c.path[:len(c.path)-1]
+			continue
 		}
-		n, err := c.op.fetch(c.leaf.next, c.tr)
-		if err != nil {
-			c.err = err
-			return
+		top.idx++
+		if top.idx >= len(top.n.children) {
+			c.path = c.path[:len(c.path)-1]
+			continue
 		}
-		c.leaf, c.idx = n, 0
+		// Descend to the leftmost leaf of the next child.
+		id := top.n.children[top.idx]
+		for {
+			n, err := c.op.fetch(id, c.tr)
+			if err != nil {
+				c.err = err
+				return
+			}
+			c.path = append(c.path, cursorFrame{n, 0})
+			if n.leaf {
+				break
+			}
+			id = n.children[0]
+		}
 	}
-	c.valid = true
 }
 
 // Next advances to the next key.
@@ -307,10 +370,8 @@ func (c *Cursor) Next() {
 	if !c.valid {
 		return
 	}
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
 	c.valid = false
-	c.idx++
+	c.path[len(c.path)-1].idx++
 	c.settle()
 }
 
@@ -326,7 +387,8 @@ func (c *Cursor) Key() []byte {
 	if !c.valid {
 		return nil
 	}
-	return c.leaf.keys[c.idx]
+	leaf := c.path[len(c.path)-1]
+	return leaf.n.keys[leaf.idx]
 }
 
 // Value materializes the current value (following overflow chains).
@@ -334,7 +396,6 @@ func (c *Cursor) Value() ([]byte, error) {
 	if !c.valid {
 		return nil, fmt.Errorf("btree: Value on invalid cursor")
 	}
-	c.t.mu.RLock()
-	defer c.t.mu.RUnlock()
-	return c.t.loadValue(c.leaf.vals[c.idx], c.tr)
+	leaf := c.path[len(c.path)-1]
+	return c.t.loadValue(leaf.n.vals[leaf.idx], c.tr)
 }

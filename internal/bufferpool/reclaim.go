@@ -1,0 +1,144 @@
+package bufferpool
+
+import (
+	"math"
+	"sync"
+
+	"repro/internal/pager"
+)
+
+// Reclaimer is the epoch-based page-release half of multi-version trees: a
+// copy-on-write mutation supersedes pages instead of overwriting them, and
+// those pages must stay readable until every snapshot that could reach them
+// is released. The Reclaimer tracks, per published epoch, which pages the
+// commit retired and which snapshots (pins) are still reading older epochs;
+// a retired set is freed into the backing pager.File as soon as no pin older
+// than its commit epoch remains. With no pins outstanding, retirement is
+// immediate — a single-threaded workload sees exactly the page footprint of
+// an update-in-place tree.
+//
+// The Reclaimer works over any pager.File; when that file is a Pool, freed
+// pages drop their frames immediately (Pool.Free), so superseded versions
+// release buffer-pool capacity, not just file pages.
+//
+// All methods are safe for concurrent use. Publishing a new version and
+// registering a snapshot pin are serialized against each other through the
+// Reclaimer's mutex: Pin evaluates the caller's current() closure under the
+// lock, so a snapshot can never observe a version whose pages a concurrent
+// Commit is about to free.
+type Reclaimer struct {
+	mu      sync.Mutex
+	f       pager.File
+	pins    map[uint64]int
+	retired []retireSet // ascending by epoch
+	freed   int64
+}
+
+// retireSet is the pages one commit superseded, tagged with the epoch that
+// commit published. Snapshots pinned at epochs < epoch still need them.
+type retireSet struct {
+	epoch uint64
+	pages []pager.PageID
+}
+
+// NewReclaimer returns a Reclaimer releasing pages into f.
+func NewReclaimer(f pager.File) *Reclaimer {
+	return &Reclaimer{f: f, pins: make(map[uint64]int)}
+}
+
+// Pin registers a snapshot. The current() closure must return the epoch the
+// caller is snapshotting (typically loading an atomic version pointer); it
+// runs under the Reclaimer lock so the returned epoch cannot be retired
+// before the pin lands. Pin returns the pinned epoch; pass it to Unpin.
+func (r *Reclaimer) Pin(current func() uint64) uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	e := current()
+	r.pins[e]++
+	return e
+}
+
+// Unpin releases one pin on the given epoch and frees every retired set no
+// remaining pin can reach.
+func (r *Reclaimer) Unpin(epoch uint64) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if n := r.pins[epoch]; n > 1 {
+		r.pins[epoch] = n - 1
+		return nil
+	}
+	delete(r.pins, epoch)
+	return r.sweepLocked()
+}
+
+// Commit publishes a new version: it runs publish() under the Reclaimer lock
+// (the caller stores its new version pointer there), records the pages the
+// commit superseded under the new epoch, and frees whatever no pin still
+// needs. Superseded pages must no longer be reachable from the version
+// publish() installs.
+func (r *Reclaimer) Commit(epoch uint64, superseded []pager.PageID, publish func()) error {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	publish()
+	if len(superseded) > 0 {
+		r.retired = append(r.retired, retireSet{epoch: epoch, pages: superseded})
+	}
+	return r.sweepLocked()
+}
+
+// sweepLocked frees every retired set whose epoch is at or below the oldest
+// pinned epoch (all of them when nothing is pinned). A set retired at epoch E
+// is only needed by snapshots of epochs < E.
+func (r *Reclaimer) sweepLocked() error {
+	minPin := uint64(math.MaxUint64)
+	for e := range r.pins {
+		if e < minPin {
+			minPin = e
+		}
+	}
+	var first error
+	i := 0
+	for ; i < len(r.retired); i++ {
+		if r.retired[i].epoch > minPin {
+			break
+		}
+		for _, id := range r.retired[i].pages {
+			if err := r.f.Free(id); err != nil && first == nil {
+				first = err
+			}
+			r.freed++
+		}
+		r.retired[i].pages = nil
+	}
+	r.retired = r.retired[i:]
+	return first
+}
+
+// Pinned returns the number of outstanding pins (snapshots).
+func (r *Reclaimer) Pinned() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, c := range r.pins {
+		n += c
+	}
+	return n
+}
+
+// PendingPages returns how many retired pages are awaiting release.
+func (r *Reclaimer) PendingPages() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, s := range r.retired {
+		n += len(s.pages)
+	}
+	return n
+}
+
+// FreedPages returns how many retired pages have been released so far.
+func (r *Reclaimer) FreedPages() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.freed
+}

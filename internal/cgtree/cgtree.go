@@ -30,6 +30,7 @@
 package cgtree
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 
@@ -174,7 +175,7 @@ func (c *Tree) query(lo, hi []byte, sets []SetID, tr *pager.Tracker) ([]Result, 
 		ivHi = append(ivHi, hi...)
 		// Inclusive hi: pad past any 4-byte oid suffix.
 		ivHi = append(ivHi, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
-		err := c.t.Scan(ivLo, ivHi, tr, func(k, _ []byte) ([]byte, bool, error) {
+		err := c.t.Scan(context.Background(), ivLo, ivHi, tr, func(k, _ []byte) ([]byte, bool, error) {
 			stats.EntriesScanned++
 			set, _, oid, err := parseEntry(k, keyLen)
 			if err != nil {

@@ -13,6 +13,7 @@
 package chtree
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -248,7 +249,7 @@ func (c *Tree) RangeQuery(lo, hi []byte, sets []SetID, tr *pager.Tracker) ([]Res
 	var stats Stats
 	var out []Result
 	hiEx := encoding.PrefixEnd(hi)
-	err := c.t.Scan(lo, hiEx, tr, func(_, v []byte) ([]byte, bool, error) {
+	err := c.t.Scan(context.Background(), lo, hiEx, tr, func(_, v []byte) ([]byte, bool, error) {
 		d, err := decodeDirectory(v)
 		if err != nil {
 			return nil, true, err

@@ -23,6 +23,7 @@ import (
 	"bytes"
 	"fmt"
 	"sort"
+	"sync"
 
 	"repro/internal/btree"
 	"repro/internal/encoding"
@@ -59,6 +60,13 @@ type Spec struct {
 }
 
 // Index is a live U-index over a store.
+//
+// Reads (Execute*, Snapshot, stats) need no locking: the underlying B-tree
+// is multi-version and every query runs against a pinned snapshot. Writers
+// (Add, Remove, ApplyDiff, Build) are not self-locking — the caller
+// serializes them per index by holding LockWrite for the span that must be
+// atomic, which lets the engine update several indexes concurrently and
+// hold one index's lock across a multi-step update (remove + insert).
 type Index struct {
 	spec     Spec
 	st       *store.Store
@@ -67,7 +75,8 @@ type Index struct {
 	file     pager.File
 	pathCls  []string // classes root-first: pathCls[0] = Root
 	attrType encoding.AttrType
-	maxChain int // fan-out guard for entry enumeration
+	maxChain int        // fan-out guard for entry enumeration
+	wmu      sync.Mutex // serializes writers on this index
 }
 
 // DefaultMaxChains caps the number of path instantiations enumerated for a
@@ -164,6 +173,28 @@ func build(f pager.File, st *store.Store, spec Spec, meta pager.PageID) (*Index,
 
 // Spec returns the index declaration.
 func (ix *Index) Spec() Spec { return ix.spec }
+
+// LockWrite acquires the index's writer lock. Mutations (Add, Remove,
+// ApplyDiff, Build) must run under it; the caller chooses the span —
+// typically all indexes covering an object, in a fixed global order, for the
+// duration of one object mutation.
+func (ix *Index) LockWrite() { ix.wmu.Lock() }
+
+// UnlockWrite releases the index's writer lock.
+func (ix *Index) UnlockWrite() { ix.wmu.Unlock() }
+
+// Covers reports whether an object of the given class can participate in
+// this index: the class is a subclass of (or equal to) one of the path
+// classes.
+func (ix *Index) Covers(class string) bool {
+	sch := ix.st.Schema()
+	for _, c := range ix.pathCls {
+		if sch.IsSubclassOf(class, c) {
+			return true
+		}
+	}
+	return false
+}
 
 // Tree exposes the underlying B-tree (read-only use: stats, page counts).
 func (ix *Index) Tree() *btree.Tree { return ix.tree }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/btree"
@@ -73,6 +74,14 @@ func NewExecContext(alg Algorithm) *ExecContext {
 	return &ExecContext{Tracker: pager.NewTracker(), Algorithm: alg}
 }
 
+// view is the read surface a query executes against: the live tree (a
+// one-shot snapshot per scan) or a pinned btree.Snap (one consistent epoch
+// for the whole query). Both implementations never block writers.
+type view interface {
+	MultiScan(ctx context.Context, ivs []btree.Interval, tr *pager.Tracker, fn btree.ScanFunc) error
+	Scan(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn btree.ScanFunc) error
+}
+
 // Execute runs a query and materializes the matches. tr may be nil, in
 // which case a fresh tracker is used; pass an explicit tracker to share
 // page accounting across several queries.
@@ -89,25 +98,34 @@ func (ix *Index) Execute(q Query, alg Algorithm, tr *pager.Tracker) ([]Match, St
 // stops the scan early. It wraps the query in a private ExecContext (or
 // one around the caller's tracker) and delegates to ExecuteCtx.
 func (ix *Index) ExecuteFunc(q Query, alg Algorithm, tr *pager.Tracker, fn func(Match) bool) (Stats, error) {
-	return ix.ExecuteCtx(q, &ExecContext{Tracker: tr, Algorithm: alg}, fn)
+	return ix.ExecuteCtx(context.Background(), q, &ExecContext{Tracker: tr, Algorithm: alg}, fn)
 }
 
 // ExecuteCtx runs a query under an explicit execution context, streaming
-// matches to fn (fn returning false stops the scan early). The returned
-// Stats are this query's own counters; ctx.Stats additionally accumulates
-// them (with PagesRead always the context tracker's cumulative distinct
-// count). ExecuteCtx is safe to call concurrently on the same Index as
-// long as each goroutine uses its own ExecContext.
-func (ix *Index) ExecuteCtx(q Query, ctx *ExecContext, fn func(Match) bool) (Stats, error) {
-	if ctx.Tracker == nil {
-		ctx.Tracker = pager.NewTracker()
+// matches to fn (fn returning false stops the scan early). The whole query
+// runs against one pinned tree version, so a concurrent writer is neither
+// observed nor blocked. ctx cancellation is checked at every page visit.
+// The returned Stats are this query's own counters; ec.Stats additionally
+// accumulates them (with PagesRead always the context tracker's cumulative
+// distinct count). ExecuteCtx is safe to call concurrently on the same
+// Index as long as each goroutine uses its own ExecContext.
+func (ix *Index) ExecuteCtx(ctx context.Context, q Query, ec *ExecContext, fn func(Match) bool) (Stats, error) {
+	s := ix.tree.Snapshot()
+	defer s.Release()
+	return ix.executeView(ctx, s, q, ec, fn)
+}
+
+// executeView runs a query against an explicit read view.
+func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecContext, fn func(Match) bool) (Stats, error) {
+	if ec.Tracker == nil {
+		ec.Tracker = pager.NewTracker()
 	}
-	tr := ctx.Tracker
+	tr := ec.Tracker
 	p, err := ix.compile(q)
 	if err != nil {
 		return Stats{}, err
 	}
-	stats := Stats{Algorithm: ctx.Algorithm, Intervals: len(p.intervals)}
+	stats := Stats{Algorithm: ec.Algorithm, Intervals: len(p.intervals)}
 	lastDistinct := "" // forward-scan duplicate suppression for Distinct
 	emit := func(key []byte) (skipTo []byte, stop bool, err error) {
 		stats.EntriesScanned++
@@ -135,9 +153,9 @@ func (ix *Index) ExecuteCtx(q Query, ctx *ExecContext, fn func(Match) bool) (Sta
 		}
 		return skip, false, nil
 	}
-	switch ctx.Algorithm {
+	switch ec.Algorithm {
 	case Parallel:
-		err = ix.tree.MultiScan(p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
+		err = v.MultiScan(ctx, p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
 			return emit(k)
 		})
 	case Forward:
@@ -152,7 +170,7 @@ func (ix *Index) ExecuteCtx(q Query, ctx *ExecContext, fn func(Match) bool) (Sta
 			if stopped {
 				break
 			}
-			err = ix.tree.Scan(iv.Lo, iv.Hi, tr, func(k, _ []byte) ([]byte, bool, error) {
+			err = v.Scan(ctx, iv.Lo, iv.Hi, tr, func(k, _ []byte) ([]byte, bool, error) {
 				_, stop, err := emit(k)
 				stopped = stop
 				return nil, stop, err
@@ -162,13 +180,13 @@ func (ix *Index) ExecuteCtx(q Query, ctx *ExecContext, fn func(Match) bool) (Sta
 			}
 		}
 	default:
-		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(ctx.Algorithm))
+		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(ec.Algorithm))
 	}
 	stats.PagesRead = tr.Reads()
-	ctx.Stats.Algorithm = ctx.Algorithm
-	ctx.Stats.Intervals += stats.Intervals
-	ctx.Stats.EntriesScanned += stats.EntriesScanned
-	ctx.Stats.Matches += stats.Matches
-	ctx.Stats.PagesRead = tr.Reads()
+	ec.Stats.Algorithm = ec.Algorithm
+	ec.Stats.Intervals += stats.Intervals
+	ec.Stats.EntriesScanned += stats.EntriesScanned
+	ec.Stats.Matches += stats.Matches
+	ec.Stats.PagesRead = tr.Reads()
 	return stats, err
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -140,7 +141,7 @@ func (si *SchemaIndex) scan(lo, hi []byte, tr *pager.Tracker) ([]SchemaFact, int
 		tr = pager.NewTracker()
 	}
 	var out []SchemaFact
-	err := si.tree.Scan(lo, hi, tr, func(k, _ []byte) ([]byte, bool, error) {
+	err := si.tree.Scan(context.Background(), lo, hi, tr, func(k, _ []byte) ([]byte, bool, error) {
 		fact, err := si.parse(k)
 		if err != nil {
 			return nil, true, err

@@ -1,0 +1,59 @@
+package core
+
+import (
+	"context"
+
+	"repro/internal/btree"
+)
+
+// Snapshot is a pinned, immutable read view of one index: every query
+// executed through it sees the tree version current when it was taken,
+// regardless of concurrent writers. Release it when done so superseded
+// pages can be reclaimed.
+//
+// Snapshots cover the index tree only; match resolution that consults the
+// object store (OnObjects predicates, Match materialization) reads the
+// store's latest state.
+type Snapshot struct {
+	ix *Index
+	ts *btree.Snap
+}
+
+// Snapshot pins the index's current tree version.
+func (ix *Index) Snapshot() *Snapshot {
+	return &Snapshot{ix: ix, ts: ix.tree.Snapshot()}
+}
+
+// Index returns the index the snapshot was taken from.
+func (s *Snapshot) Index() *Index { return s.ix }
+
+// Epoch returns the tree epoch the snapshot pins.
+func (s *Snapshot) Epoch() uint64 { return s.ts.Epoch() }
+
+// Len returns the number of index entries in the snapshot.
+func (s *Snapshot) Len() int { return s.ts.Len() }
+
+// Release unpins the snapshot (idempotent). Queries after Release fail with
+// btree.ErrSnapshotReleased.
+func (s *Snapshot) Release() error { return s.ts.Release() }
+
+// ExecuteCtx runs a query against the snapshot, streaming matches to fn;
+// the semantics match Index.ExecuteCtx except that the tree version is the
+// snapshot's, not the current one.
+func (s *Snapshot) ExecuteCtx(ctx context.Context, q Query, ec *ExecContext, fn func(Match) bool) (Stats, error) {
+	return s.ix.executeView(ctx, s.ts, q, ec, fn)
+}
+
+// Execute runs a query against the snapshot and materializes the matches.
+func (s *Snapshot) Execute(ctx context.Context, q Query, alg Algorithm, ec *ExecContext) ([]Match, Stats, error) {
+	if ec == nil {
+		ec = &ExecContext{}
+	}
+	ec.Algorithm = alg
+	var out []Match
+	stats, err := s.ExecuteCtx(ctx, q, ec, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, stats, err
+}

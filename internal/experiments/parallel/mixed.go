@@ -1,0 +1,200 @@
+package parallel
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	uindex "repro"
+)
+
+// MixedConfig sizes the mixed read/write throughput benchmark.
+type MixedConfig struct {
+	Config
+	// Duration is how long each phase (read-only, then mixed) runs.
+	Duration time.Duration
+	// Writers is how many concurrent writer goroutines run in the mixed
+	// phase (<=0: 1).
+	Writers int
+	// WriteRate paces each writer to this many mutations/sec (<=0: the
+	// default 500). Pacing separates what the benchmark measures — whether
+	// writers *block* readers — from plain CPU contention: an unthrottled
+	// writer on a small machine steals cycles from readers even though no
+	// reader ever waits on a lock. Use WriteRate -1 for unthrottled.
+	WriteRate int
+}
+
+// MixedResult compares read throughput without and with concurrent writers.
+// Under the snapshot read path, writers never block readers, so WithWriterQPS
+// should stay close to ReadOnlyQPS (the acceptance bar is within 10%).
+type MixedResult struct {
+	Config        MixedConfig
+	ReadOnlyQPS   float64 // queries/sec, no writers
+	WithWriterQPS float64 // queries/sec while writers commit
+	Ratio         float64 // WithWriterQPS / ReadOnlyQPS
+	Writes        int64   // mutations committed during the mixed phase
+	WritesPerSec  float64
+}
+
+// readPhase runs query workers against db until the deadline and returns the
+// number of completed queries.
+func readPhase(db *uindex.Database, jobs []uindex.QueryJob, workers int, d time.Duration) (int64, error) {
+	var done atomic.Int64
+	var firstErr atomic.Value
+	deadline := time.Now().Add(d)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ctx := context.Background()
+			for i := w; time.Now().Before(deadline); i++ {
+				job := jobs[i%len(jobs)]
+				if _, _, err := db.Query(ctx, job.Index, job.Query, uindex.WithAlgorithm(job.Algorithm)); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				done.Add(1)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err, ok := firstErr.Load().(error); ok && err != nil {
+		return done.Load(), err
+	}
+	return done.Load(), nil
+}
+
+// RunMixed measures read throughput twice — first with no writers, then with
+// concurrent writers committing inserts and attribute updates — and reports
+// the ratio. The writers run the full facade write path (per-index write
+// locks, copy-on-write commits), so the ratio is the end-to-end price a
+// reader pays for concurrent write traffic.
+func RunMixed(cfg MixedConfig) (*MixedResult, error) {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = 400
+	}
+	if cfg.Objects <= 0 {
+		cfg.Objects = 6000
+	}
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Writers <= 0 {
+		cfg.Writers = 1
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 2 * time.Second
+	}
+	if cfg.WriteRate == 0 {
+		cfg.WriteRate = 500
+	}
+	db, err := buildParallelDB(cfg.Config)
+	if err != nil {
+		return nil, err
+	}
+	defer db.Close()
+	if err := db.DropCaches(); err != nil {
+		return nil, err
+	}
+	jobs := parallelJobs(cfg.Jobs, cfg.Seed)
+
+	// Phase 1: read-only baseline.
+	baseline, err := readPhase(db, jobs, cfg.Workers, cfg.Duration)
+	if err != nil {
+		return nil, err
+	}
+
+	// Phase 2: same read workload with writers committing concurrently.
+	stop := make(chan struct{})
+	var writes atomic.Int64
+	var writerErr atomic.Value
+	var wwg sync.WaitGroup
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
+	classes := []string{"Vehicle", "Automobile", "Truck", "CompactAutomobile"}
+	for w := 0; w < cfg.Writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			var tick *time.Ticker
+			if cfg.WriteRate > 0 {
+				tick = time.NewTicker(time.Second / time.Duration(cfg.WriteRate))
+				defer tick.Stop()
+			}
+			var mine []uindex.OID
+			for i := 0; ; i++ {
+				if tick != nil {
+					select {
+					case <-stop:
+						return
+					case <-tick.C:
+					}
+				} else {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+				}
+				var err error
+				switch {
+				case len(mine) > 0 && i%4 == 3: // recolor one of ours
+					err = db.Set(mine[i%len(mine)], "Color", colors[i%len(colors)])
+				default:
+					var oid uindex.OID
+					oid, err = db.Insert(classes[(w+i)%len(classes)], uindex.Attrs{
+						"Color": colors[(w+i)%len(colors)],
+					})
+					if err == nil {
+						mine = append(mine, oid)
+					}
+				}
+				if err != nil {
+					writerErr.CompareAndSwap(nil, err)
+					return
+				}
+				writes.Add(1)
+			}
+		}(w)
+	}
+	mixed, err := readPhase(db, jobs, cfg.Workers, cfg.Duration)
+	close(stop)
+	wwg.Wait()
+	if err != nil {
+		return nil, err
+	}
+	if werr, ok := writerErr.Load().(error); ok && werr != nil {
+		return nil, fmt.Errorf("writer: %w", werr)
+	}
+
+	secs := cfg.Duration.Seconds()
+	res := &MixedResult{
+		Config:        cfg,
+		ReadOnlyQPS:   float64(baseline) / secs,
+		WithWriterQPS: float64(mixed) / secs,
+		Writes:        writes.Load(),
+		WritesPerSec:  float64(writes.Load()) / secs,
+	}
+	if res.ReadOnlyQPS > 0 {
+		res.Ratio = res.WithWriterQPS / res.ReadOnlyQPS
+	}
+	return res, nil
+}
+
+// RenderMixed prints one RunMixed result.
+func RenderMixed(w io.Writer, r *MixedResult) {
+	rate := "unthrottled"
+	if r.Config.WriteRate > 0 {
+		rate = fmt.Sprintf("%d writes/sec each", r.Config.WriteRate)
+	}
+	fmt.Fprintf(w, "mixed read/write throughput (%d objects, %d read workers, %d writers %s, %s per phase)\n",
+		r.Config.Objects, r.Config.Workers, r.Config.Writers, rate, r.Config.Duration)
+	fmt.Fprintf(w, "  read-only      %.0f queries/sec\n", r.ReadOnlyQPS)
+	fmt.Fprintf(w, "  with writers   %.0f queries/sec\n", r.WithWriterQPS)
+	fmt.Fprintf(w, "  ratio          %.3f (1.0 = writers cost readers nothing)\n", r.Ratio)
+	fmt.Fprintf(w, "  writes         %d committed (%.0f/sec)\n", r.Writes, r.WritesPerSec)
+}

@@ -7,6 +7,7 @@
 package parallel
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -170,7 +171,7 @@ func RunParallel(cfg Config) (*Result, error) {
 
 	before, hasPool := db.PoolStats()
 	start := time.Now()
-	results := db.QueryParallel(jobs, cfg.Workers)
+	results := db.QueryParallel(context.Background(), jobs, cfg.Workers)
 	elapsed := time.Since(start)
 
 	res := &Result{Config: cfg, Elapsed: elapsed}

@@ -16,6 +16,7 @@
 package htree
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -209,7 +210,7 @@ func (h *Forest) query(lo, hi []byte, sets []SetID, tr *pager.Tracker) ([]Result
 		if t == nil {
 			continue
 		}
-		err = t.Scan(lo, hiEx, tr, func(k, _ []byte) ([]byte, bool, error) {
+		err = t.Scan(context.Background(), lo, hiEx, tr, func(k, _ []byte) ([]byte, bool, error) {
 			stats.EntriesScanned++
 			if len(k) != keyLen+4 {
 				return nil, true, fmt.Errorf("htree: entry of %d bytes, want %d", len(k), keyLen+4)

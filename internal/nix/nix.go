@@ -26,6 +26,7 @@ package nix
 
 import (
 	"bytes"
+	"context"
 	"encoding/binary"
 	"fmt"
 	"sort"
@@ -364,7 +365,7 @@ func (ix *Index) LookupRange(lo, hi any, class string, tr *pager.Tracker) ([]enc
 		return nil, stats, err
 	}
 	var out []encoding.OID
-	err = ix.primary.Scan(lob, encoding.PrefixEnd(hib), tr, func(_, val []byte) ([]byte, bool, error) {
+	err = ix.primary.Scan(context.Background(), lob, encoding.PrefixEnd(hib), tr, func(_, val []byte) ([]byte, bool, error) {
 		stats.RecordsRead++
 		d, err := decodeDirectory(val)
 		if err != nil {

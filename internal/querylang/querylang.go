@@ -23,6 +23,7 @@
 package querylang
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
@@ -33,21 +34,21 @@ import (
 )
 
 // Run parses input and executes it on the index under the given execution
-// context (nil selects a fresh Parallel-algorithm context). This is the
-// textual-query entry point of the executor layer: every run gets its own
-// per-query ExecContext unless the caller passes one to share page
-// accounting, so concurrent textual queries are as independent as
-// programmatic ones.
-func Run(ix *core.Index, input string, ctx *core.ExecContext) ([]core.Match, core.Stats, error) {
+// context (nil selects a fresh Parallel-algorithm context). ctx cancellation
+// aborts the scan at the next page visit. This is the textual-query entry
+// point of the executor layer: every run gets its own per-query ExecContext
+// unless the caller passes one to share page accounting, so concurrent
+// textual queries are as independent as programmatic ones.
+func Run(ctx context.Context, ix *core.Index, input string, ec *core.ExecContext) ([]core.Match, core.Stats, error) {
 	q, err := Parse(ix, input)
 	if err != nil {
 		return nil, core.Stats{}, err
 	}
-	if ctx == nil {
-		ctx = core.NewExecContext(core.Parallel)
+	if ec == nil {
+		ec = core.NewExecContext(core.Parallel)
 	}
 	var out []core.Match
-	stats, err := ix.ExecuteCtx(q, ctx, func(m core.Match) bool {
+	stats, err := ix.ExecuteCtx(ctx, q, ec, func(m core.Match) bool {
 		out = append(out, m)
 		return true
 	})

@@ -6,6 +6,7 @@
 package store
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -13,6 +14,10 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/schema"
 )
+
+// ErrUnknownClass is returned (wrapped) when an operation names a class the
+// schema does not declare; test with errors.Is.
+var ErrUnknownClass = errors.New("store: unknown class")
 
 // OID aliases the four-byte object identifier used in index keys.
 type OID = encoding.OID
@@ -87,7 +92,7 @@ func (st *Store) Insert(class string, attrs Attrs) (OID, error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	if _, ok := st.schema.Class(class); !ok {
-		return 0, fmt.Errorf("store: unknown class %q", class)
+		return 0, fmt.Errorf("%w %q", ErrUnknownClass, class)
 	}
 	for name, v := range attrs {
 		if err := st.checkValue(class, name, v); err != nil {
@@ -338,7 +343,7 @@ func (st *Store) Restore(objs []RestoredObject, nextOID OID) error {
 	extents := make(map[string][]OID)
 	for _, ro := range objs {
 		if _, ok := st.schema.Class(ro.Class); !ok {
-			return fmt.Errorf("store: restore: unknown class %q", ro.Class)
+			return fmt.Errorf("store: restore: %w %q", ErrUnknownClass, ro.Class)
 		}
 		if ro.OID == 0 || ro.OID >= nextOID {
 			return fmt.Errorf("store: restore: oid %d out of range", ro.OID)

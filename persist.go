@@ -9,6 +9,7 @@ package uindex
 import (
 	"bufio"
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -17,6 +18,11 @@ import (
 	"repro/internal/encoding"
 	"repro/internal/store"
 )
+
+// ErrInvalidSnapshot reports that the input handed to Load/LoadWith is not a
+// well-formed database snapshot: wrong magic, an unsupported format version,
+// or corrupt section data. Match it with errors.Is.
+var ErrInvalidSnapshot = errors.New("uindex: invalid database snapshot")
 
 const (
 	snapshotMagic   = 0x554F4442 // "UODB"
@@ -103,7 +109,7 @@ func (sr *snapshotReader) str() string {
 		return ""
 	}
 	if n > 1<<20 {
-		sr.err = fmt.Errorf("uindex: implausible string length %d in snapshot", n)
+		sr.err = fmt.Errorf("%w: implausible string length %d", ErrInvalidSnapshot, n)
 		return ""
 	}
 	b := make([]byte, n)
@@ -253,13 +259,13 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		if sr.err != nil {
 			return nil, sr.err
 		}
-		return nil, fmt.Errorf("uindex: not a database snapshot")
+		return nil, fmt.Errorf("%w: bad magic", ErrInvalidSnapshot)
 	}
 	if v := sr.u32(); v != snapshotVersion {
 		if sr.err != nil {
 			return nil, sr.err
 		}
-		return nil, fmt.Errorf("uindex: unsupported snapshot version %d", v)
+		return nil, fmt.Errorf("%w: unsupported version %d", ErrInvalidSnapshot, v)
 	}
 
 	s := NewSchema()
@@ -313,7 +319,7 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 			case tagOIDs:
 				n := sr.uvarint()
 				if n > 1<<20 {
-					return nil, fmt.Errorf("uindex: implausible reference list length %d", n)
+					return nil, fmt.Errorf("%w: implausible reference list length %d", ErrInvalidSnapshot, n)
 				}
 				oids := make([]OID, n)
 				for k := range oids {
@@ -322,7 +328,7 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 				ro.Attrs[name] = oids
 			default:
 				if sr.err == nil {
-					return nil, fmt.Errorf("uindex: unknown value tag %d in snapshot", tag)
+					return nil, fmt.Errorf("%w: unknown value tag %d", ErrInvalidSnapshot, tag)
 				}
 			}
 		}

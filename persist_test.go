@@ -2,6 +2,7 @@ package uindex
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"path/filepath"
 	"strings"
@@ -40,11 +41,11 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 		{"age", Query{Value: Range(45, 60), Positions: []Position{Any, On("AutoCompany")}}},
 	}
 	for i, tc := range queries {
-		a, _, err := db.Query(tc.index, tc.q)
+		a, _, err := db.Query(context.Background(), tc.index, tc.q)
 		if err != nil {
 			t.Fatal(err)
 		}
-		b, _, err := re.Query(tc.index, tc.q)
+		b, _, err := re.Query(context.Background(), tc.index, tc.q)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -57,7 +58,7 @@ func TestSaveLoadRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatalf("insert after reload: %v", err)
 	}
-	ms, _, _ := re.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Truck")}})
+	ms, _, _ := re.Query(context.Background(), "color", Query{Value: Exact("Red"), Positions: []Position{On("Truck")}})
 	if len(ms) != 1 || ms[0].Path[0].OID != v {
 		t.Fatalf("post-reload query = %v", ms)
 	}
@@ -118,7 +119,7 @@ func TestSaveLoadMultiValueAndCycles(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Load with cycle: %v", err)
 	}
-	ms, _, err := re.Query("own", Query{Value: Range(uint64(60), nil)})
+	ms, _, err := re.Query(context.Background(), "own", Query{Value: Range(uint64(60), nil)})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,104 @@
+package uindex
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+
+	"repro/internal/core"
+)
+
+// Snapshot is an immutable read view of the whole database's index set: at
+// creation it pins the current version of every index tree, and every query
+// through it answers from those versions no matter how many mutations
+// commit afterwards. Writers are never blocked by an open snapshot — they
+// keep committing new versions; the snapshot merely keeps the superseded
+// pages it can reach alive until Release.
+//
+// A Snapshot is safe for concurrent use. Release it when done (idempotent);
+// a long-lived snapshot holds superseded pages, so the page footprint grows
+// with the write volume during its lifetime.
+//
+// The snapshot covers index state. Match fields resolved through the object
+// store (the Obj pointer of a Match) read the store's latest state.
+type Snapshot struct {
+	views    map[string]*core.Snapshot
+	order    []string
+	released atomic.Bool
+}
+
+// Snapshot pins the current version of every index and returns the view.
+func (db *Database) Snapshot() (*Snapshot, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, ErrClosed
+	}
+	s := &Snapshot{
+		views: make(map[string]*core.Snapshot, len(db.order)),
+		order: append([]string(nil), db.order...),
+	}
+	for _, name := range db.order {
+		s.views[name] = db.indexes[name].Snapshot()
+	}
+	return s, nil
+}
+
+// Release unpins every index version the snapshot holds, letting the engine
+// reclaim pages superseded since. Release is idempotent; queries after
+// Release fail with ErrSnapshotReleased.
+func (s *Snapshot) Release() error {
+	if s.released.Swap(true) {
+		return nil
+	}
+	var first error
+	for _, name := range s.order {
+		if err := s.views[name].Release(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Indexes lists the index names the snapshot covers, in creation order.
+func (s *Snapshot) Indexes() []string {
+	return append([]string(nil), s.order...)
+}
+
+// Epoch returns the pinned tree epoch of the named index; ok is false when
+// the snapshot does not cover it.
+func (s *Snapshot) Epoch(index string) (uint64, bool) {
+	v, ok := s.views[index]
+	if !ok {
+		return 0, false
+	}
+	return v.Epoch(), true
+}
+
+// Query runs a query on the named index against the snapshot's pinned
+// version. It accepts the same options as Database.Query; WithSnapshot is
+// redundant here and ignored.
+func (s *Snapshot) Query(ctx context.Context, index string, q Query, opts ...QueryOption) ([]Match, Stats, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	return s.query(ctx, index, q, cfg)
+}
+
+func (s *Snapshot) query(ctx context.Context, index string, q Query, cfg queryConfig) ([]Match, Stats, error) {
+	if s.released.Load() {
+		return nil, Stats{}, ErrSnapshotReleased
+	}
+	v, ok := s.views[index]
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+	}
+	ec := &core.ExecContext{Tracker: cfg.tr, Algorithm: cfg.alg}
+	var out []Match
+	stats, err := v.ExecuteCtx(ctx, q, ec, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, stats, err
+}

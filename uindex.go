@@ -20,7 +20,7 @@
 //	db, _ := uindex.NewDatabase(s)
 //	db.CreateIndex(uindex.IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"})
 //	oid, _ := db.Insert("Automobile", uindex.Attrs{"Color": "Red"})
-//	ms, _, _ := db.Query("color", uindex.Query{
+//	ms, _, _ := db.Query(context.Background(), "color", uindex.Query{
 //		Value:     uindex.Exact("Red"),
 //		Positions: []uindex.Position{uindex.On("Automobile")},
 //	})
@@ -29,11 +29,14 @@
 package uindex
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/btree"
 	"repro/internal/bufferpool"
 	"repro/internal/core"
 	"repro/internal/encoding"
@@ -41,6 +44,21 @@ import (
 	"repro/internal/querylang"
 	"repro/internal/schema"
 	"repro/internal/store"
+)
+
+// Sentinel errors. Returned errors wrap these; test with errors.Is.
+var (
+	// ErrClosed is returned by operations on a closed Database.
+	ErrClosed = errors.New("uindex: database closed")
+	// ErrIndexNotFound is returned when an operation names an index the
+	// database does not have.
+	ErrIndexNotFound = errors.New("uindex: index not found")
+	// ErrUnknownClass is returned when an operation names a class the
+	// schema does not declare.
+	ErrUnknownClass = store.ErrUnknownClass
+	// ErrSnapshotReleased is returned by queries through a released
+	// Snapshot.
+	ErrSnapshotReleased = btree.ErrSnapshotReleased
 )
 
 // Re-exported types: the facade exposes the internal packages' vocabulary
@@ -136,15 +154,19 @@ type Options struct {
 
 // Database is a schema + object store + U-indexes, kept consistent.
 //
-// Concurrency contract: any number of concurrent readers OR a single
-// writer. Query, QueryWith, QueryString, QueryParallel, Get, ClassOf and
-// the other read-only accessors share a read lock and run in parallel (each
-// query executes under its own ExecContext, so no per-query state is
-// shared); Insert, Delete, Set, CreateIndex, DropIndex and Close take the
-// write lock and run exclusively. The same contract holds layer by layer
-// underneath: goroutine-safe buffer pools and page files, and index trees
-// whose read paths never mutate shared state.
+// Concurrency contract: writers never block readers. Every query (Query,
+// QueryParallel, the deprecated wrappers, and queries through a Snapshot)
+// runs against an immutable pinned version of each index tree, so it sees a
+// consistent state regardless of concurrent mutations and never waits for
+// them. Mutations (Insert, Delete, Set) serialize per index — writers on
+// indexes with disjoint coverage proceed in parallel; writers on the same
+// index queue on that index's write lock. Catalog operations (CreateIndex,
+// DropIndex, Close) are exclusive: they wait for in-flight operations and
+// block new ones while they restructure the index set.
 type Database struct {
+	// mu guards the catalog: the index map, creation order, pools, and the
+	// closed flag. Queries and object mutations hold it in read mode (they
+	// only look indexes up); catalog operations hold it in write mode.
 	mu      sync.RWMutex
 	sch     *schema.Schema
 	st      *store.Store
@@ -152,6 +174,7 @@ type Database struct {
 	order   []string
 	opts    Options
 	pools   map[string]*bufferpool.Pool
+	closed  bool
 }
 
 // NewDatabase creates a database over the schema, assigning class codes if
@@ -177,13 +200,17 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 	}, nil
 }
 
-// Close releases every index's buffer pool (flushing dirty pages into the
-// backing files first). A database without pools has nothing to release;
-// Close is still safe to call. The database must not be used afterwards
-// when pools were configured.
+// Close marks the database closed and releases every index's buffer pool
+// (flushing dirty pages into the backing files first). It waits for
+// in-flight operations; subsequent operations fail with ErrClosed. Close is
+// idempotent.
 func (db *Database) Close() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
 	var first error
 	for _, name := range db.order {
 		pool, ok := db.pools[name]
@@ -204,14 +231,21 @@ func (db *Database) Close() error {
 // DropCaches flushes every index's in-memory node cache so subsequent
 // reads go through the page files (and their buffer pools, when
 // configured). Cold-cache measurements call this between the build and
-// measure phases; it takes the writer lock, so no queries may be in
-// flight.
+// measure phases; it takes the catalog write lock, so no catalog changes
+// may race it, and each index's write lock, so no mutations are in flight.
 func (db *Database) DropCaches() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	var first error
 	for _, name := range db.order {
-		if err := db.indexes[name].DropCache(); err != nil && first == nil {
+		ix := db.indexes[name]
+		ix.LockWrite()
+		err := ix.DropCache()
+		ix.UnlockWrite()
+		if err != nil && first == nil {
 			first = err
 		}
 	}
@@ -249,6 +283,9 @@ func (db *Database) Coding() *Coding { return db.sch.Coding() }
 func (db *Database) CreateIndex(spec IndexSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	if _, dup := db.indexes[spec.Name]; dup {
 		return fmt.Errorf("uindex: index %q already exists", spec.Name)
 	}
@@ -284,9 +321,12 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 func (db *Database) DropIndex(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
 	ix, ok := db.indexes[name]
 	if !ok {
-		return fmt.Errorf("uindex: no index %q", name)
+		return fmt.Errorf("uindex: no index %q: %w", name, ErrIndexNotFound)
 	}
 	var err error
 	if pool, ok := db.pools[name]; ok {
@@ -323,17 +363,40 @@ func (db *Database) Indexes() []string {
 	return append([]string(nil), db.order...)
 }
 
-// Insert stores a new object and adds its entries to every index.
+// coveringIndexes returns the indexes (in creation order) an object of the
+// given class can participate in. Acquiring their write locks in this order
+// — the single global order — keeps multi-index writers deadlock-free.
+func (db *Database) coveringIndexes(class string) []*core.Index {
+	out := make([]*core.Index, 0, len(db.order))
+	for _, name := range db.order {
+		if ix := db.indexes[name]; ix.Covers(class) {
+			out = append(out, ix)
+		}
+	}
+	return out
+}
+
+// Insert stores a new object and adds its entries to every index that can
+// cover its class. Inserts of objects with disjoint index coverage run in
+// parallel; only writers to the same index serialize. Queries are never
+// blocked — they read the pinned tree version from before or after each
+// index commit.
 func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return 0, ErrClosed
+	}
 	oid, err := db.st.Insert(class, attrs)
 	if err != nil {
 		return 0, err
 	}
-	for _, name := range db.order {
-		if err := db.indexes[name].Add(oid); err != nil {
-			return 0, fmt.Errorf("uindex: maintaining index %q: %w", name, err)
+	for _, ix := range db.coveringIndexes(class) {
+		ix.LockWrite()
+		err := ix.Add(oid)
+		ix.UnlockWrite()
+		if err != nil {
+			return 0, fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
 		}
 	}
 	return oid, nil
@@ -341,13 +404,31 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 
 // Delete removes an object and its entries from every index. Objects that
 // reference the deleted one keep dangling references; their index entries
-// through the deleted object are removed here.
+// through the deleted object are removed here. The write locks of every
+// covering index are held for the whole removal, so concurrent writers to
+// those indexes wait while others proceed.
 func (db *Database) Delete(oid OID) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	for _, name := range db.order {
-		if err := db.indexes[name].Remove(oid); err != nil {
-			return fmt.Errorf("uindex: maintaining index %q: %w", name, err)
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	o, ok := db.st.Get(oid)
+	if !ok {
+		return db.st.Delete(oid) // surfaces the store's not-found error
+	}
+	covering := db.coveringIndexes(o.Class)
+	for _, ix := range covering {
+		ix.LockWrite()
+	}
+	defer func() {
+		for _, ix := range covering {
+			ix.UnlockWrite()
+		}
+	}()
+	for _, ix := range covering {
+		if err := ix.Remove(oid); err != nil {
+			return fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
 		}
 	}
 	return db.st.Delete(oid)
@@ -355,34 +436,47 @@ func (db *Database) Delete(oid OID) error {
 
 // Set updates one attribute of an object, applying the batch index diff of
 // the paper's Section 3.5 (a president switching companies is exactly one
-// Set call).
+// Set call). The write locks of every covering index are held across the
+// before-enumeration, the store update, and the diff application, so each
+// index moves atomically from the old state to the new one.
 func (db *Database) Set(oid OID, attr string, v any) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
-	type diff struct {
-		ix   *core.Index
-		old  [][]byte
-		name string
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
 	}
-	var diffs []diff
-	for _, name := range db.order {
-		ix := db.indexes[name]
+	o, ok := db.st.Get(oid)
+	if !ok {
+		_, err := db.st.SetAttr(oid, attr, v) // surfaces the store's not-found error
+		return err
+	}
+	covering := db.coveringIndexes(o.Class)
+	for _, ix := range covering {
+		ix.LockWrite()
+	}
+	defer func() {
+		for _, ix := range covering {
+			ix.UnlockWrite()
+		}
+	}()
+	olds := make([][][]byte, len(covering))
+	for i, ix := range covering {
 		old, err := ix.EntriesFor(oid)
 		if err != nil {
-			return fmt.Errorf("uindex: index %q: %w", name, err)
+			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
 		}
-		diffs = append(diffs, diff{ix: ix, old: old, name: name})
+		olds[i] = old
 	}
 	if _, err := db.st.SetAttr(oid, attr, v); err != nil {
 		return err
 	}
-	for _, d := range diffs {
-		newKeys, err := d.ix.EntriesFor(oid)
+	for i, ix := range covering {
+		newKeys, err := ix.EntriesFor(oid)
 		if err != nil {
-			return fmt.Errorf("uindex: index %q: %w", d.name, err)
+			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
 		}
-		if err := d.ix.ApplyDiff(d.old, newKeys); err != nil {
-			return fmt.Errorf("uindex: index %q: %w", d.name, err)
+		if err := ix.ApplyDiff(olds[i], newKeys); err != nil {
+			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
 		}
 	}
 	return nil
@@ -390,30 +484,102 @@ func (db *Database) Set(oid OID, attr string, v any) error {
 
 // Get returns an object by id.
 func (db *Database) Get(oid OID) (*Object, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	return db.st.Get(oid)
 }
 
-// Query runs a query on the named index with the parallel algorithm. Each
-// call executes under a fresh ExecContext, so any number of Query calls may
-// run concurrently (they share the engine read lock).
-func (db *Database) Query(index string, q Query) ([]Match, Stats, error) {
-	return db.QueryWith(index, q, Parallel, nil)
+// QueryOption configures one Query call.
+type QueryOption func(*queryConfig)
+
+type queryConfig struct {
+	alg  Algorithm
+	tr   *Tracker
+	snap *Snapshot
+}
+
+// WithAlgorithm selects the retrieval strategy (default Parallel, the
+// paper's Algorithm 1).
+func WithAlgorithm(alg Algorithm) QueryOption {
+	return func(c *queryConfig) { c.alg = alg }
+}
+
+// WithTracker shares a page-read tracker across queries, reproducing the
+// paper's buffered experiment model (cumulative distinct pages). A shared
+// tracker must not be used from multiple goroutines at once; give each
+// goroutine its own and combine them with Tracker.Merge.
+func WithTracker(tr *Tracker) QueryOption {
+	return func(c *queryConfig) { c.tr = tr }
+}
+
+// WithSnapshot runs the query against a previously taken Snapshot instead
+// of the current state: the same snapshot serves any number of queries, all
+// seeing one consistent version regardless of concurrent writers.
+func WithSnapshot(s *Snapshot) QueryOption {
+	return func(c *queryConfig) { c.snap = s }
+}
+
+// Query runs a query on the named index. Options select the algorithm, a
+// shared tracker, or a snapshot to read from; defaults are the parallel
+// algorithm, a private tracker, and the current state. ctx cancellation
+// aborts the scan at the next page visit.
+//
+// Every query runs against one immutable pinned version of the index tree,
+// so concurrent mutations are neither observed mid-query nor waited on. Any
+// number of Query calls run in parallel.
+func (db *Database) Query(ctx context.Context, index string, q Query, opts ...QueryOption) ([]Match, Stats, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.snap != nil {
+		return cfg.snap.query(ctx, index, q, cfg)
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, Stats{}, ErrClosed
+	}
+	ix, ok := db.indexes[index]
+	if !ok {
+		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+	}
+	ec := &core.ExecContext{Tracker: cfg.tr, Algorithm: cfg.alg}
+	var out []Match
+	stats, err := ix.ExecuteCtx(ctx, q, ec, func(m Match) bool {
+		out = append(out, m)
+		return true
+	})
+	return out, stats, err
 }
 
 // QueryWith runs a query with an explicit algorithm and optional shared
-// tracker. A nil tracker gives the query a private one; a shared tracker
-// must not be used from multiple goroutines at once (give each goroutine
-// its own and combine them with Tracker.Merge).
+// tracker.
+//
+// Deprecated: use Query with WithAlgorithm and WithTracker options.
 func (db *Database) QueryWith(index string, q Query, alg Algorithm, tr *Tracker) ([]Match, Stats, error) {
+	return db.Query(context.Background(), index, q, WithAlgorithm(alg), WithTracker(tr))
+}
+
+// QueryString parses and runs a paper-style textual query such as
+//
+//	(Color=Red, [C5A*, C5B])
+//	(Age=[50-60], C1, C2$12 ; distinct 2)
+//
+// against the named index. See the querylang package documentation for the
+// grammar.
+//
+// Deprecated: use ParseQuery and Query, which add context cancellation and
+// per-call options.
+func (db *Database) QueryString(index, query string) ([]Match, Stats, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
+	if db.closed {
+		return nil, Stats{}, ErrClosed
+	}
 	ix, ok := db.indexes[index]
 	if !ok {
-		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
+		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
 	}
-	return ix.Execute(q, alg, tr)
+	return querylang.Run(context.Background(), ix, query, nil)
 }
 
 // QueryJob names one query of a QueryParallel batch.
@@ -437,15 +603,16 @@ type QueryResult struct {
 // QueryParallel executes a batch of queries concurrently on a pool of
 // worker goroutines and returns the results in job order. workers <= 0
 // selects GOMAXPROCS. Every job runs under its own ExecContext (private
-// tracker, per-job stats), so jobs never share mutable state; the whole
-// batch holds the engine read lock, so it runs against one consistent
-// database snapshot while writers wait.
+// tracker, per-job stats), so jobs never share mutable state. The batch
+// runs against one database Snapshot, so every job sees the same consistent
+// version while concurrent writers proceed unblocked. ctx cancellation
+// aborts the remaining jobs at their next page visit.
 //
 // Per-job Stats.PagesRead counts are the same as the job would report run
 // alone on a cold tracker; experiment-level totals that must match a
 // sequential shared-tracker run can be rebuilt by merging per-job trackers
 // (see Tracker.Merge) — QueryParallel itself keeps jobs independent.
-func (db *Database) QueryParallel(jobs []QueryJob, workers int) []QueryResult {
+func (db *Database) QueryParallel(ctx context.Context, jobs []QueryJob, workers int) []QueryResult {
 	results := make([]QueryResult, len(jobs))
 	if len(jobs) == 0 {
 		return results
@@ -456,8 +623,14 @@ func (db *Database) QueryParallel(jobs []QueryJob, workers int) []QueryResult {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-	db.mu.RLock()
-	defer db.mu.RUnlock()
+	snap, err := db.Snapshot()
+	if err != nil {
+		for i := range results {
+			results[i].Err = err
+		}
+		return results
+	}
+	defer snap.Release()
 	var next atomic.Int64
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
@@ -470,40 +643,13 @@ func (db *Database) QueryParallel(jobs []QueryJob, workers int) []QueryResult {
 					return
 				}
 				job := jobs[i]
-				ix, ok := db.indexes[job.Index]
-				if !ok {
-					results[i].Err = fmt.Errorf("uindex: no index %q", job.Index)
-					continue
-				}
-				ctx := core.NewExecContext(job.Algorithm)
-				var ms []Match
-				stats, err := ix.ExecuteCtx(job.Query, ctx, func(m Match) bool {
-					ms = append(ms, m)
-					return true
-				})
+				ms, stats, err := snap.Query(ctx, job.Index, job.Query, WithAlgorithm(job.Algorithm))
 				results[i] = QueryResult{Matches: ms, Stats: stats, Err: err}
 			}
 		}()
 	}
 	wg.Wait()
 	return results
-}
-
-// QueryString parses and runs a paper-style textual query such as
-//
-//	(Color=Red, [C5A*, C5B])
-//	(Age=[50-60], C1, C2$12 ; distinct 2)
-//
-// against the named index. See the querylang package documentation for the
-// grammar.
-func (db *Database) QueryString(index, query string) ([]Match, Stats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	ix, ok := db.indexes[index]
-	if !ok {
-		return nil, Stats{}, fmt.Errorf("uindex: no index %q", index)
-	}
-	return querylang.Run(ix, query, nil)
 }
 
 // ParseQuery parses a paper-notation textual query (see the querylang
@@ -514,8 +660,6 @@ func ParseQuery(ix *core.Index, query string) (Query, error) {
 
 // ClassOf resolves an object id to its class name.
 func (db *Database) ClassOf(oid OID) (string, bool) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
 	o, ok := db.st.Get(oid)
 	if !ok {
 		return "", false

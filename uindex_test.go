@@ -1,6 +1,7 @@
 package uindex
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -68,7 +69,7 @@ func paperDB(t *testing.T) (*Database, map[string]OID) {
 
 func TestDatabaseLifecycle(t *testing.T) {
 	db, ids := paperDB(t)
-	ms, stats, err := db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
+	ms, stats, err := db.Query(context.Background(), "color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestDatabaseLifecycle(t *testing.T) {
 		t.Fatalf("red vehicles = %d, stats %+v", len(ms), stats)
 	}
 	// Path query through the facade.
-	ms, _, err = db.Query("age", Query{Value: Exact(50)})
+	ms, _, err = db.Query(context.Background(), "age", Query{Value: Exact(50)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFacadeMutations(t *testing.T) {
 	if err := db.Delete(ids["v3"]); err != nil {
 		t.Fatal(err)
 	}
-	ms, _, _ := db.Query("color", Query{Value: Exact("Red")})
+	ms, _, _ := db.Query(context.Background(), "color", Query{Value: Exact("Red")})
 	if len(ms) != 1 {
 		t.Fatalf("red vehicles after delete = %d", len(ms))
 	}
@@ -114,11 +115,11 @@ func TestFacadeMutations(t *testing.T) {
 	if err := db.Set(ids["c2"], "President", ids["e2"]); err != nil {
 		t.Fatal(err)
 	}
-	ms, _, _ = db.Query("age", Query{Value: Exact(50)})
+	ms, _, _ = db.Query(context.Background(), "age", Query{Value: Exact(50)})
 	if len(ms) != 0 {
 		t.Fatalf("stale age-50 entries: %d", len(ms))
 	}
-	ms, _, _ = db.Query("age", Query{Value: Exact(60)})
+	ms, _, _ = db.Query(context.Background(), "age", Query{Value: Exact(60)})
 	if len(ms) != 3 { // v2, v6 (Fiat) + v4 (Renault)
 		t.Fatalf("age-60 vehicles = %d", len(ms))
 	}
@@ -126,7 +127,7 @@ func TestFacadeMutations(t *testing.T) {
 	if err := db.Set(ids["v6"], "Color", "Green"); err != nil {
 		t.Fatal(err)
 	}
-	ms, _, _ = db.Query("color", Query{Value: Exact("Green")})
+	ms, _, _ = db.Query(context.Background(), "color", Query{Value: Exact("Green")})
 	if len(ms) != 1 {
 		t.Fatalf("green vehicles = %d", len(ms))
 	}
@@ -229,7 +230,7 @@ func TestSchemaEvolutionThroughFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ms, _, err := db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Bus")}})
+	ms, _, err := db.Query(context.Background(), "color", Query{Value: Exact("Red"), Positions: []Position{On("Bus")}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -237,7 +238,7 @@ func TestSchemaEvolutionThroughFacade(t *testing.T) {
 		t.Fatalf("bus query = %v", ms)
 	}
 	// And the full Vehicle subtree picks it up too.
-	ms, _, _ = db.Query("color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
+	ms, _, _ = db.Query(context.Background(), "color", Query{Value: Exact("Red"), Positions: []Position{On("Vehicle")}})
 	if len(ms) != 3 {
 		t.Fatalf("red vehicles incl. bus = %d", len(ms))
 	}
