@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress apicheck ci
+.PHONY: build test race vet stress apicheck bench bench-short ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,22 @@ stress:
 
 vet:
 	$(GO) vet ./...
+
+# Read-path performance trajectory: the go-test micro-benchmarks (node
+# decode, point lookup, the four facade query shapes) plus the readbench
+# suite, which writes BENCH_read.json (queries/sec, ns/op, allocs/op per
+# query shape, node cache on vs. off).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery(Exact|Range|Subtree|Parscan)' -benchmem .
+	$(GO) test -run '^$$' -bench 'DecodeNode|TreeGet' -benchmem ./internal/btree/
+	$(GO) run ./cmd/uindexbench -readbench -benchjson BENCH_read.json
+
+# bench in short mode: same code paths at smoke scale, single benchmark
+# iterations, JSON discarded. CI runs this so the benchmarks can't bit-rot.
+bench-short:
+	$(GO) test -run '^$$' -bench 'BenchmarkQuery(Exact|Range|Subtree|Parscan)' -benchtime 1x -benchmem .
+	$(GO) test -run '^$$' -bench 'DecodeNode|TreeGet' -benchtime 1x -benchmem ./internal/btree/
+	$(GO) run ./cmd/uindexbench -readbench -short -benchjson /tmp/BENCH_read.json
 
 # API-surface check: vet plus a grep that keeps the deprecated query
 # wrappers (QueryWith/QueryString) out of commands, examples, and internal

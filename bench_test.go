@@ -7,6 +7,7 @@ package uindex
 // size that keeps `go test -bench=.` responsive.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -91,6 +92,148 @@ func setPosition(db *workload.LargeDB, sets []int) core.Position {
 		pos.Alts = append(pos.Alts, core.ClassPattern{Class: db.Sets[s]})
 	}
 	return pos
+}
+
+// ---- read path -------------------------------------------------------
+
+var (
+	queryBenchMu  sync.Mutex
+	queryBenchDBs = map[int]*Database{}
+)
+
+// benchQueryDB builds (once per cache setting) the vehicle database the
+// read-path benchmarks query: a color class-hierarchy index and a
+// two-ref age path index over a few thousand objects.
+func benchQueryDB(b *testing.B, ncache int) *Database {
+	b.Helper()
+	queryBenchMu.Lock()
+	defer queryBenchMu.Unlock()
+	if db, ok := queryBenchDBs[ncache]; ok {
+		return db
+	}
+	s := NewSchema()
+	steps := []func() error{
+		func() error { return s.AddClass("Employee", "", Attr{Name: "Age", Type: Uint64}) },
+		func() error {
+			return s.AddClass("Company", "", Attr{Name: "Name", Type: String}, Attr{Name: "President", Ref: "Employee"})
+		},
+		func() error {
+			return s.AddClass("Vehicle", "", Attr{Name: "Color", Type: String}, Attr{Name: "ManufacturedBy", Ref: "Company"})
+		},
+		func() error { return s.AddClass("Automobile", "Vehicle") },
+		func() error { return s.AddClass("Truck", "Vehicle") },
+		func() error { return s.AddClass("CompactAutomobile", "Automobile") },
+	}
+	for _, step := range steps {
+		if err := step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	db, err := NewDatabaseWith(s, Options{NodeCacheSize: ncache})
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1996))
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
+	classes := []string{"Vehicle", "Automobile", "Truck", "CompactAutomobile"}
+	var employees, companies []OID
+	for i := 0; i < 300; i++ {
+		oid, err := db.Insert("Employee", Attrs{"Age": uint64(30 + rng.Intn(40))})
+		if err != nil {
+			b.Fatal(err)
+		}
+		employees = append(employees, oid)
+	}
+	for i := 0; i < 150; i++ {
+		oid, err := db.Insert("Company", Attrs{
+			"Name": fmt.Sprintf("Co-%04d", i), "President": employees[rng.Intn(len(employees))]})
+		if err != nil {
+			b.Fatal(err)
+		}
+		companies = append(companies, oid)
+	}
+	if err := db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex(IndexSpec{
+		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"}, Attr: "Age"}); err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if _, err := db.Insert(classes[rng.Intn(len(classes))], Attrs{
+			"Color":          colors[rng.Intn(len(colors))],
+			"ManufacturedBy": companies[rng.Intn(len(companies))],
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	queryBenchDBs[ncache] = db
+	return db
+}
+
+// benchQuery runs one facade query per op under both cache settings —
+// allocs/op with cache=on vs. cache=off is the tentpole's headline number.
+func benchQuery(b *testing.B, index string, q Query) {
+	b.Helper()
+	for _, tc := range []struct {
+		name   string
+		ncache int
+	}{
+		{"cache=on", 0},
+		{"cache=off", -1},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			db := benchQueryDB(b, tc.ncache)
+			ctx := context.Background()
+			// Warm up: steady state is the repeated-query regime.
+			if _, _, err := db.Query(ctx, index, q); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := db.Query(ctx, index, q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkQueryExact is the repeated exact-match probe of the acceptance
+// criterion: exact value on an exact class.
+func BenchmarkQueryExact(b *testing.B) {
+	benchQuery(b, "color", Query{
+		Value:     Exact("Red"),
+		Positions: []Position{OnExact("Automobile")},
+	})
+}
+
+// BenchmarkQueryRange scans a value range over the whole hierarchy.
+func BenchmarkQueryRange(b *testing.B) {
+	benchQuery(b, "color", Query{
+		Value:     Range("Black", "Red"),
+		Positions: []Position{On("Vehicle")},
+	})
+}
+
+// BenchmarkQuerySubtree probes the path index restricted to a class
+// subtree at the path's end.
+func BenchmarkQuerySubtree(b *testing.B) {
+	benchQuery(b, "age", Query{
+		Value:     Exact(uint64(45)),
+		Positions: []Position{Any, Any, On("Automobile")},
+	})
+}
+
+// BenchmarkQueryParscan is a dispersed multi-interval descent — the
+// paper's Algorithm 1 showcase (several values × several class subtrees
+// in one tree pass).
+func BenchmarkQueryParscan(b *testing.B) {
+	benchQuery(b, "color", Query{
+		Value:     OneOf("Red", "Blue", "Green"),
+		Positions: []Position{OneOfClasses("CompactAutomobile", "Truck")},
+	})
 }
 
 // ---- Table 1 ---------------------------------------------------------

@@ -11,14 +11,21 @@
 //	uindexbench -exp table1 -seed 7
 //	uindexbench -parallel 8              # concurrent query throughput
 //	uindexbench -mixed                   # read throughput vs. concurrent writers
+//	uindexbench -readbench -benchjson BENCH_read.json   # read-path ns/op + allocs/op
+//	uindexbench -exp fig5 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, all.
+//
+// Any run accepts -cpuprofile/-memprofile; inspect the output with
+// `go tool pprof`.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -27,6 +34,17 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+// fail reports an error; profiles still flush because run() returns
+// normally instead of calling os.Exit directly.
+func fail(format string, args ...any) int {
+	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	return 1
+}
+
+func run() int {
 	var (
 		exp       = flag.String("exp", "all", "experiment: table1|fig5|fig6|fig7|fig8|storage|updates|all")
 		objects   = flag.Int("objects", 150000, "objects in the large database")
@@ -42,8 +60,68 @@ func main() {
 		writers   = flag.Int("writers", 1, "writer goroutines in the -mixed benchmark")
 		writerate = flag.Int("writerate", 500, "paced mutations/sec per -mixed writer (-1 = unthrottled)")
 		duration  = flag.Duration("duration", 2*time.Second, "length of each -mixed phase")
+		readbench = flag.Bool("readbench", false, "run the read-path benchmark suite (ns/op, allocs/op, queries/sec per query shape, node cache on vs. off)")
+		benchjson = flag.String("benchjson", "", "write -readbench results as JSON to this file (e.g. BENCH_read.json)")
+		short     = flag.Bool("short", false, "smoke scale for -readbench: small database, same code paths")
+		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
+		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	if *cpuprof != "" {
+		f, err := os.Create(*cpuprof)
+		if err != nil {
+			return fail("uindexbench: cpuprofile: %v", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fail("uindexbench: cpuprofile: %v", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprof != "" {
+		defer func() {
+			f, err := os.Create(*memprof)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "uindexbench: memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // report live allocations, not garbage
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "uindexbench: memprofile: %v\n", err)
+			}
+		}()
+	}
+
+	if *readbench {
+		benchObjects := *objects
+		if benchObjects == 150000 { // flag default is experiment-scale
+			benchObjects = 0 // RunRead's default scale
+		}
+		r, err := parbench.RunRead(parbench.ReadConfig{
+			Objects: benchObjects, Seed: *seed, Short: *short,
+		})
+		if err != nil {
+			return fail("uindexbench: readbench: %v", err)
+		}
+		parbench.RenderRead(os.Stdout, r)
+		if *benchjson != "" {
+			f, err := os.Create(*benchjson)
+			if err != nil {
+				return fail("uindexbench: benchjson: %v", err)
+			}
+			err = parbench.WriteReadJSON(f, r)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail("uindexbench: benchjson: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *benchjson)
+		}
+		return 0
+	}
 
 	if *mixed {
 		pool := *poolPages
@@ -68,11 +146,10 @@ func main() {
 			WriteRate: *writerate,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uindexbench: mixed: %v\n", err)
-			os.Exit(1)
+			return fail("uindexbench: mixed: %v", err)
 		}
 		parbench.RenderMixed(os.Stdout, r)
-		return
+		return 0
 	}
 
 	if *parallel > 0 {
@@ -95,11 +172,10 @@ func main() {
 			Seed:      *seed,
 		})
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "uindexbench: parallel: %v\n", err)
-			os.Exit(1)
+			return fail("uindexbench: parallel: %v", err)
 		}
 		parbench.Render(os.Stdout, r)
-		return
+		return 0
 	}
 
 	cfg := experiments.GridConfig{Objects: *objects, Reps: *reps, Seed: *seed, Extended: *extended}
@@ -111,21 +187,21 @@ func main() {
 	cfg.PoolPages = *poolPages
 	cfg.PoolPolicy = *policy
 
-	run := func(name string, f func() error) {
+	runExp := func(name string, f func() error) error {
 		start := time.Now()
 		fmt.Printf("== %s ==\n", name)
 		if err := f(); err != nil {
-			fmt.Fprintf(os.Stderr, "uindexbench: %s: %v\n", name, err)
-			os.Exit(1)
+			return fmt.Errorf("%s: %w", name, err)
 		}
 		fmt.Printf("(%s took %s)\n\n", name, time.Since(start).Round(time.Millisecond))
+		return nil
 	}
 
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	any := false
 	if want("table1") {
 		any = true
-		run("table1", func() error {
+		if err := runExp("table1", func() error {
 			r, err := experiments.RunTable1With(*seed, experiments.Table1Options{
 				PoolPages: *poolPages, PoolPolicy: *policy,
 			})
@@ -134,7 +210,9 @@ func main() {
 			}
 			experiments.RenderTable1(os.Stdout, r)
 			return nil
-		})
+		}); err != nil {
+			return fail("uindexbench: %v", err)
+		}
 	}
 	figs := []struct {
 		name string
@@ -150,18 +228,20 @@ func main() {
 		}
 		any = true
 		fig := fig
-		run(fig.name, func() error {
+		if err := runExp(fig.name, func() error {
 			r, err := fig.f(cfg)
 			if err != nil {
 				return err
 			}
 			experiments.RenderFigure(os.Stdout, r)
 			return nil
-		})
+		}); err != nil {
+			return fail("uindexbench: %v", err)
+		}
 	}
 	if want("storage") {
 		any = true
-		run("storage", func() error {
+		if err := runExp("storage", func() error {
 			for _, keys := range []int{0, 100, 1000} {
 				r, err := experiments.RunStorage(cfg.Objects, 40, keys, *seed)
 				if err != nil {
@@ -170,33 +250,40 @@ func main() {
 				experiments.RenderStorage(os.Stdout, r)
 			}
 			return nil
-		})
+		}); err != nil {
+			return fail("uindexbench: %v", err)
+		}
 	}
 	if want("updates") {
 		any = true
-		run("updates", func() error {
+		if err := runExp("updates", func() error {
 			r, err := experiments.RunUpdateCost(*seed, max(1, *reps/5))
 			if err != nil {
 				return err
 			}
 			experiments.RenderUpdateCost(os.Stdout, r)
 			return nil
-		})
+		}); err != nil {
+			return fail("uindexbench: %v", err)
+		}
 	}
 	if want("fig8") {
 		any = true
-		run("fig8", func() error {
+		if err := runExp("fig8", func() error {
 			r, err := experiments.RunFigure8(cfg)
 			if err != nil {
 				return err
 			}
 			experiments.RenderFigure8(os.Stdout, r)
 			return nil
-		})
+		}); err != nil {
+			return fail("uindexbench: %v", err)
+		}
 	}
 	if !any {
 		fmt.Fprintf(os.Stderr, "uindexbench: unknown experiment %q (want %s)\n",
 			*exp, strings.Join([]string{"table1", "fig5", "fig6", "fig7", "fig8", "storage", "updates", "all"}, "|"))
-		os.Exit(2)
+		return 2
 	}
+	return 0
 }

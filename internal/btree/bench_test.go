@@ -1,0 +1,122 @@
+package btree
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// benchLeafPage encodes one leaf page at a realistic ~75% fill (split
+// pages settle near that, and the tail slack is where the anchor trailer
+// lives) with the given anchor stride (0 = v1 format, no anchors). It
+// returns the page bytes plus a key in the back half of the page — the
+// expensive case for a sequential walk.
+func benchLeafPage(b *testing.B, stride int) (buf []byte, target []byte) {
+	b.Helper()
+	n := &node{leaf: true}
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("bench/cluster-%02d/key-%06d", i/16, i))
+		n.keys = append(n.keys, k)
+		n.vals = append(n.vals, []byte{valInline})
+		if n.encodedSize(false) > 3*pager.DefaultPageSize/4 {
+			n.keys = n.keys[:len(n.keys)-1]
+			n.vals = n.vals[:len(n.vals)-1]
+			break
+		}
+	}
+	buf = make([]byte, pager.DefaultPageSize)
+	if err := encodePage(n, buf, false, stride); err != nil {
+		b.Fatal(err)
+	}
+	return buf, append([]byte(nil), n.keys[3*len(n.keys)/4]...)
+}
+
+// BenchmarkDecodeNode contrasts the two ways the read path materializes a
+// page: the full arena decode every fetch paid before the node cache, and
+// the lazy anchor-seeded point lookup that decodes a single run.
+func BenchmarkDecodeNode(b *testing.B) {
+	b.Run("full", func(b *testing.B) {
+		buf, _ := benchLeafPage(b, DefaultAnchorStride)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := decodeNode(1, buf); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	for _, tc := range []struct {
+		name   string
+		stride int
+	}{
+		{"lazy-get/anchors", DefaultAnchorStride},
+		{"lazy-get/v1-sequential", 0},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			buf, target := benchLeafPage(b, tc.stride)
+			var scratch []byte
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, ok, _, err := pageLeafGet(buf, target, &scratch)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("target key not found")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkTreeGet measures a whole point lookup through the tree: the
+// lazy descent never installs cache entries, so this is the steady-state
+// cost either way; the cached variant additionally hits nodes a prior
+// scan installed.
+func BenchmarkTreeGet(b *testing.B) {
+	for _, tc := range []struct {
+		name string
+		tun  Tuning
+	}{
+		{"cache=on", Tuning{}},
+		{"cache=off", Tuning{NodeCacheSize: -1}},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			f := pager.NewMemFile(0)
+			tree, err := Create(f, Config{Tuning: tc.tun})
+			if err != nil {
+				b.Fatal(err)
+			}
+			for i := 0; i < 3000; i++ {
+				k := []byte(fmt.Sprintf("key-%06d", i))
+				if err := tree.Insert(k, []byte("v")); err != nil {
+					b.Fatal(err)
+				}
+			}
+			if err := tree.DropCache(); err != nil {
+				b.Fatal(err)
+			}
+			// Warm the shared cache the way a real workload would: one scan.
+			err = tree.Scan(nil, nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
+				return nil, false, nil
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			key := []byte("key-002345")
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_, ok, err := tree.Get(key, nil)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if !ok {
+					b.Fatal("key not found")
+				}
+			}
+		})
+	}
+}

@@ -41,6 +41,27 @@ type Config struct {
 	// the long composite keys nearly free; turning it off quantifies
 	// that claim).
 	NoCompression bool
+	// Tuning holds the read-path knobs; the zero value selects defaults.
+	Tuning Tuning
+}
+
+// Tuning holds read-path performance knobs. They never change what a query
+// returns or how many logical pages it touches (the tracker counts a page
+// before any cache is consulted) — only how much CPU and allocation the
+// read path spends. Tuning is runtime-only state: it is not persisted in
+// the tree's meta page, so the same file may be opened with different
+// tuning on different runs.
+type Tuning struct {
+	// NodeCacheSize caps the tree's shared decoded-node cache, in nodes.
+	// 0 selects DefaultNodeCacheSize; a negative value disables the
+	// cache (every fetch decodes, as before this cache existed).
+	NodeCacheSize int
+	// AnchorStride K writes a seek anchor (an uncompressed copy of every
+	// K-th key, plus its entry offset) into the tail slack of each page
+	// written, enabling lazy point lookups that decode one run of K
+	// entries instead of the whole page. 0 selects DefaultAnchorStride;
+	// a negative value writes legacy v1 pages with no anchor trailer.
+	AnchorStride int
 }
 
 // version is one immutable published state of the tree. Mutations never
@@ -67,10 +88,11 @@ type version struct {
 //
 // Snapshot returns a long-lived pinned version with the read surface; the
 // per-operation reads below are one-shot snapshots. The decoded-node cache
-// holds committed nodes the write path has touched and is only accessed
-// under the writer mutex; read operations decode pages privately (caching
-// pages across reads is the buffer pool's job — pager.File implementations
-// are goroutine-safe).
+// (ncache) is shared by every reader, snapshot, and the writer: committed
+// pages are immutable, so their decoded form can be handed out without
+// copying. Coherence is by invalidation — commit drops retired ids and the
+// Reclaimer's release hook drops an id the moment its page is freed, before
+// the allocator can reuse it (nodecache.go).
 type Tree struct {
 	wmu        sync.Mutex // serializes mutations; commit publishes cur
 	f          pager.File
@@ -78,7 +100,8 @@ type Tree struct {
 	meta       pager.PageID
 	cur        atomic.Pointer[version]
 	rec        *bufferpool.Reclaimer
-	cache      map[pager.PageID]*node // committed nodes; writer path only
+	ncache     *nodeCache // shared decoded-node cache; nil = disabled
+	anchorK    int        // anchor stride for pages written; 0 = v1 pages
 	noCompress bool
 }
 
@@ -92,10 +115,11 @@ func Create(f pager.File, cfg Config) (*Tree, error) {
 	if cfg.MaxEntries == 1 {
 		return nil, fmt.Errorf("btree: MaxEntries must be 0 or >= 2")
 	}
-	t := &Tree{f: f, cfg: cfg, cache: make(map[pager.PageID]*node), rec: bufferpool.NewReclaimer(f)}
+	t := &Tree{f: f, cfg: cfg, rec: bufferpool.NewReclaimer(f)}
 	if cfg.NoCompression {
 		t.noCompress = true
 	}
+	t.applyTuning(cfg.Tuning)
 	metaID, err := f.Alloc()
 	if err != nil {
 		return nil, err
@@ -109,7 +133,7 @@ func Create(f pager.File, cfg Config) (*Tree, error) {
 	// published versions straight from the page file.
 	root := &node{id: rootID, leaf: true}
 	buf := make([]byte, f.PageSize())
-	if err := root.encode(buf, t.noCompress); err != nil {
+	if err := encodePage(root, buf, t.noCompress, t.anchorK); err != nil {
 		return nil, err
 	}
 	if err := f.Write(rootID, buf); err != nil {
@@ -123,8 +147,17 @@ func Create(f pager.File, cfg Config) (*Tree, error) {
 }
 
 // Open loads a tree previously persisted (via Flush or Close) at the given
-// meta page of the page file.
+// meta page of the page file, with default tuning.
 func Open(f pager.File, meta pager.PageID) (*Tree, error) {
+	return OpenTuned(f, meta, Tuning{})
+}
+
+// OpenTuned is Open with explicit read-path tuning. Geometry (MaxEntries,
+// compression) always comes from the meta page; tuning is runtime-only and
+// may differ from the run that wrote the file — pages written before this
+// format carried anchors remain fully readable, and pages written with
+// anchors degrade gracefully for readers that ignore them.
+func OpenTuned(f pager.File, meta pager.PageID, tun Tuning) (*Tree, error) {
 	buf := make([]byte, f.PageSize())
 	if err := f.Read(meta, buf); err != nil {
 		return nil, err
@@ -133,13 +166,13 @@ func Open(f pager.File, meta pager.PageID) (*Tree, error) {
 		return nil, fmt.Errorf("btree: page %d is not a tree meta page", meta)
 	}
 	t := &Tree{
-		f:     f,
-		meta:  meta,
-		cfg:   Config{MaxEntries: int(binary.BigEndian.Uint32(buf[20:])), NoCompression: buf[24] == 1},
-		cache: make(map[pager.PageID]*node),
-		rec:   bufferpool.NewReclaimer(f),
+		f:    f,
+		meta: meta,
+		cfg:  Config{MaxEntries: int(binary.BigEndian.Uint32(buf[20:])), NoCompression: buf[24] == 1, Tuning: tun},
+		rec:  bufferpool.NewReclaimer(f),
 	}
 	t.noCompress = t.cfg.NoCompression
+	t.applyTuning(tun)
 	t.cur.Store(&version{
 		root:  pager.PageID(binary.BigEndian.Uint32(buf[4:])),
 		hgt:   int(binary.BigEndian.Uint32(buf[8:])),
@@ -147,6 +180,27 @@ func Open(f pager.File, meta pager.PageID) (*Tree, error) {
 	})
 	return t, nil
 }
+
+// applyTuning resolves the tuning knobs and registers the cache's release
+// hook with the reclaimer (before the tree is shared, so no locking races).
+func (t *Tree) applyTuning(tun Tuning) {
+	t.ncache = newNodeCache(tun.NodeCacheSize)
+	if t.ncache != nil {
+		t.rec.SetReleaseHook(t.ncache.invalidate)
+	}
+	switch {
+	case tun.AnchorStride < 0:
+		t.anchorK = 0
+	case tun.AnchorStride == 0:
+		t.anchorK = DefaultAnchorStride
+	default:
+		t.anchorK = tun.AnchorStride
+	}
+}
+
+// NodeCacheStats reports the shared decoded-node cache's cumulative hit and
+// miss counters and its current size. All zeros when the cache is disabled.
+func (t *Tree) NodeCacheStats() CacheStats { return t.ncache.stats() }
 
 // MetaPage returns the page id holding the tree's metadata; pass it to Open.
 func (t *Tree) MetaPage() pager.PageID { return t.meta }
@@ -179,34 +233,65 @@ func (t *Tree) pin() (*version, func() error) {
 }
 
 // readOp is the per-operation state of one read-only traversal: a private
-// decoded-node cache, so a page decoded once is free for the rest of the
-// operation. Read operations never touch the tree's shared cache (that is
-// writer state under the writer mutex); cross-operation page caching is the
-// buffer pool's job.
+// decoded-node map (a page decoded once is free for the rest of the
+// operation, whatever happens to the shared cache meanwhile) plus two
+// scratch buffers — one page image and one key-reconstruction buffer —
+// reused across every node the operation visits, so a traversal's steady
+// state allocates nothing.
 type readOp struct {
 	t     *Tree
 	local map[pager.PageID]*node
+	pbuf  []byte // page image scratch; decodeNode copies out of it
+	kbuf  []byte // key scratch for lazy page views (view.go)
 }
 
-// fetch reads and decodes a page, and records the access in the tracker.
+// page reads a page image into the op's reusable scratch buffer. The
+// returned slice is only valid until the next page call.
+func (o *readOp) page(id pager.PageID) ([]byte, error) {
+	if o.pbuf == nil {
+		o.pbuf = make([]byte, o.t.f.PageSize())
+	}
+	if err := o.t.f.Read(id, o.pbuf); err != nil {
+		return nil, err
+	}
+	return o.pbuf, nil
+}
+
+// fetch returns the decoded node for a page, recording the access in the
+// tracker first — the logical page counts of the paper's experiments are
+// computed before any cache gets a say, which is what keeps them identical
+// with the cache on, off, or cold. Lookup order: the op's private map, the
+// tree's shared cache (hit: free), then a full decode, which is installed
+// in the shared cache for every later reader.
 func (o *readOp) fetch(id pager.PageID, tr *pager.Tracker) (*node, error) {
 	tr.Touch(id)
 	if n, ok := o.local[id]; ok {
 		return n, nil
 	}
-	buf := make([]byte, o.t.f.PageSize())
-	if err := o.t.f.Read(id, buf); err != nil {
+	if n, ok := o.t.ncache.get(id); ok {
+		tr.NoteNodeCache(true, 0)
+		o.localPut(id, n)
+		return n, nil
+	}
+	buf, err := o.page(id)
+	if err != nil {
 		return nil, err
 	}
 	n, err := decodeNode(id, buf)
 	if err != nil {
 		return nil, err
 	}
+	tr.NoteNodeCache(false, n.decodedBytes)
+	o.t.ncache.put(n)
+	o.localPut(id, n)
+	return n, nil
+}
+
+func (o *readOp) localPut(id pager.PageID, n *node) {
 	if o.local == nil {
 		o.local = make(map[pager.PageID]*node)
 	}
 	o.local[id] = n
-	return n, nil
 }
 
 // fits reports whether the node respects the capacity limit.
@@ -250,42 +335,78 @@ func (t *Tree) Flush() error {
 	return t.writeMeta()
 }
 
-// DropCache drops the write path's decoded-node cache and persists the tree
-// metadata. Read operations always decode pages from the page file (or its
-// buffer pool), so there is no read-side cache to drop; benchmarks call this
-// between build and measurement to model a cold cache.
+// DropCache drops the tree's shared decoded-node cache and persists the
+// tree metadata. Benchmarks call this between build and measurement to
+// model a cold cache; page-level caching across reads remains the buffer
+// pool's job.
 func (t *Tree) DropCache() error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	clear(t.cache)
+	t.ncache.clear()
 	return t.writeMeta()
 }
 
-// Get returns the value stored under key.
+// Get returns the value stored under key. The returned slice is owned by
+// the caller.
 func (t *Tree) Get(key []byte, tr *pager.Tracker) ([]byte, bool, error) {
 	v, release := t.pin()
 	defer release()
 	return t.getAt(v, key, tr)
 }
 
+// getAt is the point-lookup descent. Nodes found in the shared cache are
+// searched in decoded form; on a cache miss the lookup goes lazy — it works
+// straight off the page image in the op's scratch buffer, binary-searching
+// the page's anchor trailer and decoding only one run of entries (view.go).
+// Point lookups deliberately do not install nodes in the cache: they never
+// pay for a full decode, so there is nothing worth keeping.
 func (t *Tree) getAt(v *version, key []byte, tr *pager.Tracker) ([]byte, bool, error) {
 	op := &readOp{t: t}
 	id := v.root
 	for {
-		n, err := op.fetch(id, tr)
+		tr.Touch(id)
+		if n, ok := t.ncache.get(id); ok {
+			tr.NoteNodeCache(true, 0)
+			if n.leaf {
+				i, ok := findKey(n.keys, key)
+				if !ok {
+					return nil, false, nil
+				}
+				return t.loadValueCopy(n.vals[i], tr)
+			}
+			id = n.children[findChild(n.keys, key)]
+			continue
+		}
+		buf, err := op.page(id)
 		if err != nil {
 			return nil, false, err
 		}
-		if n.leaf {
-			i, ok := findKey(n.keys, key)
-			if !ok {
-				return nil, false, nil
+		if buf[0]&flagLeaf != 0 {
+			stored, ok, read, err := pageLeafGet(buf, key, &op.kbuf)
+			tr.NoteNodeCache(false, read)
+			if err != nil || !ok {
+				return nil, false, err
 			}
-			val, err := t.loadValue(n.vals[i], tr)
-			return val, true, err
+			return t.loadValueCopy(stored, tr)
 		}
-		id = n.children[findChild(n.keys, key)]
+		next, read, err := pageSeekChild(buf, key, &op.kbuf)
+		tr.NoteNodeCache(false, read)
+		if err != nil {
+			return nil, false, err
+		}
+		id = next
 	}
+}
+
+// loadValueCopy materializes a stored value into caller-owned memory: the
+// cached-node path must not leak slices aliasing the shared cache, and the
+// lazy path must not leak slices aliasing a scratch buffer.
+func (t *Tree) loadValueCopy(stored []byte, tr *pager.Tracker) ([]byte, bool, error) {
+	val, err := t.loadValue(stored, tr)
+	if err != nil {
+		return nil, false, err
+	}
+	return append([]byte(nil), val...), true, nil
 }
 
 // findChild returns the index of the child subtree that may contain key:

@@ -195,19 +195,23 @@ func TestConcurrentTrackerCountsMatchSequential(t *testing.T) {
 	}
 }
 
-// TestReadersDoNotPolluteSharedCache pins the design invariant the read
-// path relies on: read-only traversals must not insert nodes into the
-// tree's shared cache (that is the write path's, under the write lock).
-func TestReadersDoNotPolluteSharedCache(t *testing.T) {
+// TestSharedCachePopulation pins the new shared decoded-node cache's
+// population contract: DropCache empties it, point lookups stay lazy (they
+// never pay a full decode, so they install nothing), and scans — which do
+// decode whole nodes — install what they decoded for every later reader.
+func TestSharedCachePopulation(t *testing.T) {
 	tree := buildConcurrentTree(t, pager.NewMemFile(0))
 	if err := tree.DropCache(); err != nil {
 		t.Fatal(err)
 	}
-	if got := len(tree.cache); got != 0 {
+	if got := tree.NodeCacheStats().Entries; got != 0 {
 		t.Fatalf("cache not empty after DropCache: %d nodes", got)
 	}
 	if _, _, err := tree.Get([]byte("key-001234"), nil); err != nil {
 		t.Fatal(err)
+	}
+	if got := tree.NodeCacheStats().Entries; got != 0 {
+		t.Fatalf("lazy point lookup installed %d nodes into the shared cache", got)
 	}
 	err := tree.Scan(nil, nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
 		return nil, false, nil
@@ -215,7 +219,20 @@ func TestReadersDoNotPolluteSharedCache(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got := len(tree.cache); got != 0 {
-		t.Fatalf("read path published %d nodes into the shared cache", got)
+	st := tree.NodeCacheStats()
+	if st.Entries == 0 {
+		t.Fatal("full scan installed nothing into the shared cache")
+	}
+	// A repeat of the same scan must now be all hits, no decodes.
+	tr := pager.NewTracker()
+	err = tree.Scan(nil, nil, nil, tr, func(_, _ []byte) ([]byte, bool, error) {
+		return nil, false, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.CacheMisses() != 0 || tr.CacheHits() == 0 {
+		t.Fatalf("warm rescan: %d hits, %d misses; want all hits",
+			tr.CacheHits(), tr.CacheMisses())
 	}
 }

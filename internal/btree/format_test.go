@@ -1,0 +1,220 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// randomNode builds a leaf or internal node with keys that share realistic
+// prefixes (so front compression actually engages), sized to fit one page.
+func randomNode(rng *rand.Rand, leaf bool, pageSize int) *node {
+	n := &node{leaf: leaf}
+	if !leaf {
+		n.children = []pager.PageID{pager.PageID(rng.Intn(1 << 20))}
+	}
+	for i := 0; ; i++ {
+		k := []byte(fmt.Sprintf("set-%02d/key-%08d", rng.Intn(4), rng.Intn(1<<30)))
+		idx, dup := findKey(n.keys, k)
+		if dup {
+			continue
+		}
+		n.keys = append(n.keys, nil)
+		copy(n.keys[idx+1:], n.keys[idx:])
+		n.keys[idx] = k
+		if leaf {
+			v := append([]byte{valInline}, []byte(fmt.Sprintf("v%d", i))...)
+			n.vals = append(n.vals, nil)
+			copy(n.vals[idx+1:], n.vals[idx:])
+			n.vals[idx] = v
+		} else {
+			n.children = append(n.children, pager.PageID(rng.Intn(1<<20)))
+		}
+		if n.encodedSize(false) > 7*pageSize/8 {
+			n.keys = append(n.keys[:idx], n.keys[idx+1:]...)
+			if leaf {
+				n.vals = append(n.vals[:idx], n.vals[idx+1:]...)
+			} else {
+				n.children = append(n.children[:idx+1], n.children[idx+2:]...)
+			}
+			return n
+		}
+	}
+}
+
+// TestPageFormatEntryAreaIdentical pins the v2 format's central invariant:
+// the anchor trailer lives entirely in the tail slack, so the entry area —
+// the bytes that determine fanout, splits, and therefore every logical
+// page count in the paper's tables — is byte-identical with and without
+// anchors, and the header differs only in the flagAnchors bit.
+func TestPageFormatEntryAreaIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	for _, leaf := range []bool{true, false} {
+		n := randomNode(rng, leaf, pager.DefaultPageSize)
+		v1 := make([]byte, pager.DefaultPageSize)
+		v2 := make([]byte, pager.DefaultPageSize)
+		if err := encodePage(n, v1, false, 0); err != nil {
+			t.Fatal(err)
+		}
+		if err := encodePage(n, v2, false, DefaultAnchorStride); err != nil {
+			t.Fatal(err)
+		}
+		if v1[0]&flagAnchors != 0 {
+			t.Fatal("v1 page has flagAnchors set")
+		}
+		if v2[0]&flagAnchors == 0 {
+			t.Fatal("v2 page did not get anchors (fixture leaves slack, so it must)")
+		}
+		if v1[0]|flagAnchors != v2[0]|flagAnchors {
+			t.Fatalf("headers differ beyond flagAnchors: %02x vs %02x", v1[0], v2[0])
+		}
+		end := n.encodedSize(false)
+		if !bytes.Equal(v1[1:end], v2[1:end]) {
+			t.Fatalf("entry areas differ (leaf=%v)", leaf)
+		}
+		// Both formats decode to the same node.
+		d1, err := decodeNode(1, v1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d2, err := decodeNode(1, v2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(d1.keys) != len(d2.keys) {
+			t.Fatalf("decoded key counts differ: %d vs %d", len(d1.keys), len(d2.keys))
+		}
+		for i := range d1.keys {
+			if !bytes.Equal(d1.keys[i], d2.keys[i]) {
+				t.Fatalf("key %d differs across formats", i)
+			}
+			if leaf && !bytes.Equal(d1.vals[i], d2.vals[i]) {
+				t.Fatalf("val %d differs across formats", i)
+			}
+		}
+	}
+}
+
+// TestPageFormatLazyEquivalence is the anchor-correctness property test:
+// for random pages and strides, the lazy anchor-seeded lookups must agree
+// exactly with the full-decode search functions — for present keys, absent
+// keys, and keys outside the page's range.
+func TestPageFormatLazyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(43))
+	for trial := 0; trial < 30; trial++ {
+		stride := []int{0, 1, 2, 3, 8, DefaultAnchorStride, 64}[trial%7]
+		leaf := trial%2 == 0
+		n := randomNode(rng, leaf, pager.DefaultPageSize)
+		buf := make([]byte, pager.DefaultPageSize)
+		if err := encodePage(n, buf, false, stride); err != nil {
+			t.Fatal(err)
+		}
+		probes := make([][]byte, 0, len(n.keys)+40)
+		probes = append(probes, n.keys...)
+		probes = append(probes, []byte(""), []byte("set-00"), []byte("zzz"))
+		for i := 0; i < 40; i++ {
+			probes = append(probes, []byte(fmt.Sprintf("set-%02d/key-%08d", rng.Intn(5), rng.Intn(1<<30))))
+		}
+		var scratch []byte
+		for _, p := range probes {
+			if leaf {
+				got, ok, _, err := pageLeafGet(buf, p, &scratch)
+				if err != nil {
+					t.Fatalf("stride=%d: pageLeafGet(%q): %v", stride, p, err)
+				}
+				i, want := findKey(n.keys, p)
+				if ok != want {
+					t.Fatalf("stride=%d: pageLeafGet(%q) ok=%v want %v", stride, p, ok, want)
+				}
+				if ok && !bytes.Equal(got, n.vals[i]) {
+					t.Fatalf("stride=%d: pageLeafGet(%q) = %q want %q", stride, p, got, n.vals[i])
+				}
+			} else {
+				got, _, err := pageSeekChild(buf, p, &scratch)
+				if err != nil {
+					t.Fatalf("stride=%d: pageSeekChild(%q): %v", stride, p, err)
+				}
+				want := n.children[findChild(n.keys, p)]
+				if got != want {
+					t.Fatalf("stride=%d: pageSeekChild(%q) = %d want %d", stride, p, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestOldFormatDiskRoundTrip proves disk files written in the pre-anchor
+// format keep working: a tree written with AnchorStride -1 (v1 pages only)
+// reopens under the current default tuning, answers every query, and then
+// accepts new writes — whose pages carry anchors — alongside the old ones.
+func TestOldFormatDiskRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.db")
+	f, err := pager.CreateDiskFile(path, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := Create(f, Config{Tuning: Tuning{AnchorStride: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1500
+	for i := 0; i < n; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	meta := tr.MetaPage()
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f2, err := pager.OpenDiskFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f2.Close()
+	re, err := Open(f2, meta) // default tuning: anchors + cache enabled
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := re.Get(key(i), nil)
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) on reopened v1 file = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	count := 0
+	err = re.Scan(nil, nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
+		count++
+		return nil, false, nil
+	})
+	if err != nil || count != n {
+		t.Fatalf("scan of reopened v1 file: %d keys, %v", count, err)
+	}
+	if err := re.Check(); err != nil {
+		t.Fatal(err)
+	}
+	// New writes under the reopened tree produce anchored pages next to
+	// the old v1 pages; everything must stay queryable together.
+	for i := n; i < n+500; i++ {
+		if err := re.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n+500; i++ {
+		v, ok, err := re.Get(key(i), nil)
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("Get(%d) on mixed-format file = %q, %v, %v", i, v, ok, err)
+		}
+	}
+	if err := re.Check(); err != nil {
+		t.Fatal(err)
+	}
+}

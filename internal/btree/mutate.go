@@ -46,14 +46,15 @@ func (w *writeOp) allocNode(leaf bool) (*node, error) {
 	return n, nil
 }
 
-// fetch returns the node for a page: the op's own fresh copy, the writer
-// cache's decoded committed node, or a fresh decode (which is cached — the
-// writer cache holds committed nodes and is only touched under wmu).
+// fetch returns the node for a page: the op's own fresh copy, the shared
+// decoded-node cache's committed node, or a fresh decode (installed in the
+// shared cache — the decoded form of a committed page serves readers just
+// as well as the writer).
 func (w *writeOp) fetch(id pager.PageID) (*node, error) {
 	if n, ok := w.fresh[id]; ok {
 		return n, nil
 	}
-	if n, ok := w.t.cache[id]; ok {
+	if n, ok := w.t.ncache.get(id); ok {
 		return n, nil
 	}
 	buf := make([]byte, w.t.f.PageSize())
@@ -64,7 +65,7 @@ func (w *writeOp) fetch(id pager.PageID) (*node, error) {
 	if err != nil {
 		return nil, err
 	}
-	w.t.cache[id] = n
+	w.t.ncache.put(n)
 	return n, nil
 }
 
@@ -114,7 +115,7 @@ func (w *writeOp) commit(root pager.PageID, hgt, count int) error {
 	t := w.t
 	buf := make([]byte, t.f.PageSize())
 	for _, n := range w.fresh {
-		if err := n.encode(buf, t.noCompress); err != nil {
+		if err := encodePage(n, buf, t.noCompress, t.anchorK); err != nil {
 			return w.abort(err)
 		}
 		if err := t.f.Write(n.id, buf); err != nil {
@@ -123,11 +124,18 @@ func (w *writeOp) commit(root pager.PageID, hgt, count int) error {
 	}
 	old := t.cur.Load()
 	nv := &version{root: root, hgt: hgt, count: count, epoch: old.epoch + 1}
-	for id, n := range w.fresh {
-		t.cache[id] = n
+	// Install the committed nodes in the shared cache (their pages are on
+	// disk already, and their ids are unreachable until publish) and drop
+	// the retired ids. A pinned reader may legitimately re-decode and
+	// re-install a retired id after this — its content is still correct
+	// for that reader — and the reclaimer's release hook drops the id
+	// again, for good, the moment the page is freed for reuse.
+	for _, n := range w.fresh {
+		n.decodedBytes = n.encodedSize(t.noCompress) - headerSize
+		t.ncache.put(n)
 	}
 	for _, id := range w.retired {
-		delete(t.cache, id)
+		t.ncache.invalidate(id)
 	}
 	err := t.rec.Commit(nv.epoch, w.retired, func() { t.cur.Store(nv) })
 	for _, id := range w.discarded {
@@ -139,9 +147,14 @@ func (w *writeOp) commit(root pager.PageID, hgt, count int) error {
 }
 
 // abort undoes the op: every page it allocated is freed and the published
-// version is left exactly as it was. It returns cause for convenience.
+// version is left exactly as it was. The op's ids are dropped from the
+// shared cache defensively — commit only installs nodes after every page
+// write succeeded, so nothing should be there, but a freed id must never
+// linger in the cache once the allocator can reuse it. It returns cause for
+// convenience.
 func (w *writeOp) abort(cause error) error {
 	for _, id := range w.allocated {
+		w.t.ncache.invalidate(id)
 		_ = w.t.f.Free(id)
 	}
 	w.allocated = nil

@@ -1,0 +1,224 @@
+package btree
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestNodeCacheCoherenceRace is the cache-coherence stress test: one tree
+// with the shared decoded-node cache enabled takes concurrent writer
+// traffic while snapshot readers scan and re-probe their pinned versions —
+// snapshots held across commits force the epoch reclaimer to free retired
+// pages (firing the cache's release hook) mid-run. A second tree with the
+// cache disabled receives the identical mutation schedule; the two must
+// end byte-identical. Run under -race via `make stress`.
+func TestNodeCacheCoherenceRace(t *testing.T) {
+	cached, err := Create(pager.NewMemFile(0), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Create(pager.NewMemFile(0), Config{Tuning: Tuning{NodeCacheSize: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	genVal := func(gen, i int) []byte {
+		return []byte(fmt.Sprintf("g%04d:%s", gen, key(i)))
+	}
+	const keys = 800
+	for i := 0; i < keys; i++ {
+		for _, tr := range []*Tree{cached, plain} {
+			if err := tr.Insert(key(i), genVal(0, i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+
+	// Writer: rewrite rotating slices of the key space in generations, and
+	// delete/reinsert a band so pages actually retire and get freed. The
+	// identical schedule goes to both trees.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer done.Store(true)
+		for gen := 1; gen <= 12; gen++ {
+			lo := (gen * 97) % keys
+			for i := lo; i < lo+200; i++ {
+				k := i % keys
+				for _, tr := range []*Tree{cached, plain} {
+					if err := tr.Insert(key(k), genVal(gen, k)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+			for i := lo; i < lo+40; i++ {
+				k := i % keys
+				for _, tr := range []*Tree{cached, plain} {
+					if _, err := tr.Delete(key(k)); err != nil {
+						t.Error(err)
+						return
+					}
+					if err := tr.Insert(key(k), genVal(gen, k)); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}
+	}()
+
+	// Snapshot readers on the cached tree: each pins a version, scans it,
+	// and asserts (a) every value belongs to its key, and (b) point
+	// lookups inside the same snapshot reproduce the scanned values — a
+	// stale cache node served after its page was freed and reused breaks
+	// one of these.
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for round := 0; !done.Load(); round++ {
+				snap := cached.Snapshot()
+				type kv struct{ k, v []byte }
+				var got []kv
+				err := snap.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+					got = append(got, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+					return nil, false, nil
+				})
+				if err != nil {
+					t.Error(err)
+					snap.Release()
+					return
+				}
+				for i, e := range got {
+					if i > 0 && bytes.Compare(got[i-1].k, e.k) >= 0 {
+						t.Errorf("g%d: scan out of order at %d", g, i)
+						snap.Release()
+						return
+					}
+					if !bytes.HasSuffix(e.v, e.k) {
+						t.Errorf("g%d: value %q does not belong to key %q", g, e.v, e.k)
+						snap.Release()
+						return
+					}
+				}
+				for i := g; i < len(got); i += 37 {
+					v, ok, err := snap.Get(got[i].k, nil)
+					if err != nil || !ok || !bytes.Equal(v, got[i].v) {
+						t.Errorf("g%d: snapshot Get(%q) = %q, %v, %v; scan saw %q",
+							g, got[i].k, v, ok, err, got[i].v)
+						snap.Release()
+						return
+					}
+				}
+				if err := snap.Release(); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// The cached tree and the cache-disabled tree saw the same schedule:
+	// they must agree exactly, and both must pass structural checks.
+	collect := func(tr *Tree) map[string]string {
+		m := map[string]string{}
+		err := tr.Scan(nil, nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+			m[string(k)] = string(v)
+			return nil, false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	a, b := collect(cached), collect(plain)
+	if len(a) != len(b) {
+		t.Fatalf("cached tree has %d keys, cache-disabled %d", len(a), len(b))
+	}
+	for k, v := range a {
+		if b[k] != v {
+			t.Fatalf("divergence at %q: cached %q vs cache-disabled %q", k, v, b[k])
+		}
+	}
+	if err := cached.Check(); err != nil {
+		t.Fatal(err)
+	}
+	if err := plain.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNodeCacheExactMatchAllocs pins the PR's acceptance criterion: with
+// the node cache warm, a repeated exact-match lookup must allocate at most
+// half of what the cache-disabled path allocates — both for the lazy point
+// lookup and for the exact-match interval scan the query executor issues.
+func TestNodeCacheExactMatchAllocs(t *testing.T) {
+	build := func(tun Tuning) *Tree {
+		tree, err := Create(pager.NewMemFile(0), Config{Tuning: tun})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 3000; i++ {
+			if err := tree.Insert(key(i), val(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if err := tree.DropCache(); err != nil {
+			t.Fatal(err)
+		}
+		// Warm the shared cache (a no-op on the disabled tree).
+		err = tree.Scan(nil, nil, nil, nil, func(_, _ []byte) ([]byte, bool, error) {
+			return nil, false, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tree
+	}
+	cached := build(Tuning{})
+	plain := build(Tuning{NodeCacheSize: -1})
+	probe := key(2345)
+
+	measureGet := func(tree *Tree) float64 {
+		return testing.AllocsPerRun(200, func() {
+			if _, ok, err := tree.Get(probe, nil); err != nil || !ok {
+				t.Fatalf("Get: %v ok=%v", err, ok)
+			}
+		})
+	}
+	measureExactScan := func(tree *Tree) float64 {
+		ivs := []Interval{{Lo: probe, Hi: append(append([]byte(nil), probe...), 0)}} // Hi exclusive
+		return testing.AllocsPerRun(200, func() {
+			n := 0
+			err := tree.MultiScan(nil, ivs, nil, func(_, _ []byte) ([]byte, bool, error) {
+				n++
+				return nil, false, nil
+			})
+			if err != nil || n != 1 {
+				t.Fatalf("MultiScan: %v matches=%d", err, n)
+			}
+		})
+	}
+	for _, tc := range []struct {
+		name       string
+		warm, cold float64
+	}{
+		{"Get", measureGet(cached), measureGet(plain)},
+		{"ExactMultiScan", measureExactScan(cached), measureExactScan(plain)},
+	} {
+		t.Logf("%s: warm cache %.1f allocs/op, cache disabled %.1f allocs/op", tc.name, tc.warm, tc.cold)
+		if tc.warm*2 > tc.cold {
+			t.Errorf("%s: warm-cache allocs %.1f not at least 2x below cache-disabled %.1f",
+				tc.name, tc.warm, tc.cold)
+		}
+	}
+}

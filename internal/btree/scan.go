@@ -88,27 +88,58 @@ type ScanFunc func(key, val []byte) (skipTo []byte, stop bool, err error)
 func (t *Tree) MultiScan(ctx context.Context, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
 	v, release := t.pin()
 	defer release()
-	return t.multiScanAt(ctx, v, ivs, tr, fn)
+	return t.multiScanAt(ctx, v, ivs, tr, fn, false)
 }
 
-func (t *Tree) multiScanAt(ctx context.Context, v *version, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
+// MultiScanKeys is MultiScan for callers that ignore values: stored values
+// are never materialized (overflow chains are not followed), and fn receives
+// a nil value. The U-index carries its whole payload inside the composite
+// key (the paper's clustering argument), so the engine's query executor is a
+// keys-only consumer; skipping value materialization removes the last
+// per-entry copy from its hot loop.
+func (t *Tree) MultiScanKeys(ctx context.Context, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
+	v, release := t.pin()
+	defer release()
+	return t.multiScanAt(ctx, v, ivs, tr, fn, true)
+}
+
+func (t *Tree) multiScanAt(ctx context.Context, v *version, ivs []Interval, tr *pager.Tracker, fn ScanFunc, keysOnly bool) error {
 	ivs = NormalizeIntervals(ivs)
 	if len(ivs) == 0 {
 		return nil
 	}
-	s := &multiScan{ctx: ctx, op: &readOp{t: t}, tr: tr, ivs: ivs, fn: fn}
+	s := &multiScan{ctx: ctx, op: &readOp{t: t}, tr: tr, ivs: ivs, fn: fn, keysOnly: keysOnly}
 	_, err := s.walk(v.root)
 	return err
 }
 
 type multiScan struct {
-	ctx  context.Context
-	op   *readOp
-	tr   *pager.Tracker
-	ivs  []Interval
-	iv   int    // current interval index (monotonically advances)
-	skip []byte // dynamic lower bound set by ScanFunc skip requests
-	fn   ScanFunc
+	ctx      context.Context
+	op       *readOp
+	tr       *pager.Tracker
+	ivs      []Interval
+	iv       int    // current interval index (monotonically advances)
+	skip     []byte // dynamic lower bound set by ScanFunc skip requests
+	fn       ScanFunc
+	keysOnly bool // do not materialize values; fn sees a nil value
+}
+
+// leafStart returns the index of the first leaf entry worth inspecting:
+// the first key at or above both the dynamic skip bound and the current
+// interval's lower end. Entries below that bound can match no interval —
+// earlier intervals are done (s.iv only moves forward) and later ones lie
+// higher still.
+func (s *multiScan) leafStart(keys [][]byte) int {
+	lb := s.ivs[s.iv].Lo
+	if s.skip != nil && (lb == nil || bytes.Compare(s.skip, lb) > 0) {
+		lb = s.skip
+	}
+	if lb == nil {
+		return 0
+	}
+	return sort.Search(len(keys), func(j int) bool {
+		return bytes.Compare(keys[j], lb) >= 0
+	})
 }
 
 // advance moves the interval cursor past intervals wholly below key.
@@ -134,19 +165,36 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 		return true, err
 	}
 	if n.leaf {
-		for i, key := range n.keys {
+		// Binary-search the first entry that can match (everything below
+		// the skip bound and the current interval's lower end is dead),
+		// the same way the range scan's leaf path already seeks — a
+		// multi-interval descent lands on leaves where the relevant
+		// cluster starts deep inside the page, and the old linear walk
+		// over the keys below it was pure overhead.
+		for i := s.leafStart(n.keys); i < len(n.keys); i++ {
+			key := n.keys[i]
 			if s.skip != nil && bytes.Compare(key, s.skip) < 0 {
 				continue
 			}
 			if !s.advance(key) {
 				return true, nil
 			}
-			if !s.ivs[s.iv].contains(key) {
+			if lo := s.ivs[s.iv].Lo; lo != nil && bytes.Compare(key, lo) < 0 {
+				// The key sits in the gap below the current interval;
+				// jump straight to the interval's start (the i++ lands
+				// on the first entry at or above lo).
+				i = sort.Search(len(n.keys), func(j int) bool {
+					return bytes.Compare(n.keys[j], lo) >= 0
+				}) - 1
 				continue
 			}
-			val, err := s.op.t.loadValue(n.vals[i], s.tr)
-			if err != nil {
-				return true, err
+			// advance guaranteed key < Hi and the jump above guaranteed
+			// key >= Lo: the key is inside the current interval.
+			var val []byte
+			if !s.keysOnly {
+				if val, err = s.op.t.loadValue(n.vals[i], s.tr); err != nil {
+					return true, err
+				}
 			}
 			skipTo, stop, err := s.fn(key, val)
 			if err != nil || stop {
@@ -200,21 +248,29 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 func (t *Tree) Scan(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
 	v, release := t.pin()
 	defer release()
-	return t.scanAt(ctx, v, lo, hi, tr, fn)
+	return t.scanAt(ctx, v, lo, hi, tr, fn, false)
 }
 
-func (t *Tree) scanAt(ctx context.Context, v *version, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
-	s := &rangeScan{ctx: ctx, op: &readOp{t: t}, tr: tr, lo: lo, hi: hi, fn: fn}
+// ScanKeys is Scan for callers that ignore values; see MultiScanKeys.
+func (t *Tree) ScanKeys(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
+	v, release := t.pin()
+	defer release()
+	return t.scanAt(ctx, v, lo, hi, tr, fn, true)
+}
+
+func (t *Tree) scanAt(ctx context.Context, v *version, lo, hi []byte, tr *pager.Tracker, fn ScanFunc, keysOnly bool) error {
+	s := &rangeScan{ctx: ctx, op: &readOp{t: t}, tr: tr, lo: lo, hi: hi, fn: fn, keysOnly: keysOnly}
 	_, err := s.walk(v.root)
 	return err
 }
 
 type rangeScan struct {
-	ctx    context.Context
-	op     *readOp
-	tr     *pager.Tracker
-	lo, hi []byte
-	fn     ScanFunc
+	ctx      context.Context
+	op       *readOp
+	tr       *pager.Tracker
+	lo, hi   []byte
+	fn       ScanFunc
+	keysOnly bool // do not materialize values; fn sees a nil value
 }
 
 // walk visits the subtree in order; it returns stop=true when the range end
@@ -239,9 +295,11 @@ func (s *rangeScan) walk(id pager.PageID) (bool, error) {
 			if s.hi != nil && bytes.Compare(key, s.hi) >= 0 {
 				return true, nil
 			}
-			val, err := s.op.t.loadValue(n.vals[i], s.tr)
-			if err != nil {
-				return true, err
+			var val []byte
+			if !s.keysOnly {
+				if val, err = s.op.t.loadValue(n.vals[i], s.tr); err != nil {
+					return true, err
+				}
 			}
 			// The forward scan honors stop but not skip: skipping is
 			// what distinguishes the parallel algorithm.

@@ -67,7 +67,16 @@ func (s *Snap) MultiScan(ctx context.Context, ivs []Interval, tr *pager.Tracker,
 	if s.released.Load() {
 		return ErrSnapshotReleased
 	}
-	return s.t.multiScanAt(ctx, s.v, ivs, tr, fn)
+	return s.t.multiScanAt(ctx, s.v, ivs, tr, fn, false)
+}
+
+// MultiScanKeys is MultiScan without value materialization; fn receives a
+// nil value (see Tree.MultiScanKeys).
+func (s *Snap) MultiScanKeys(ctx context.Context, ivs []Interval, tr *pager.Tracker, fn ScanFunc) error {
+	if s.released.Load() {
+		return ErrSnapshotReleased
+	}
+	return s.t.multiScanAt(ctx, s.v, ivs, tr, fn, true)
 }
 
 // Scan runs the forward-scanning baseline against the snapshot.
@@ -75,5 +84,13 @@ func (s *Snap) Scan(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn Sc
 	if s.released.Load() {
 		return ErrSnapshotReleased
 	}
-	return s.t.scanAt(ctx, s.v, lo, hi, tr, fn)
+	return s.t.scanAt(ctx, s.v, lo, hi, tr, fn, false)
+}
+
+// ScanKeys is Scan without value materialization; fn receives a nil value.
+func (s *Snap) ScanKeys(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn ScanFunc) error {
+	if s.released.Load() {
+		return ErrSnapshotReleased
+	}
+	return s.t.scanAt(ctx, s.v, lo, hi, tr, fn, true)
 }

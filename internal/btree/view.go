@@ -1,0 +1,219 @@
+package btree
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+
+	"repro/internal/pager"
+)
+
+// This file is the lazy half of the v2 page format (see node.go for the
+// layout): point lookups operate directly on the encoded page image,
+// binary-searching the anchor trailer and decoding only the run of entries
+// between two anchors — no node materialization, no per-key allocation. The
+// current key under reconstruction lives in a caller-owned scratch buffer
+// that a readOp reuses across every page of a descent.
+
+// pageAnchors is a zero-allocation view of a page's anchor trailer. The
+// zero value means "no anchors" (a v1 page, or a trailer that failed
+// validation); lookups then fall back to a sequential walk from entry 0.
+type pageAnchors struct {
+	buf []byte
+	r   int
+}
+
+// anchorsOf validates and returns the anchor trailer of an encoded page.
+// Validation is total — a reader never trusts tail bytes it did not verify,
+// so a corrupt or foreign trailer degrades to the sequential path instead
+// of an out-of-bounds panic.
+func anchorsOf(buf []byte) pageAnchors {
+	if len(buf) < headerSize+2 || buf[0]&flagAnchors == 0 {
+		return pageAnchors{}
+	}
+	r := int(binary.BigEndian.Uint16(buf[len(buf)-2:]))
+	if r < 2 || len(buf)-2-anchorRecSize*r < headerSize {
+		return pageAnchors{}
+	}
+	count := int(binary.BigEndian.Uint16(buf[1:]))
+	a := pageAnchors{buf: buf, r: r}
+	prevIdx := -1
+	for j := 0; j < r; j++ {
+		idx, entryOff, keyOff, keyLen := a.rec(j)
+		if idx <= prevIdx || idx >= count ||
+			entryOff < headerSize || entryOff >= len(buf)-2-anchorRecSize*r ||
+			keyOff < headerSize || keyOff+keyLen > len(buf)-2 {
+			return pageAnchors{}
+		}
+		prevIdx = idx
+	}
+	if i, _, _, _ := a.rec(0); i != 0 {
+		return pageAnchors{} // anchor 0 must cover the page head
+	}
+	return a
+}
+
+// rec returns the j-th anchor record's fields.
+func (a pageAnchors) rec(j int) (idx, entryOff, keyOff, keyLen int) {
+	rec := a.buf[len(a.buf)-2-anchorRecSize*(a.r-j):]
+	return int(binary.BigEndian.Uint16(rec[0:])),
+		int(binary.BigEndian.Uint16(rec[2:])),
+		int(binary.BigEndian.Uint16(rec[4:])),
+		int(binary.BigEndian.Uint16(rec[6:]))
+}
+
+// key returns the j-th anchor's full (uncompressed) key, aliasing the page.
+func (a pageAnchors) key(j int) []byte {
+	_, _, keyOff, keyLen := a.rec(j)
+	return a.buf[keyOff : keyOff+keyLen]
+}
+
+// seek returns the last anchor whose key is <= target, or -1 when target
+// precedes every anchored key (i.e. precedes the whole page, since anchor 0
+// is entry 0).
+func (a pageAnchors) seek(target []byte) int {
+	return sort.Search(a.r, func(j int) bool {
+		return bytes.Compare(a.key(j), target) > 0
+	}) - 1
+}
+
+// entryWalk decodes entries of an encoded page one at a time. The current
+// key is reconstructed in the caller's scratch buffer; the value (leaf) and
+// child pointer (internal) alias the page image. A walk that starts at an
+// anchor is seeded with the anchor's full key, because the entry's stored
+// prefix refers to a predecessor the walk never saw.
+type entryWalk struct {
+	buf     []byte
+	off     int
+	idx     int // index of the entry next() will decode
+	count   int
+	leaf    bool
+	scratch *[]byte
+	seed    []byte // full key of the first entry, when starting mid-page
+
+	key   []byte       // current key (aliases *scratch)
+	val   []byte       // leaf: current stored value (aliases buf)
+	child pager.PageID // internal: the entry's right child, children[idx]
+	read  int          // entry bytes consumed so far
+}
+
+// walkFrom positions a walk at an anchor (j >= 0) or at entry 0 (j == -1).
+func walkFrom(buf []byte, a pageAnchors, j int, scratch *[]byte) entryWalk {
+	w := entryWalk{
+		buf:     buf,
+		off:     headerSize,
+		count:   int(binary.BigEndian.Uint16(buf[1:])),
+		leaf:    buf[0]&flagLeaf != 0,
+		scratch: scratch,
+	}
+	if j >= 0 {
+		idx, entryOff, _, _ := a.rec(j)
+		w.idx, w.off, w.seed = idx, entryOff, a.key(j)
+	}
+	return w
+}
+
+// next decodes the entry at w.idx; callers must check w.idx < w.count first.
+func (w *entryWalk) next() error {
+	start := w.off
+	p, sz := binary.Uvarint(w.buf[w.off:])
+	if sz <= 0 {
+		return fmt.Errorf("btree: page corrupt at offset %d", w.off)
+	}
+	w.off += sz
+	s, sz := binary.Uvarint(w.buf[w.off:])
+	if sz <= 0 {
+		return fmt.Errorf("btree: page corrupt at offset %d", w.off)
+	}
+	w.off += sz
+	if w.off+int(s) > len(w.buf) {
+		return fmt.Errorf("btree: page corrupt entry %d", w.idx)
+	}
+	if w.seed != nil {
+		// First entry of a mid-page walk: its full key is the anchor key.
+		if int(p)+int(s) != len(w.seed) {
+			return fmt.Errorf("btree: anchor key length mismatch at entry %d", w.idx)
+		}
+		*w.scratch = append((*w.scratch)[:0], w.seed...)
+		w.seed = nil
+	} else {
+		if int(p) > len(w.key) {
+			return fmt.Errorf("btree: page corrupt prefix at entry %d", w.idx)
+		}
+		*w.scratch = append((*w.scratch)[:p], w.buf[w.off:w.off+int(s)]...)
+	}
+	w.key = *w.scratch
+	w.off += int(s)
+	if w.leaf {
+		vl, sz := binary.Uvarint(w.buf[w.off:])
+		if sz <= 0 || w.off+sz+int(vl) > len(w.buf) {
+			return fmt.Errorf("btree: page corrupt value %d", w.idx)
+		}
+		w.off += sz
+		w.val = w.buf[w.off : w.off+int(vl)]
+		w.off += int(vl)
+	} else {
+		if w.off+4 > len(w.buf) {
+			return fmt.Errorf("btree: page corrupt child %d", w.idx)
+		}
+		w.child = pager.PageID(binary.BigEndian.Uint32(w.buf[w.off:]))
+		w.off += 4
+	}
+	w.idx++
+	w.read += w.off - start
+	return nil
+}
+
+// pageLeafGet is an exact-match lookup straight off an encoded leaf page.
+// The returned stored value aliases buf. read is the number of entry bytes
+// the lookup had to decode (the lazy win over a full decodeNode).
+func pageLeafGet(buf, target []byte, scratch *[]byte) (val []byte, ok bool, read int, err error) {
+	a := anchorsOf(buf)
+	j := -1
+	if a.r > 0 {
+		if j = a.seek(target); j < 0 {
+			return nil, false, 0, nil // target precedes the whole page
+		}
+	}
+	w := walkFrom(buf, a, j, scratch)
+	for w.idx < w.count {
+		if err := w.next(); err != nil {
+			return nil, false, w.read, err
+		}
+		switch bytes.Compare(w.key, target) {
+		case 0:
+			return w.val, true, w.read, nil
+		case 1:
+			return nil, false, w.read, nil // keys ascend: target is absent
+		}
+	}
+	return nil, false, w.read, nil
+}
+
+// pageSeekChild descends one internal level straight off the encoded page:
+// it returns children[i] for the first i with target < keys[i] (or the last
+// child), exactly like findChild on a decoded node.
+func pageSeekChild(buf, target []byte, scratch *[]byte) (child pager.PageID, read int, err error) {
+	child = pager.PageID(binary.BigEndian.Uint32(buf[3:])) // children[0]
+	a := anchorsOf(buf)
+	j := -1
+	if a.r > 0 {
+		if j = a.seek(target); j < 0 {
+			return child, 0, nil // target precedes keys[0]
+		}
+	}
+	w := walkFrom(buf, a, j, scratch)
+	for w.idx < w.count {
+		if err := w.next(); err != nil {
+			return pager.NilPage, w.read, err
+		}
+		if bytes.Compare(w.key, target) > 0 {
+			break
+		}
+		// keys[idx] <= target, so the descent goes at or right of
+		// children[idx+1] — the child stored in this entry.
+		child = w.child
+	}
+	return child, w.read, nil
+}

@@ -32,6 +32,7 @@ type Reclaimer struct {
 	pins    map[uint64]int
 	retired []retireSet // ascending by epoch
 	freed   int64
+	hook    func(pager.PageID) // called per freed page, before the Free
 }
 
 // retireSet is the pages one commit superseded, tagged with the epoch that
@@ -44,6 +45,20 @@ type retireSet struct {
 // NewReclaimer returns a Reclaimer releasing pages into f.
 func NewReclaimer(f pager.File) *Reclaimer {
 	return &Reclaimer{f: f, pins: make(map[uint64]int)}
+}
+
+// SetReleaseHook registers fn to be called with every page id the Reclaimer
+// frees, immediately before the page returns to the file's free list. Its
+// purpose is invalidation of state derived from page contents and keyed by
+// page id — the btree's shared decoded-node cache drops its entry here, so
+// a stale decode can never be served for an id the allocator has reused.
+// fn runs under the Reclaimer's mutex: it must be fast, must not block, and
+// must not call back into the Reclaimer. Register the hook while the owner
+// is being constructed, before the Reclaimer is shared between goroutines.
+func (r *Reclaimer) SetReleaseHook(fn func(pager.PageID)) {
+	r.mu.Lock()
+	r.hook = fn
+	r.mu.Unlock()
 }
 
 // Pin registers a snapshot. The current() closure must return the epoch the
@@ -103,6 +118,9 @@ func (r *Reclaimer) sweepLocked() error {
 			break
 		}
 		for _, id := range r.retired[i].pages {
+			if r.hook != nil {
+				r.hook(id)
+			}
 			if err := r.f.Free(id); err != nil && first == nil {
 				first = err
 			}

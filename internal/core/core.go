@@ -57,6 +57,11 @@ type Spec struct {
 	// NoCompression disables front compression in the underlying B-tree
 	// (the Section-4.2 storage-cost ablation).
 	NoCompression bool
+	// NodeCacheSize caps the underlying B-tree's shared decoded-node
+	// cache, in nodes: 0 selects the btree default, negative disables
+	// the cache. Purely a CPU knob — query results and logical page
+	// counts are identical at any setting.
+	NodeCacheSize int
 }
 
 // Index is a live U-index over a store.
@@ -151,10 +156,11 @@ func build(f pager.File, st *store.Store, spec Spec, meta pager.PageID) (*Index,
 	}
 	var tree *btree.Tree
 	var err error
+	tun := btree.Tuning{NodeCacheSize: spec.NodeCacheSize}
 	if meta == pager.NilPage {
-		tree, err = btree.Create(f, btree.Config{MaxEntries: spec.MaxEntries, NoCompression: spec.NoCompression})
+		tree, err = btree.Create(f, btree.Config{MaxEntries: spec.MaxEntries, NoCompression: spec.NoCompression, Tuning: tun})
 	} else {
-		tree, err = btree.Open(f, meta)
+		tree, err = btree.OpenTuned(f, meta, tun)
 	}
 	if err != nil {
 		return nil, err
@@ -474,6 +480,10 @@ func (ix *Index) PageCount() (int, error) { return ix.tree.PageCount() }
 
 // DropCache flushes and clears the buffer pool (cold-cache measurements).
 func (ix *Index) DropCache() error { return ix.tree.DropCache() }
+
+// NodeCacheStats reports the underlying B-tree's shared decoded-node cache
+// counters (all zeros when the cache is disabled via Spec.NodeCacheSize).
+func (ix *Index) NodeCacheStats() btree.CacheStats { return ix.tree.NodeCacheStats() }
 
 // Flush persists every dirty page and the tree metadata to the page file;
 // MetaPage identifies the tree for a later Open.

@@ -42,6 +42,14 @@ type Stats struct {
 	EntriesScanned int // index entries inspected
 	Matches        int
 	Intervals      int // search intervals after compilation
+	// CPU-cost counters of the zero-copy read path (this repo's metric,
+	// not the paper's — the paper models I/O only): node fetches served
+	// by the shared decoded-node cache vs. decoded from page bytes, and
+	// how many entry bytes those decodes materialized. Orthogonal to
+	// PagesRead, which is counted before any cache is consulted.
+	NodeCacheHits   int
+	NodeCacheMisses int
+	BytesDecoded    int64
 }
 
 // ExecContext is the mutable per-query execution state: the page tracker,
@@ -77,9 +85,12 @@ func NewExecContext(alg Algorithm) *ExecContext {
 // view is the read surface a query executes against: the live tree (a
 // one-shot snapshot per scan) or a pinned btree.Snap (one consistent epoch
 // for the whole query). Both implementations never block writers.
+// The executor scans keys-only: a U-index entry's whole payload is the
+// composite key itself (values are empty), so materializing values would be
+// pure waste.
 type view interface {
-	MultiScan(ctx context.Context, ivs []btree.Interval, tr *pager.Tracker, fn btree.ScanFunc) error
-	Scan(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn btree.ScanFunc) error
+	MultiScanKeys(ctx context.Context, ivs []btree.Interval, tr *pager.Tracker, fn btree.ScanFunc) error
+	ScanKeys(ctx context.Context, lo, hi []byte, tr *pager.Tracker, fn btree.ScanFunc) error
 }
 
 // Execute runs a query and materializes the matches. tr may be nil, in
@@ -155,7 +166,7 @@ func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecConte
 	}
 	switch ec.Algorithm {
 	case Parallel:
-		err = v.MultiScan(ctx, p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
+		err = v.MultiScanKeys(ctx, p.intervals, tr, func(k, _ []byte) ([]byte, bool, error) {
 			return emit(k)
 		})
 	case Forward:
@@ -170,7 +181,7 @@ func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecConte
 			if stopped {
 				break
 			}
-			err = v.Scan(ctx, iv.Lo, iv.Hi, tr, func(k, _ []byte) ([]byte, bool, error) {
+			err = v.ScanKeys(ctx, iv.Lo, iv.Hi, tr, func(k, _ []byte) ([]byte, bool, error) {
 				_, stop, err := emit(k)
 				stopped = stop
 				return nil, stop, err
@@ -183,10 +194,16 @@ func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecConte
 		return Stats{}, fmt.Errorf("core: unknown algorithm %d", int(ec.Algorithm))
 	}
 	stats.PagesRead = tr.Reads()
+	stats.NodeCacheHits = tr.CacheHits()
+	stats.NodeCacheMisses = tr.CacheMisses()
+	stats.BytesDecoded = tr.BytesDecoded()
 	ec.Stats.Algorithm = ec.Algorithm
 	ec.Stats.Intervals += stats.Intervals
 	ec.Stats.EntriesScanned += stats.EntriesScanned
 	ec.Stats.Matches += stats.Matches
 	ec.Stats.PagesRead = tr.Reads()
+	ec.Stats.NodeCacheHits = tr.CacheHits()
+	ec.Stats.NodeCacheMisses = tr.CacheMisses()
+	ec.Stats.BytesDecoded = tr.BytesDecoded()
 	return stats, err
 }

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestTable1NodeCacheInvariance is the acceptance check for the decoded-node
+// cache: the cache is a CPU optimization only, so running Table 1 with it
+// disabled must reproduce exactly the logical node counts of the default
+// (cache-enabled) run — which the table1 tests in turn pin against the
+// paper's published numbers. Pages are counted before the cache is
+// consulted, so hit or miss, the paper's I/O model is untouched.
+func TestTable1NodeCacheInvariance(t *testing.T) {
+	def, err := RunTable1(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := RunTable1With(42, Table1Options{NodeCacheSize: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(off.Rows) != len(def.Rows) {
+		t.Fatalf("%d rows with cache disabled vs %d default", len(off.Rows), len(def.Rows))
+	}
+	for i, p := range def.Rows {
+		q := off.Rows[i]
+		if q.ID != p.ID || q.Parallel != p.Parallel || q.Forward != p.Forward || q.Matches != p.Matches {
+			t.Errorf("row %s diverged without node cache: parallel %d/%d forward %d/%d matches %d/%d",
+				p.ID, q.Parallel, p.Parallel, q.Forward, p.Forward, q.Matches, p.Matches)
+		}
+	}
+	if off.TotalNodes != def.TotalNodes {
+		t.Errorf("TotalNodes %d without node cache vs %d default", off.TotalNodes, def.TotalNodes)
+	}
+	if off.Records != def.Records {
+		t.Errorf("Records %d without node cache vs %d default", off.Records, def.Records)
+	}
+}

@@ -25,6 +25,10 @@ type Config struct {
 	PoolPages int // buffer-pool frames (0 = direct page file)
 	Policy    string
 	Seed      int64
+	// NodeCacheSize sizes the decoded-node cache (0 = engine default,
+	// negative = disabled). Purely a CPU knob: logical page counts are
+	// identical either way.
+	NodeCacheSize int
 }
 
 // Result reports aggregate throughput of one QueryParallel batch
@@ -36,6 +40,12 @@ type Result struct {
 	Matches       int // total matches across the batch
 	PagesRead     int // sum of per-query logical distinct-page counts
 	Pool          *uindex.BufferPoolStats
+	// Decoded-node cache counters summed over the batch's queries, plus
+	// the entry bytes the misses materialized — the CPU-cost side the
+	// logical page counts don't see.
+	NodeCacheHits   int
+	NodeCacheMisses int
+	BytesDecoded    int64
 }
 
 // buildParallelDB grows a vehicle/company/employee database with a
@@ -64,7 +74,9 @@ func buildParallelDB(cfg Config) (*uindex.Database, error) {
 			return nil, err
 		}
 	}
-	db, err := uindex.NewDatabaseWith(s, uindex.Options{PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy})
+	db, err := uindex.NewDatabaseWith(s, uindex.Options{
+		PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy, NodeCacheSize: cfg.NodeCacheSize,
+	})
 	if err != nil {
 		return nil, err
 	}
@@ -184,6 +196,9 @@ func RunParallel(cfg Config) (*Result, error) {
 		}
 		res.Matches += r.Stats.Matches
 		res.PagesRead += r.Stats.PagesRead
+		res.NodeCacheHits += r.Stats.NodeCacheHits
+		res.NodeCacheMisses += r.Stats.NodeCacheMisses
+		res.BytesDecoded += r.Stats.BytesDecoded
 	}
 	if hasPool {
 		after, _ := db.PoolStats()
@@ -209,6 +224,8 @@ func Render(w io.Writer, r *Result) {
 	fmt.Fprintf(w, "  queries/sec    %.0f\n", r.QueriesPerSec)
 	fmt.Fprintf(w, "  matches        %d\n", r.Matches)
 	fmt.Fprintf(w, "  logical pages  %d (sum of per-query distinct counts)\n", r.PagesRead)
+	fmt.Fprintf(w, "  node cache     %d hits / %d misses, %d entry bytes decoded\n",
+		r.NodeCacheHits, r.NodeCacheMisses, r.BytesDecoded)
 	if r.Pool != nil {
 		fmt.Fprintf(w, "  pool hits      %d\n", r.Pool.Hits)
 		fmt.Fprintf(w, "  pool misses    %d\n", r.Pool.Misses)

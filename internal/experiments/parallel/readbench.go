@@ -1,0 +1,189 @@
+package parallel
+
+// Read-path benchmark: the per-query CPU cost of the zero-copy read path,
+// measured through the public facade with testing.Benchmark so ns/op and
+// allocs/op come from the same machinery as `go test -bench`. Each query
+// shape runs twice — node cache enabled and disabled — because the cache-off
+// numbers are the baseline the tentpole's allocs/op claim is measured
+// against. Results serialize to BENCH_read.json (the repo's perf
+// trajectory file).
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"runtime"
+	"testing"
+
+	uindex "repro"
+)
+
+// ReadConfig sizes the read-path benchmark.
+type ReadConfig struct {
+	Objects int   // vehicles in the database (<=0: 6000; Short caps lower)
+	Seed    int64 // workload seed
+	Short   bool  // CI smoke scale: small database, same code paths
+}
+
+// ReadPoint is one measured point: a query shape under one cache setting.
+type ReadPoint struct {
+	Name          string  `json:"name"`       // QueryExact, QueryRange, ...
+	NodeCache     bool    `json:"node_cache"` // decoded-node cache enabled?
+	Iterations    int     `json:"iterations"`
+	NsPerOp       float64 `json:"ns_per_op"`
+	AllocsPerOp   int64   `json:"allocs_per_op"`
+	BytesPerOp    int64   `json:"bytes_per_op"`
+	QueriesPerSec float64 `json:"queries_per_sec"`
+}
+
+// ReadResult is the whole suite, written to BENCH_read.json by `make bench`.
+type ReadResult struct {
+	Objects    int         `json:"objects"`
+	Seed       int64       `json:"seed"`
+	Short      bool        `json:"short"`
+	GoMaxProcs int         `json:"gomaxprocs"`
+	Points     []ReadPoint `json:"points"`
+	// NodeCache is the cache-enabled database's cumulative hit/miss
+	// counters over the whole suite — direct evidence the measured hot
+	// path actually ran against a warm cache.
+	NodeCache uindex.NodeCacheStats `json:"node_cache_totals"`
+}
+
+// readShape is one query shape of the suite; every shape is a single query
+// per op so queries/sec is comparable across shapes.
+type readShape struct {
+	name string
+	alg  uindex.Algorithm
+	job  func() (string, uindex.Query)
+}
+
+// readShapes returns the four shapes of the satellite benchmark contract:
+// repeated exact match, value range, whole-subtree probe, and a dispersed
+// multi-interval Parscan descent.
+func readShapes() []readShape {
+	return []readShape{
+		{"QueryExact", uindex.Parallel, func() (string, uindex.Query) {
+			return "color", uindex.Query{
+				Value:     uindex.Exact("Red"),
+				Positions: []uindex.Position{uindex.OnExact("Automobile")},
+			}
+		}},
+		{"QueryRange", uindex.Parallel, func() (string, uindex.Query) {
+			return "color", uindex.Query{
+				Value:     uindex.Range("Black", "Red"),
+				Positions: []uindex.Position{uindex.On("Vehicle")},
+			}
+		}},
+		{"QuerySubtree", uindex.Parallel, func() (string, uindex.Query) {
+			return "age", uindex.Query{
+				Value:     uindex.Exact(uint64(45)),
+				Positions: []uindex.Position{uindex.Any, uindex.Any, uindex.On("Automobile")},
+			}
+		}},
+		{"QueryParscan", uindex.Parallel, func() (string, uindex.Query) {
+			return "color", uindex.Query{
+				Value:     uindex.OneOf("Red", "Blue", "Green"),
+				Positions: []uindex.Position{uindex.OneOfClasses("CompactAutomobile", "Truck")},
+			}
+		}},
+	}
+}
+
+// RunRead builds one database per cache setting and measures every shape
+// under both. The two databases hold identical objects (same seed), so any
+// difference between the paired points is the cache, not the data.
+func RunRead(cfg ReadConfig) (*ReadResult, error) {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 6000
+	}
+	if cfg.Short && cfg.Objects > 1500 {
+		cfg.Objects = 1500
+	}
+	res := &ReadResult{
+		Objects:    cfg.Objects,
+		Seed:       cfg.Seed,
+		Short:      cfg.Short,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+	}
+	ctx := context.Background()
+	for _, cached := range []bool{true, false} {
+		ncache := 0 // btree default size
+		if !cached {
+			ncache = -1 // disabled: every fetch decodes from page bytes
+		}
+		db, err := buildParallelDB(Config{
+			Objects: cfg.Objects, Seed: cfg.Seed, NodeCacheSize: ncache,
+		})
+		if err != nil {
+			return nil, err
+		}
+		for _, sh := range readShapes() {
+			index, q := sh.job()
+			// Warm outside the timed region: the steady state under
+			// measurement is the repeated-query regime.
+			if _, _, err := db.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg)); err != nil {
+				db.Close()
+				return nil, err
+			}
+			var benchErr error
+			r := testing.Benchmark(func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					if _, _, err := db.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg)); err != nil {
+						benchErr = err
+						b.FailNow()
+					}
+				}
+			})
+			if benchErr != nil {
+				db.Close()
+				return nil, fmt.Errorf("%s: %w", sh.name, benchErr)
+			}
+			p := ReadPoint{
+				Name:        sh.name,
+				NodeCache:   cached,
+				Iterations:  r.N,
+				NsPerOp:     float64(r.NsPerOp()),
+				AllocsPerOp: r.AllocsPerOp(),
+				BytesPerOp:  r.AllocedBytesPerOp(),
+			}
+			if p.NsPerOp > 0 {
+				p.QueriesPerSec = 1e9 / p.NsPerOp
+			}
+			res.Points = append(res.Points, p)
+		}
+		if cached {
+			res.NodeCache = db.NodeCacheStats()
+		}
+		if err := db.Close(); err != nil {
+			return nil, err
+		}
+	}
+	return res, nil
+}
+
+// RenderRead prints the suite as a table, pairing cache on/off per shape.
+func RenderRead(w io.Writer, r *ReadResult) {
+	fmt.Fprintf(w, "read-path benchmark (%d objects, seed %d, GOMAXPROCS %d)\n",
+		r.Objects, r.Seed, r.GoMaxProcs)
+	fmt.Fprintf(w, "  %-14s %-6s %12s %12s %12s %14s\n",
+		"shape", "cache", "ns/op", "B/op", "allocs/op", "queries/sec")
+	for _, p := range r.Points {
+		cache := "off"
+		if p.NodeCache {
+			cache = "on"
+		}
+		fmt.Fprintf(w, "  %-14s %-6s %12.0f %12d %12d %14.0f\n",
+			p.Name, cache, p.NsPerOp, p.BytesPerOp, p.AllocsPerOp, p.QueriesPerSec)
+	}
+	fmt.Fprintf(w, "  node cache: %d hits, %d misses, %d resident nodes\n",
+		r.NodeCache.Hits, r.NodeCache.Misses, r.NodeCache.Entries)
+}
+
+// WriteReadJSON serializes the suite for BENCH_read.json.
+func WriteReadJSON(w io.Writer, r *ReadResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

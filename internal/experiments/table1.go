@@ -46,6 +46,11 @@ type Table1Options struct {
 	// logical node counts (the paper's numbers) are unaffected.
 	PoolPages  int
 	PoolPolicy string
+	// NodeCacheSize sizes the decoded-node cache of both indexes
+	// (0 = engine default, negative = disabled). A pure CPU knob: the
+	// logical node counts are identical either way, which
+	// TestTable1NodeCacheInvariance pins.
+	NodeCacheSize int
 }
 
 // PaperTable1 maps query id to the node count the paper reports, for the
@@ -99,7 +104,8 @@ func RunTable1With(seed int64, opts Table1Options) (*Table1Result, error) {
 		return nil, err
 	}
 	colorIx, err := core.New(colorFile, db.Store, core.Spec{
-		Name: "color", Root: "Vehicle", Attr: "Color", MaxEntries: 10})
+		Name: "color", Root: "Vehicle", Attr: "Color", MaxEntries: 10,
+		NodeCacheSize: opts.NodeCacheSize})
 	if err != nil {
 		return nil, err
 	}
@@ -112,7 +118,7 @@ func RunTable1With(seed int64, opts Table1Options) (*Table1Result, error) {
 	}
 	ageIx, err := core.New(ageFile, db.Store, core.Spec{
 		Name: "age", Root: "Vehicle", Refs: []string{"ManufacturedBy", "President"},
-		Attr: "Age", MaxEntries: 10})
+		Attr: "Age", MaxEntries: 10, NodeCacheSize: opts.NodeCacheSize})
 	if err != nil {
 		return nil, err
 	}

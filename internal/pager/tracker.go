@@ -21,6 +21,15 @@ package pager
 type Tracker struct {
 	seen  map[PageID]struct{}
 	reads int
+	// CPU-cost counters of the zero-copy read path: how often a node
+	// fetch was served by a decoded-node cache vs. had to decode page
+	// bytes, and how many entry bytes those decodes materialized. They
+	// are deliberately separate from the logical page counts above —
+	// Touch is always called before any cache is consulted, so the
+	// paper's page-read metric is identical whatever these report.
+	cacheHits    int
+	cacheMisses  int
+	bytesDecoded int64
 }
 
 // NewTracker returns an empty tracker.
@@ -59,11 +68,55 @@ func (t *Tracker) Reads() int {
 	return t.reads
 }
 
+// NoteNodeCache records the outcome of one decoded-node cache probe: a hit
+// cost nothing, a miss materialized bytesDecoded entry bytes (a lazy page
+// view charges only the run it walked; a full decode charges the whole
+// entry area).
+func (t *Tracker) NoteNodeCache(hit bool, bytesDecoded int) {
+	if t == nil {
+		return
+	}
+	if hit {
+		t.cacheHits++
+		return
+	}
+	t.cacheMisses++
+	t.bytesDecoded += int64(bytesDecoded)
+}
+
+// CacheHits returns the number of node fetches served from a decoded-node
+// cache.
+func (t *Tracker) CacheHits() int {
+	if t == nil {
+		return 0
+	}
+	return t.cacheHits
+}
+
+// CacheMisses returns the number of node fetches that had to decode page
+// bytes.
+func (t *Tracker) CacheMisses() int {
+	if t == nil {
+		return 0
+	}
+	return t.cacheMisses
+}
+
+// BytesDecoded returns the total entry bytes materialized by node decodes.
+func (t *Tracker) BytesDecoded() int64 {
+	if t == nil {
+		return 0
+	}
+	return t.bytesDecoded
+}
+
 // Merge folds the pages seen by other into t without double-counting:
 // after the call t.Reads() is the number of distinct pages touched by
 // either tracker. other may be nil or empty. Merging the per-goroutine
 // trackers of a concurrent run therefore reproduces exactly the count a
-// single shared tracker would have reported for the same page set.
+// single shared tracker would have reported for the same page set. The
+// CPU-cost counters are plain event counts, not sets, so they merge by
+// summation.
 func (t *Tracker) Merge(other *Tracker) {
 	if t == nil || other == nil {
 		return
@@ -71,6 +124,9 @@ func (t *Tracker) Merge(other *Tracker) {
 	for id := range other.seen {
 		t.Touch(id)
 	}
+	t.cacheHits += other.cacheHits
+	t.cacheMisses += other.cacheMisses
+	t.bytesDecoded += other.bytesDecoded
 }
 
 // Reset clears the tracker for reuse by the next query.
@@ -80,4 +136,5 @@ func (t *Tracker) Reset() {
 	}
 	clear(t.seen)
 	t.reads = 0
+	t.cacheHits, t.cacheMisses, t.bytesDecoded = 0, 0, 0
 }

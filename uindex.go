@@ -100,6 +100,9 @@ type (
 	Tracker = pager.Tracker
 	// BufferPoolStats is a snapshot of the buffer-pool cache counters.
 	BufferPoolStats = bufferpool.Stats
+	// NodeCacheStats is a snapshot of an index's decoded-node cache
+	// counters.
+	NodeCacheStats = btree.CacheStats
 	// ExecContext is the per-query execution state (tracker + algorithm +
 	// accumulated stats); one is created per query unless shared
 	// explicitly.
@@ -150,6 +153,13 @@ type Options struct {
 	// PoolPolicy selects the pool's replacement policy: "clock" (the
 	// default) or "lru".
 	PoolPolicy string
+	// NodeCacheSize caps each index's shared decoded-node cache, in
+	// nodes: 0 selects the btree default, negative disables the caches.
+	// An explicit IndexSpec.NodeCacheSize overrides this per index. The
+	// cache is transparent to query results and to the paper's logical
+	// page-read counts (those are tracked before any cache is
+	// consulted); NodeCacheStats exposes its hit/miss counters.
+	NodeCacheSize int
 }
 
 // Database is a schema + object store + U-indexes, kept consistent.
@@ -267,6 +277,21 @@ func (db *Database) PoolStats() (BufferPoolStats, bool) {
 	return agg, true
 }
 
+// NodeCacheStats aggregates the decoded-node cache counters over every
+// index: cumulative hits and misses, and the nodes currently resident.
+func (db *Database) NodeCacheStats() NodeCacheStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	var agg NodeCacheStats
+	for _, ix := range db.indexes {
+		st := ix.NodeCacheStats()
+		agg.Hits += st.Hits
+		agg.Misses += st.Misses
+		agg.Entries += st.Entries
+	}
+	return agg
+}
+
 // Schema returns the database schema.
 func (db *Database) Schema() *Schema { return db.sch }
 
@@ -288,6 +313,9 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 	}
 	if _, dup := db.indexes[spec.Name]; dup {
 		return fmt.Errorf("uindex: index %q already exists", spec.Name)
+	}
+	if spec.NodeCacheSize == 0 {
+		spec.NodeCacheSize = db.opts.NodeCacheSize
 	}
 	var f pager.File = pager.NewMemFile(0)
 	var pool *bufferpool.Pool
