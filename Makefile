@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress apicheck bench bench-short ci
+.PHONY: build test race vet stress crash apicheck bench bench-short ci
 
 build:
 	$(GO) build ./...
@@ -23,6 +23,14 @@ stress:
 
 vet:
 	$(GO) vet ./...
+
+# Tier-2 durability check, race-enabled and uncached: the crash matrix
+# (power-cut at every I/O op under both power models), torn/short-write
+# header tears, page/file/snapshot corruption sweeps, and the fault-
+# injection propagation tests across pager, bufferpool, and facade.
+crash:
+	$(GO) test -race -count=1 ./internal/faultfs/
+	$(GO) test -race -count=1 -run 'Corrupt|Crash|Torn|Header|Recover|Orphan|Fault|Fail|Checkpoint|Durab|FlushMeta|FlushReleases' ./internal/pager/ ./internal/bufferpool/ ./internal/btree/ .
 
 # Read-path performance trajectory: the go-test micro-benchmarks (node
 # decode, point lookup, the four facade query shapes) plus the readbench
@@ -53,4 +61,4 @@ apicheck: vet
 	fi
 	@echo "apicheck: ok"
 
-ci: build apicheck test race stress
+ci: build apicheck test race stress crash

@@ -29,6 +29,7 @@ import (
 	"strings"
 	"time"
 
+	"repro"
 	"repro/internal/experiments"
 	parbench "repro/internal/experiments/parallel"
 )
@@ -57,6 +58,8 @@ func run() int {
 		parallel  = flag.Int("parallel", 0, "run the concurrent-throughput benchmark with this many worker goroutines instead of an experiment")
 		jobs      = flag.Int("jobs", 400, "queries in the -parallel batch")
 		mixed     = flag.Bool("mixed", false, "run the mixed read/write throughput benchmark: read throughput alone vs. with concurrent writers")
+		dir       = flag.String("dir", "", "back -mixed/-parallel index trees with disk files in this directory (empty = in-memory)")
+		durstr    = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, or sync (sync exposes per-mutation fsync cost in -mixed)")
 		writers   = flag.Int("writers", 1, "writer goroutines in the -mixed benchmark")
 		writerate = flag.Int("writerate", 500, "paced mutations/sec per -mixed writer (-1 = unthrottled)")
 		duration  = flag.Duration("duration", 2*time.Second, "length of each -mixed phase")
@@ -67,6 +70,18 @@ func run() int {
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
 	flag.Parse()
+
+	var durability uindex.Durability
+	switch *durstr {
+	case "none":
+		durability = uindex.DurabilityNone
+	case "checkpoint":
+		durability = uindex.DurabilityCheckpoint
+	case "sync":
+		durability = uindex.DurabilitySync
+	default:
+		return fail("uindexbench: unknown durability %q (want none, checkpoint, or sync)", *durstr)
+	}
 
 	if *cpuprof != "" {
 		f, err := os.Create(*cpuprof)
@@ -134,12 +149,14 @@ func run() int {
 		}
 		r, err := parbench.RunMixed(parbench.MixedConfig{
 			Config: parbench.Config{
-				Workers:   *parallel,
-				Jobs:      *jobs,
-				Objects:   benchObjects,
-				PoolPages: pool,
-				Policy:    *policy,
-				Seed:      *seed,
+				Workers:    *parallel,
+				Jobs:       *jobs,
+				Objects:    benchObjects,
+				PoolPages:  pool,
+				Policy:     *policy,
+				Seed:       *seed,
+				Dir:        *dir,
+				Durability: durability,
 			},
 			Duration:  *duration,
 			Writers:   *writers,
@@ -164,12 +181,14 @@ func run() int {
 			benchObjects = 2000
 		}
 		r, err := parbench.RunParallel(parbench.Config{
-			Workers:   *parallel,
-			Jobs:      *jobs,
-			Objects:   benchObjects,
-			PoolPages: pool,
-			Policy:    *policy,
-			Seed:      *seed,
+			Workers:    *parallel,
+			Jobs:       *jobs,
+			Objects:    benchObjects,
+			PoolPages:  pool,
+			Policy:     *policy,
+			Seed:       *seed,
+			Dir:        *dir,
+			Durability: durability,
 		})
 		if err != nil {
 			return fail("uindexbench: parallel: %v", err)

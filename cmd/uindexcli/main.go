@@ -115,18 +115,36 @@ func buildDemo(opts uindex.Options) (*uindex.Database, map[uindex.OID]string, er
 	return db, names, nil
 }
 
+func parseDurability(s string) (uindex.Durability, error) {
+	switch s {
+	case "none":
+		return uindex.DurabilityNone, nil
+	case "checkpoint":
+		return uindex.DurabilityCheckpoint, nil
+	case "sync":
+		return uindex.DurabilitySync, nil
+	}
+	return 0, fmt.Errorf("unknown durability %q (want none, checkpoint, or sync)", s)
+}
+
 func main() {
 	var (
-		loadPath  = flag.String("load", "", "load a database snapshot instead of building the demo")
-		savePath  = flag.String("save", "", "write a snapshot of the database on exit (.quit)")
-		poolPages = flag.Int("poolpages", 0, "buffer-pool frames per index (0 = no pool)")
-		policy    = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
+		loadPath   = flag.String("load", "", "load a database snapshot instead of building the demo")
+		savePath   = flag.String("save", "", "write a snapshot of the database on exit (.quit)")
+		poolPages  = flag.Int("poolpages", 0, "buffer-pool frames per index (0 = no pool)")
+		policy     = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
+		dir        = flag.String("dir", "", "directory for disk-backed index files (empty = in-memory)")
+		durability = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, or sync")
 	)
 	flag.Parse()
-	opts := uindex.Options{PoolPages: *poolPages, PoolPolicy: *policy}
+	dur, err := parseDurability(*durability)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "uindexcli:", err)
+		os.Exit(1)
+	}
+	opts := uindex.Options{PoolPages: *poolPages, PoolPolicy: *policy, Dir: *dir, Durability: dur}
 	var db *uindex.Database
 	var names map[uindex.OID]string
-	var err error
 	if *loadPath != "" {
 		db, err = uindex.LoadFileWith(*loadPath, opts)
 		names = map[uindex.OID]string{}
@@ -167,6 +185,7 @@ func main() {
   .objects           list the example objects
   .explain <ix> <q>  show the compiled query plan
   .pool              show buffer-pool counters (run with -poolpages)
+  .checkpoint        flush + fsync disk-backed indexes (run with -dir)
   .quit              leave
 Queries: <index> <query>, e.g.
   color (Color=Red, C5A*)
@@ -197,6 +216,14 @@ Queries: <index> <query>, e.g.
 				break
 			}
 			fmt.Print(plan)
+		case line == ".checkpoint":
+			if err := db.Checkpoint(); err != nil {
+				fmt.Println("  checkpoint:", err)
+			} else if *dir == "" {
+				fmt.Println("  checkpointed (no -dir: indexes are in-memory, nothing persisted)")
+			} else {
+				fmt.Printf("  checkpointed disk-backed indexes under %s\n", *dir)
+			}
 		case line == ".pool":
 			if st, ok := db.PoolStats(); ok {
 				fmt.Printf("  hits %d, misses %d (hit ratio %.1f%%), evictions %d, writebacks %d\n",

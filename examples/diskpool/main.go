@@ -6,6 +6,7 @@
 package main
 
 import (
+	"encoding/binary"
 	"fmt"
 	"log"
 	"os"
@@ -55,22 +56,35 @@ func main() {
 	check(err)
 	fmt.Printf("red automobiles: %d matches, %d pages read\n", len(ms), stats.PagesRead)
 
-	// 3. Durability point: push the tree's dirty nodes into the pool,
-	// write the pool's dirty frames back, fsync the file.
+	// 3. Durability point (the atomic-commit protocol): push the tree's
+	// dirty nodes into the pool, stage the meta page id as the file's
+	// checkpoint payload, then flush — the pool writes its dirty frames
+	// back and the file's Sync publishes a new checksummed header
+	// generation. A crash anywhere before that publish leaves the previous
+	// checkpoint intact.
 	check(ix.Flush())
+	var root [4]byte
+	binary.BigEndian.PutUint32(root[:], uint32(ix.MetaPage()))
+	check(df.SetPayload(root[:]))
 	check(pool.FlushAll())
 	st := pool.PoolStats()
 	fmt.Printf("pool after build+query: %d hits, %d misses (hit ratio %.1f%%), %d evictions\n",
 		st.Hits, st.Misses, 100*st.HitRate(), st.Evictions)
-	meta := ix.MetaPage()
 
 	// 4. Close releases the pool and the file underneath it. The error
 	// matters: a failed write-back here is data loss.
 	check(pool.Close())
 
-	// 5. Reopen the page file and serve the same query from disk.
+	// 5. Reopen the page file. Recovery picks the newest valid header,
+	// and its payload tells us where the tree's meta page lives — no
+	// state has to survive in process memory.
 	df2, err := pager.OpenDiskFile(path)
 	check(err)
+	pl := df2.Payload()
+	if len(pl) != 4 {
+		log.Fatalf("recovered payload is %d bytes, want 4", len(pl))
+	}
+	meta := pager.PageID(binary.BigEndian.Uint32(pl))
 	pool2, err := bufferpool.New(df2, bufferpool.Config{Pages: 32})
 	check(err)
 	ix2, err := core.Open(pool2, db.Store(), spec, meta)

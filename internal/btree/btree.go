@@ -177,6 +177,11 @@ func OpenTuned(f pager.File, meta pager.PageID, tun Tuning) (*Tree, error) {
 		root:  pager.PageID(binary.BigEndian.Uint32(buf[4:])),
 		hgt:   int(binary.BigEndian.Uint32(buf[8:])),
 		count: int(binary.BigEndian.Uint64(buf[12:])),
+		// The epoch persists across reopen so that epochs keep increasing
+		// monotonically over the file's whole lifetime (meta pages written
+		// before the epoch field carry zero, which reads back as the old
+		// behaviour of restarting at 0).
+		epoch: binary.BigEndian.Uint64(buf[28:]),
 	})
 	return t, nil
 }
@@ -205,6 +210,10 @@ func (t *Tree) NodeCacheStats() CacheStats { return t.ncache.stats() }
 // MetaPage returns the page id holding the tree's metadata; pass it to Open.
 func (t *Tree) MetaPage() pager.PageID { return t.meta }
 
+// writeMeta persists the published version to the tree's current meta page
+// in place. Only Create may use it, when the meta page is freshly allocated
+// and cannot be part of any durable checkpoint yet; all later metadata
+// writes go through writeMetaCOW.
 func (t *Tree) writeMeta() error {
 	v := t.cur.Load()
 	buf := make([]byte, t.f.PageSize())
@@ -216,7 +225,29 @@ func (t *Tree) writeMeta() error {
 	if t.noCompress {
 		buf[24] = 1
 	}
+	binary.BigEndian.PutUint64(buf[28:], v.epoch)
 	return t.f.Write(t.meta, buf)
+}
+
+// writeMetaCOW persists the metadata shadow-style: it writes a freshly
+// allocated meta page and frees the previous one, so a page that a durable
+// checkpoint can reach is never overwritten. MetaPage therefore changes on
+// every Flush; callers persisting the tree must record the new id (the
+// uindex facade publishes it through the page file's checkpoint payload).
+// Requires t.wmu.
+func (t *Tree) writeMetaCOW() error {
+	id, err := t.f.Alloc()
+	if err != nil {
+		return err
+	}
+	old := t.meta
+	t.meta = id
+	if err := t.writeMeta(); err != nil {
+		t.meta = old
+		_ = t.f.Free(id)
+		return err
+	}
+	return t.f.Free(old)
 }
 
 // pin registers a one-operation snapshot: it atomically loads the current
@@ -328,22 +359,25 @@ func (t *Tree) Epoch() uint64 { return t.cur.Load().epoch }
 
 // Flush persists the tree metadata to the page file. Node pages are written
 // at commit time (copy-on-write), so the metadata is all Flush has left to
-// do; Open at MetaPage restores the flushed version.
+// do; Open at MetaPage restores the flushed version. The metadata is
+// written copy-on-write — MetaPage returns a new id after every Flush — so
+// that a crash-consistent checkpoint of the page file never has a reachable
+// page overwritten underneath it.
 func (t *Tree) Flush() error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
-	return t.writeMeta()
+	return t.writeMetaCOW()
 }
 
 // DropCache drops the tree's shared decoded-node cache and persists the
-// tree metadata. Benchmarks call this between build and measurement to
-// model a cold cache; page-level caching across reads remains the buffer
-// pool's job.
+// tree metadata (copy-on-write, like Flush). Benchmarks call this between
+// build and measurement to model a cold cache; page-level caching across
+// reads remains the buffer pool's job.
 func (t *Tree) DropCache() error {
 	t.wmu.Lock()
 	defer t.wmu.Unlock()
 	t.ncache.clear()
-	return t.writeMeta()
+	return t.writeMetaCOW()
 }
 
 // Get returns the value stored under key. The returned slice is owned by

@@ -1,0 +1,83 @@
+package btree
+
+import (
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestFlushMetaCOW: Flush must never overwrite the previous meta page (a
+// durable checkpoint may still reference it) — it writes a fresh page and
+// retires the old one, and the persisted epoch survives reopen.
+func TestFlushMetaCOW(t *testing.T) {
+	f := pager.NewMemFile(512)
+	defer f.Close()
+	tr, err := Create(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta1 := tr.MetaPage()
+	epoch1 := tr.Epoch()
+	for i := 100; i < 150; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	meta2 := tr.MetaPage()
+	if meta2 == meta1 {
+		t.Fatalf("Flush reused meta page %d in place; must copy-on-write", meta1)
+	}
+	re, err := Open(f, meta2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Len() != 150 {
+		t.Fatalf("reopened Len = %d, want 150", re.Len())
+	}
+	if re.Epoch() <= epoch1 {
+		t.Fatalf("reopened epoch = %d, want > flushed epoch %d (epochs must persist)", re.Epoch(), epoch1)
+	}
+	if re.Epoch() != tr.Epoch() {
+		t.Fatalf("reopened epoch = %d, want %d", re.Epoch(), tr.Epoch())
+	}
+	if err := re.Check(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushReleasesOldMeta: repeated flushes must not leak pages — each
+// retires the meta page it replaces.
+func TestFlushReleasesOldMeta(t *testing.T) {
+	f := pager.NewMemFile(512)
+	defer f.Close()
+	tr, err := Create(f, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Insert(key(1), val(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	before := f.NumPages()
+	for i := 0; i < 10; i++ {
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if after := f.NumPages(); after != before {
+		t.Fatalf("NumPages grew from %d to %d across flushes; old meta pages leak", before, after)
+	}
+}

@@ -167,10 +167,10 @@ func TestOldFormatDiskRoundTrip(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	meta := tr.MetaPage()
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	meta := tr.MetaPage() // COW metadata: the id is valid only after Flush
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -218,10 +218,10 @@ func TestDiskBackedTree(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	meta := tr.MetaPage()
 	if err := tr.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	meta := tr.MetaPage() // COW metadata: the id is valid only after Flush
 	if err := f.Close(); err != nil {
 		t.Fatal(err)
 	}
@@ -250,7 +250,7 @@ func TestDiskBackedTree(t *testing.T) {
 	if err := re.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	re2, err := Open(f2, meta)
+	re2, err := Open(f2, re.MetaPage())
 	if err != nil {
 		t.Fatal(err)
 	}

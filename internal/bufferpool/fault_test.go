@@ -1,0 +1,141 @@
+package bufferpool
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/pager"
+)
+
+// faultPool builds a 2-frame pool over a fault-injectable memory file with
+// three allocated pages: id1 evicted clean, id2 and id3 resident and dirty.
+func faultPool(t *testing.T) (*Pool, *faultfs.File, [3]pager.PageID, [3][]byte) {
+	t.Helper()
+	inner := faultfs.Wrap(pager.NewMemFile(128))
+	p, err := New(inner, Config{Pages: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids [3]pager.PageID
+	var data [3][]byte
+	for i := range ids {
+		id, err := p.Alloc()
+		if err != nil {
+			t.Fatal(err)
+		}
+		ids[i] = id
+		data[i] = bytes.Repeat([]byte{byte(i + 1)}, 128)
+	}
+	// id1's frame was reclaimed for id3; dirty the two resident pages.
+	for _, i := range []int{1, 2} {
+		if err := p.Write(ids[i], data[i]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return p, inner, ids, data
+}
+
+// TestEvictWritebackFailure: when the write-back of a dirty eviction victim
+// fails, the triggering operation returns the error and the victim stays
+// resident and dirty — its data must not be lost.
+func TestEvictWritebackFailure(t *testing.T) {
+	p, inner, ids, data := faultPool(t)
+	inner.FailNth(faultfs.OpWrite, 1, nil)
+	buf := make([]byte, 128)
+	if err := p.Read(ids[0], buf); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("read forcing failed eviction = %v, want ErrInjected", err)
+	}
+	// Both dirty pages must still be resident with their contents intact
+	// (a dropped frame would read back the backing file's zeros).
+	for _, i := range []int{1, 2} {
+		if err := p.Read(ids[i], buf); err != nil {
+			t.Fatalf("page %d after failed eviction: %v", ids[i], err)
+		}
+		if !bytes.Equal(buf, data[i]) {
+			t.Fatalf("page %d lost its dirty data after failed eviction", ids[i])
+		}
+	}
+	// With the fault disarmed the retained dirty frames flush normally.
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	for _, i := range []int{1, 2} {
+		if err := inner.Read(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[i]) {
+			t.Fatalf("page %d not written back after recovery", ids[i])
+		}
+	}
+}
+
+// TestWriteThroughFailure: a Write to an uncached page goes through to the
+// backing file; its error must reach the caller and not corrupt state.
+func TestWriteThroughFailure(t *testing.T) {
+	p, inner, ids, data := faultPool(t)
+	inner.FailNth(faultfs.OpWrite, 1, nil)
+	if err := p.Write(ids[0], data[0]); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("write-through = %v, want ErrInjected", err)
+	}
+	// Disarmed: the retry lands in the backing file.
+	if err := p.Write(ids[0], data[0]); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	if err := inner.Read(ids[0], buf); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf, data[0]) {
+		t.Fatal("retried write-through did not reach the backing file")
+	}
+}
+
+// TestFlushFailureKeepsFramesDirty: a failed FlushAll must leave unflushed
+// frames dirty so a later flush still writes them.
+func TestFlushFailureKeepsFramesDirty(t *testing.T) {
+	p, inner, ids, data := faultPool(t)
+	inner.FailNth(faultfs.OpWrite, 1, nil)
+	if err := p.FlushAll(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("FlushAll = %v, want ErrInjected", err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	for _, i := range []int{1, 2} {
+		if err := inner.Read(ids[i], buf); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(buf, data[i]) {
+			t.Fatalf("page %d missing from backing file after retried flush", ids[i])
+		}
+	}
+}
+
+// TestFlushSyncFailure: FlushAll surfaces a failure of the backing file's
+// Sync (the durability barrier), not just of the page writes.
+func TestFlushSyncFailure(t *testing.T) {
+	p, inner, _, _ := faultPool(t)
+	inner.FailNth(faultfs.OpSync, 1, nil)
+	if err := p.FlushAll(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("FlushAll with failing sync = %v, want ErrInjected", err)
+	}
+	if err := p.FlushAll(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAllocFailurePropagates: backing-file allocation errors reach the
+// caller.
+func TestAllocFailurePropagates(t *testing.T) {
+	p, inner, _, _ := faultPool(t)
+	inner.FailNth(faultfs.OpAlloc, 1, nil)
+	if _, err := p.Alloc(); !errors.Is(err, faultfs.ErrInjected) {
+		t.Fatalf("Alloc = %v, want ErrInjected", err)
+	}
+	if _, err := p.Alloc(); err != nil {
+		t.Fatal(err)
+	}
+}

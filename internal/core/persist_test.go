@@ -27,10 +27,12 @@ func TestPersistReopen(t *testing.T) {
 	if err := ix.Build(); err != nil {
 		t.Fatal(err)
 	}
-	meta := ix.MetaPage()
 	if err := ix.Flush(); err != nil {
 		t.Fatal(err)
 	}
+	// Metadata is written copy-on-write, so the meta id must be read
+	// after the Flush that produced it.
+	meta := ix.MetaPage()
 	if err := pf.Close(); err != nil {
 		t.Fatal(err)
 	}

@@ -112,7 +112,13 @@ func ParseCode(s string) (Code, error) {
 	return Code(s), nil
 }
 
-// MustParseCode is ParseCode that panics on error, for tests and literals.
+// MustParseCode is ParseCode that panics on error, for tests and
+// compile-time literals ONLY. It must never appear on a runtime decode
+// path: keys read back from storage go through SplitKey / SplitPath /
+// DecodeValue, which validate with returned errors, so a corrupt key can
+// never take down a process serving other queries
+// (TestCorruptKeyDecodeNeverPanics sweeps mutated keys through those
+// paths).
 func MustParseCode(s string) Code {
 	c, err := ParseCode(s)
 	if err != nil {

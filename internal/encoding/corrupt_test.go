@@ -1,0 +1,59 @@
+package encoding
+
+import (
+	"testing"
+)
+
+// TestCorruptKeyDecodeNeverPanics sweeps systematically damaged composite
+// keys through every runtime decode path (SplitKey → SplitValue, SplitPath,
+// DecodeValue) for every attribute type. Each decode must either succeed or
+// return an error; a panic fails the test (and in production would take
+// down a process serving unrelated queries).
+func TestCorruptKeyDecodeNeverPanics(t *testing.T) {
+	types := []AttrType{AttrUint64, AttrInt64, AttrFloat64, AttrString}
+	values := map[AttrType]any{
+		AttrUint64:  uint64(77),
+		AttrInt64:   int64(-3),
+		AttrFloat64: 2.5,
+		AttrString:  "Re\x00d", // embedded NUL exercises the escape coding
+	}
+	path := []PathEntry{
+		{Code: MustParseCode("1.2"), OID: 7},
+		{Code: MustParseCode("1"), OID: 9},
+	}
+	for _, at := range types {
+		attr, err := at.EncodeValue(values[at])
+		if err != nil {
+			t.Fatal(err)
+		}
+		valid := BuildKey(attr, path)
+		if _, _, err := SplitKey(at, valid); err != nil {
+			t.Fatalf("%v: pristine key does not decode: %v", at, err)
+		}
+		decode := func(key []byte) {
+			a, p, err := SplitKey(at, key)
+			if err != nil {
+				return // typed rejection is fine
+			}
+			// A successful split must also survive value decoding and
+			// path re-encoding without panicking.
+			if _, err := at.DecodeValue(a); err != nil {
+				return
+			}
+			_ = BuildKey(a, p)
+		}
+		// Every single-byte mutation.
+		for i := range valid {
+			for _, b := range []byte{0x00, 0x01, byte(SepByte), byte(LevelByte), 0x7F, 0xFF, valid[i] ^ 0x01} {
+				k := append([]byte(nil), valid...)
+				k[i] = b
+				decode(k)
+			}
+		}
+		// Every truncation and an extension.
+		for n := 0; n <= len(valid); n++ {
+			decode(valid[:n])
+		}
+		decode(append(append([]byte(nil), valid...), 0xFF, 0x00, byte(SepByte)))
+	}
+}

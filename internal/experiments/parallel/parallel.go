@@ -29,6 +29,12 @@ type Config struct {
 	// negative = disabled). Purely a CPU knob: logical page counts are
 	// identical either way.
 	NodeCacheSize int
+	// Dir, when non-empty, backs the index trees with checksummed disk
+	// files in that directory; Durability selects the commit discipline
+	// (DurabilitySync shows the per-mutation fsync cost in the mixed
+	// benchmark's writer throughput).
+	Dir        string
+	Durability uindex.Durability
 }
 
 // Result reports aggregate throughput of one QueryParallel batch
@@ -76,6 +82,7 @@ func buildParallelDB(cfg Config) (*uindex.Database, error) {
 	}
 	db, err := uindex.NewDatabaseWith(s, uindex.Options{
 		PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy, NodeCacheSize: cfg.NodeCacheSize,
+		Dir: cfg.Dir, Durability: cfg.Durability,
 	})
 	if err != nil {
 		return nil, err

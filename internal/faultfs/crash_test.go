@@ -1,0 +1,251 @@
+package faultfs
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"testing"
+
+	"repro/internal/btree"
+	"repro/internal/bufferpool"
+	"repro/internal/pager"
+)
+
+// The crash-matrix workload: a copy-on-write B+-tree behind a buffer pool
+// behind a DiskFile on a faultfs.Media, inserting crashKeys keys and
+// checkpointing every crashCkptEvery inserts. Small MaxEntries forces
+// splits (page churn, retired pages, free-list growth) without needing
+// thousands of keys.
+const (
+	crashPageSize  = 256
+	crashPoolPages = 8
+	crashMaxEnt    = 4
+	crashKeys      = 36
+	crashCkptEvery = 12
+)
+
+func crashKey(i int) []byte { return []byte(fmt.Sprintf("k%05d", i)) }
+func crashVal(i int) []byte { return []byte(fmt.Sprintf("v%d", i)) }
+
+// checkpointState records one durability point the workload reached: how
+// many keys were in the tree and how many media ops had completed when its
+// publishing sync returned.
+type checkpointState struct {
+	count int
+	endOp int
+}
+
+// runCrashWorkload drives the workload against m until it finishes or an
+// injected crash stops it. It returns every checkpoint that completed; err
+// is non-nil when a crash interrupted the run.
+func runCrashWorkload(m *Media) ([]checkpointState, error) {
+	df, err := pager.CreateDiskFileOn(m, crashPageSize)
+	if err != nil {
+		return nil, err
+	}
+	ckpts := []checkpointState{{count: 0, endOp: m.Ops()}}
+	pool, err := bufferpool.New(df, bufferpool.Config{Pages: crashPoolPages})
+	if err != nil {
+		return ckpts, err
+	}
+	tr, err := btree.Create(pool, btree.Config{MaxEntries: crashMaxEnt})
+	if err != nil {
+		return ckpts, err
+	}
+	for i := 0; i < crashKeys; i++ {
+		if err := tr.Insert(crashKey(i), crashVal(i)); err != nil {
+			return ckpts, err
+		}
+		if (i+1)%crashCkptEvery != 0 {
+			continue
+		}
+		// The checkpoint protocol of the uindex facade: persist the tree
+		// metadata (copy-on-write), stage the new meta id as the header
+		// payload, then flush the pool — which syncs the DiskFile,
+		// atomically publishing pages, free list and payload together.
+		if err := tr.Flush(); err != nil {
+			return ckpts, err
+		}
+		var pl [4]byte
+		binary.BigEndian.PutUint32(pl[:], uint32(tr.MetaPage()))
+		if err := df.SetPayload(pl[:]); err != nil {
+			return ckpts, err
+		}
+		if err := pool.FlushAll(); err != nil {
+			return ckpts, err
+		}
+		ckpts = append(ckpts, checkpointState{count: i + 1, endOp: m.Ops()})
+	}
+	if err := pool.Close(); err != nil { // flush + closing checkpoint
+		return ckpts, err
+	}
+	ckpts = append(ckpts, checkpointState{count: crashKeys, endOp: m.Ops()})
+	return ckpts, nil
+}
+
+// verifyRecovered reopens the crashed media and checks the recovered
+// database: it must be exactly one of the two checkpoints adjacent to the
+// crash point, structurally valid, with every read checksum-clean. ckpts
+// is the full checkpoint schedule of the clean run — the crashed run
+// follows the identical deterministic schedule up to its crash, and the
+// checkpoint that was in flight when the crash hit may or may not have
+// become durable.
+func verifyRecovered(t *testing.T, m *Media, ckpts []checkpointState, crashOp int, desc string) {
+	t.Helper()
+	// Checkpoint j certainly completed iff its publishing sync finished
+	// before the crash (endOp <= crashOp: ops 0..crashOp-1 completed, op
+	// crashOp itself crashed). The next one may additionally have become
+	// durable if the crash hit between its header write and its final
+	// fsync under the keep-unsynced power model.
+	lastDone := -1
+	for i, c := range ckpts {
+		if c.endOp <= crashOp {
+			lastDone = i
+		}
+	}
+	df, err := pager.OpenDiskFileOn(m)
+	if err != nil {
+		// Only a crash during file creation — before any checkpoint at
+		// all was published — may leave the file unopenable, and then
+		// only with a typed corruption error.
+		if lastDone < 0 && errors.Is(err, pager.ErrCorruptFile) {
+			return
+		}
+		t.Fatalf("%s: recovery failed: %v", desc, err)
+	}
+	defer df.Close()
+
+	allowed := map[int]bool{}
+	if lastDone < 0 {
+		allowed[0] = true // mid-creation; only the empty state is acceptable
+		lastDone = -1
+	} else {
+		allowed[ckpts[lastDone].count] = true
+	}
+	if lastDone+1 < len(ckpts) {
+		allowed[ckpts[lastDone+1].count] = true
+	}
+
+	payload := df.Payload()
+	count := 0
+	if len(payload) == 4 {
+		meta := pager.PageID(binary.BigEndian.Uint32(payload))
+		pool, err := bufferpool.New(df, bufferpool.Config{Pages: crashPoolPages})
+		if err != nil {
+			t.Fatalf("%s: pool: %v", desc, err)
+		}
+		tr, err := btree.Open(pool, meta)
+		if err != nil {
+			t.Fatalf("%s: opening recovered tree at meta %d: %v", desc, meta, err)
+		}
+		if err := tr.Check(); err != nil {
+			t.Fatalf("%s: recovered tree fails invariant check: %v", desc, err)
+		}
+		count = tr.Len()
+		// Every key of the recovered prefix must read back intact — any
+		// checksum error or wrong value fails here.
+		seen := 0
+		err = tr.Scan(context.Background(), nil, nil, nil, func(k, v []byte) ([]byte, bool, error) {
+			if string(k) != string(crashKey(seen)) || string(v) != string(crashVal(seen)) {
+				return nil, true, fmt.Errorf("entry %d = %q/%q, want %q/%q", seen, k, v, crashKey(seen), crashVal(seen))
+			}
+			seen++
+			return nil, false, nil
+		})
+		if err != nil {
+			t.Fatalf("%s: scanning recovered tree: %v", desc, err)
+		}
+		if seen != count {
+			t.Fatalf("%s: scan saw %d entries, Len says %d", desc, seen, count)
+		}
+	} else if len(payload) != 0 {
+		t.Fatalf("%s: recovered payload has unexpected length %d", desc, len(payload))
+	}
+
+	if !allowed[count] {
+		t.Fatalf("%s: recovered %d keys, want one of %v (checkpoints %+v)", desc, count, allowed, ckpts)
+	}
+}
+
+// TestCrashMatrix simulates a crash at every media operation the workload
+// performs — under both power models (unsynced writes lost / kept) and
+// with short and torn variants of the crashing write, including tears in
+// the middle of a header slot — and asserts that recovery always lands on
+// exactly the pre- or post-checkpoint state with checksum-clean reads.
+func TestCrashMatrix(t *testing.T) {
+	// A clean run fixes the op schedule and the expected checkpoints.
+	clean := NewMedia()
+	ckpts, err := runCrashWorkload(clean)
+	if err != nil {
+		t.Fatalf("clean run failed: %v", err)
+	}
+	log := clean.Log()
+	total := clean.Ops()
+	if total != len(log) {
+		t.Fatalf("op log length %d != op count %d", len(log), total)
+	}
+	clean.Crash(false)
+	verifyRecovered(t, clean, ckpts, total, "clean run")
+	if got := ckpts[len(ckpts)-1].count; got != crashKeys {
+		t.Fatalf("clean run checkpointed %d keys, want %d", got, crashKeys)
+	}
+
+	stride := 1
+	if testing.Short() {
+		stride = 7
+	}
+	for k := 0; k < total; k += stride {
+		// Short/torn variants for the crashing write: drop it entirely,
+		// tear it mid-structure (13 bytes reaches the middle of a 64-byte
+		// header slot), or tear it at sector granularity.
+		partials := []int{0}
+		if log[k].Kind == "write" {
+			if log[k].Len > 13 {
+				partials = append(partials, 13)
+			}
+			if log[k].Len > SectorSize {
+				partials = append(partials, SectorSize)
+			}
+		}
+		for _, partial := range partials {
+			for _, keep := range []bool{false, true} {
+				desc := fmt.Sprintf("crash at op %d/%d (%s len %d, partial %d, keep=%v)",
+					k, total, log[k].Kind, log[k].Len, partial, keep)
+				m := NewMedia()
+				m.SetCrash(k, partial)
+				if _, err := runCrashWorkload(m); err == nil {
+					t.Fatalf("%s: workload completed despite scripted crash", desc)
+				}
+				m.Crash(keep)
+				// The crashed run followed the clean run's deterministic
+				// schedule up to op k, so the clean checkpoint list tells us
+				// which states may be durable — including a checkpoint that
+				// was still in flight when the crash hit.
+				verifyRecovered(t, m, ckpts, k, desc)
+			}
+		}
+	}
+}
+
+// TestCrashMatrixDeterministic guards the matrix itself: two clean runs
+// must produce identical op schedules, otherwise crash points would not be
+// reproducible.
+func TestCrashMatrixDeterministic(t *testing.T) {
+	a, b := NewMedia(), NewMedia()
+	if _, err := runCrashWorkload(a); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runCrashWorkload(b); err != nil {
+		t.Fatal(err)
+	}
+	la, lb := a.Log(), b.Log()
+	if len(la) != len(lb) {
+		t.Fatalf("op counts differ: %d vs %d", len(la), len(lb))
+	}
+	for i := range la {
+		if la[i] != lb[i] {
+			t.Fatalf("op %d differs: %+v vs %+v", i, la[i], lb[i])
+		}
+	}
+}

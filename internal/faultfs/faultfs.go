@@ -1,0 +1,172 @@
+// Package faultfs provides fault-injection test doubles for the storage
+// stack.
+//
+// File wraps any pager.File with scriptable per-operation failures (fail
+// the Nth Read/Write/Alloc/Free/Sync), for exercising the error paths of
+// layers above the pager — buffer-pool eviction and flush, tree commit.
+//
+// Media is an in-memory pager.BlockFile with a volatile/durable split: a
+// write lands in the volatile image and becomes durable only at Sync. A
+// scripted crash can fail any numbered operation — optionally applying
+// only a prefix of the crashing write (a short or torn write, at sector
+// or byte granularity) — after which the device refuses all I/O until
+// Crash power-cycles it. This is what the crash-matrix recovery tests run
+// DiskFile's shadow-paging checkpoint protocol against.
+package faultfs
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+
+	"repro/internal/pager"
+)
+
+// ErrInjected is the default error returned by scripted failures.
+var ErrInjected = errors.New("faultfs: injected failure")
+
+// Op names a pager.File operation for failure scripting.
+type Op int
+
+const (
+	OpRead Op = iota
+	OpWrite
+	OpAlloc
+	OpFree
+	OpSync
+	opCount
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "read"
+	case OpWrite:
+		return "write"
+	case OpAlloc:
+		return "alloc"
+	case OpFree:
+		return "free"
+	case OpSync:
+		return "sync"
+	}
+	return fmt.Sprintf("op(%d)", int(o))
+}
+
+// File wraps a pager.File with scriptable failures. The zero value is not
+// usable; use Wrap. Safe for concurrent use.
+type File struct {
+	mu      sync.Mutex
+	inner   pager.File
+	calls   [opCount]int
+	failAt  [opCount]int // 1-based call number that fails; 0 = never
+	failErr [opCount]error
+}
+
+// Wrap returns a File forwarding to inner with no failures scripted.
+func Wrap(inner pager.File) *File {
+	return &File{inner: inner}
+}
+
+// FailNth arranges for the nth (1-based, counted from now) call of op to
+// return err instead of executing. A nil err selects ErrInjected. Only one
+// failure per op kind is armed at a time; the failure disarms after firing.
+func (f *File) FailNth(op Op, n int, err error) {
+	if err == nil {
+		err = ErrInjected
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.failAt[op] = f.calls[op] + n
+	f.failErr[op] = err
+}
+
+// Reset disarms all scripted failures and restarts the op counters.
+func (f *File) Reset() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls = [opCount]int{}
+	f.failAt = [opCount]int{}
+	f.failErr = [opCount]error{}
+}
+
+// Calls reports how many times op has been invoked since creation or the
+// last Reset (including the failed ones).
+func (f *File) Calls(op Op) int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.calls[op]
+}
+
+// step counts one invocation of op and returns the scripted error if this
+// is the armed call.
+func (f *File) step(op Op) error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.calls[op]++
+	if f.failAt[op] != 0 && f.calls[op] == f.failAt[op] {
+		err := f.failErr[op]
+		f.failAt[op] = 0
+		f.failErr[op] = nil
+		return err
+	}
+	return nil
+}
+
+// PageSize implements pager.File.
+func (f *File) PageSize() int { return f.inner.PageSize() }
+
+// Alloc implements pager.File.
+func (f *File) Alloc() (pager.PageID, error) {
+	if err := f.step(OpAlloc); err != nil {
+		return pager.NilPage, err
+	}
+	return f.inner.Alloc()
+}
+
+// Read implements pager.File.
+func (f *File) Read(id pager.PageID, buf []byte) error {
+	if err := f.step(OpRead); err != nil {
+		return err
+	}
+	return f.inner.Read(id, buf)
+}
+
+// Write implements pager.File.
+func (f *File) Write(id pager.PageID, buf []byte) error {
+	if err := f.step(OpWrite); err != nil {
+		return err
+	}
+	return f.inner.Write(id, buf)
+}
+
+// Free implements pager.File.
+func (f *File) Free(id pager.PageID) error {
+	if err := f.step(OpFree); err != nil {
+		return err
+	}
+	return f.inner.Free(id)
+}
+
+// NumPages implements pager.File.
+func (f *File) NumPages() int { return f.inner.NumPages() }
+
+// Stats implements pager.File.
+func (f *File) Stats() pager.Stats { return f.inner.Stats() }
+
+// Sync participates in the buffer pool's durability protocol: the pool
+// flushes its dirty frames and then syncs the inner file through this
+// method, so sync failures are injectable too. Inner files without a Sync
+// (MemFile) treat it as a no-op after the injection check.
+func (f *File) Sync() error {
+	if err := f.step(OpSync); err != nil {
+		return err
+	}
+	if s, ok := f.inner.(interface{ Sync() error }); ok {
+		return s.Sync()
+	}
+	return nil
+}
+
+// Close implements pager.File. Close is never failure-scripted.
+func (f *File) Close() error { return f.inner.Close() }

@@ -1,0 +1,181 @@
+package faultfs
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+func TestFileFailNth(t *testing.T) {
+	f := Wrap(pager.NewMemFile(128))
+	defer f.Close()
+	id, err := f.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 128)
+	f.FailNth(OpWrite, 2, nil)
+	if err := f.Write(id, buf); err != nil {
+		t.Fatalf("first write: %v", err)
+	}
+	if err := f.Write(id, buf); !errors.Is(err, ErrInjected) {
+		t.Fatalf("second write = %v, want ErrInjected", err)
+	}
+	// The failure disarms after firing.
+	if err := f.Write(id, buf); err != nil {
+		t.Fatalf("third write: %v", err)
+	}
+	if got := f.Calls(OpWrite); got != 3 {
+		t.Fatalf("Calls(OpWrite) = %d, want 3", got)
+	}
+	custom := errors.New("disk full")
+	f.FailNth(OpSync, 1, custom)
+	if err := f.Sync(); !errors.Is(err, custom) {
+		t.Fatalf("Sync = %v, want scripted error", err)
+	}
+	f.Reset()
+	if got := f.Calls(OpWrite); got != 0 {
+		t.Fatalf("Calls after Reset = %d, want 0", got)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatalf("Sync after Reset: %v", err)
+	}
+}
+
+func TestMediaVolatileDurableSplit(t *testing.T) {
+	m := NewMedia()
+	if _, err := m.WriteAt([]byte("hello"), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.WriteAt([]byte("HELLO"), 0); err != nil {
+		t.Fatal(err)
+	}
+	// Unsynced writes are visible to reads...
+	got := make([]byte, 5)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "HELLO" {
+		t.Fatalf("read %q, want HELLO", got)
+	}
+	// ...but lost at a power cut.
+	m.Crash(false)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "hello" {
+		t.Fatalf("after power cut read %q, want the synced hello", got)
+	}
+}
+
+func TestMediaTornWrite(t *testing.T) {
+	m := NewMedia()
+	if _, err := m.WriteAt(bytes.Repeat([]byte{0xAA}, 8), 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	// Crash during op 2 (the next write), applying only 3 of 8 bytes.
+	m.SetCrash(2, 3)
+	n, err := m.WriteAt(bytes.Repeat([]byte{0xBB}, 8), 0)
+	if !errors.Is(err, ErrInjected) || n != 3 {
+		t.Fatalf("torn write = (%d, %v), want (3, ErrInjected)", n, err)
+	}
+	if !m.Down() {
+		t.Fatal("device still up after crash")
+	}
+	if _, err := m.WriteAt([]byte{1}, 0); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("write while down = %v, want ErrPowerCut", err)
+	}
+	if err := m.Sync(); !errors.Is(err, ErrPowerCut) {
+		t.Fatalf("sync while down = %v, want ErrPowerCut", err)
+	}
+	// Keep-unsynced power cycle: the torn prefix survives.
+	m.Crash(true)
+	got := make([]byte, 8)
+	if _, err := m.ReadAt(got, 0); err != nil {
+		t.Fatal(err)
+	}
+	want := []byte{0xBB, 0xBB, 0xBB, 0xAA, 0xAA, 0xAA, 0xAA, 0xAA}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("after keep-unsynced cycle read %x, want %x", got, want)
+	}
+}
+
+func TestMediaCrashOnSync(t *testing.T) {
+	m := NewMedia()
+	if _, err := m.WriteAt([]byte("abc"), 0); err != nil {
+		t.Fatal(err)
+	}
+	m.SetCrash(1, 0) // the sync
+	if err := m.Sync(); !errors.Is(err, ErrInjected) {
+		t.Fatalf("crashing sync = %v, want ErrInjected", err)
+	}
+	m.Crash(false)
+	// The sync never completed: nothing is durable.
+	if n, _ := m.Size(); n != 0 {
+		t.Fatalf("durable size after failed sync = %d, want 0", n)
+	}
+}
+
+func TestMediaReadSemantics(t *testing.T) {
+	m := NewMedia()
+	if _, err := m.WriteAt([]byte{1, 2, 3}, 0); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 5)
+	n, err := m.ReadAt(buf, 0)
+	if n != 3 || err != io.EOF {
+		t.Fatalf("short ReadAt = (%d, %v), want (3, io.EOF)", n, err)
+	}
+	if _, err := m.ReadAt(buf, 10); err != io.EOF {
+		t.Fatalf("ReadAt past EOF = %v, want io.EOF", err)
+	}
+	if ops := m.Ops(); ops != 1 {
+		t.Fatalf("Ops = %d, want 1 (reads don't count)", ops)
+	}
+	log := m.Log()
+	if len(log) != 1 || log[0].Kind != "write" || log[0].Len != 3 {
+		t.Fatalf("Log = %+v", log)
+	}
+}
+
+// TestMediaUnderDiskFile smoke-tests the integration: a DiskFile created on
+// a Media checkpoints and recovers like one on a real file.
+func TestMediaUnderDiskFile(t *testing.T) {
+	m := NewMedia()
+	d, err := pager.CreateDiskFileOn(m, 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id, err := d.Alloc()
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte{9}, 128)
+	if err := d.Write(id, payload); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Checkpoint([]byte("ok")); err != nil {
+		t.Fatal(err)
+	}
+	m.Crash(false)
+	re, err := pager.OpenDiskFileOn(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(re.Payload()) != "ok" {
+		t.Fatalf("payload = %q", re.Payload())
+	}
+	buf := make([]byte, 128)
+	if err := re.Read(id, buf); err != nil || !bytes.Equal(buf, payload) {
+		t.Fatalf("page after recovery: %v", err)
+	}
+}

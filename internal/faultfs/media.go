@@ -1,0 +1,187 @@
+package faultfs
+
+import (
+	"errors"
+	"io"
+	"sync"
+)
+
+// ErrPowerCut is returned by every Media operation after a scripted crash
+// has fired, until Crash power-cycles the device.
+var ErrPowerCut = errors.New("faultfs: device powered off")
+
+// SectorSize is the granularity real disks tear writes at; crash-matrix
+// tests use multiples of it for torn-write prefixes.
+const SectorSize = 512
+
+// MediaOp records one mutating operation against a Media, for building
+// crash matrices ("crash at every op the workload performed").
+type MediaOp struct {
+	Kind string // "write" or "sync"
+	Off  int64  // write offset ("write" only)
+	Len  int    // write length ("write" only)
+}
+
+// Media is an in-memory block device (a pager.BlockFile) with a
+// volatile/durable split and scriptable crashes. Writes land in the
+// volatile image; Sync copies volatile to durable. A crash scripted with
+// SetCrash fails the numbered operation — applying an optional prefix of a
+// crashing write, which models short and torn writes — and powers the
+// device off. Crash then power-cycles it:
+//
+//   - Crash(false) models a true power cut with a write cache: everything
+//     not fsynced is lost (volatile reverts to durable).
+//   - Crash(true) models a controller that persisted every write it
+//     acknowledged (the applied prefix of the crashing write included).
+//
+// Recovery code must cope with both extremes — and everything between
+// follows from them, because each write is either kept or lost.
+type Media struct {
+	mu       sync.Mutex
+	volatile []byte
+	durable  []byte
+	ops      int // mutating ops performed (writes + syncs)
+	crashOp  int // 0-based op index that fails; -1 = never
+	crashLen int // bytes of a crashing write that still land
+	down     bool
+	log      []MediaOp
+}
+
+// NewMedia returns an empty powered-on device with no crash scripted.
+func NewMedia() *Media {
+	return &Media{crashOp: -1}
+}
+
+// SetCrash arranges for mutating operation number op (0-based, counting
+// writes and syncs from device creation) to fail and power the device
+// off. If the operation is a write, its first partial bytes still reach
+// the volatile image — 0 drops the write entirely, a multiple of
+// SectorSize models a torn multi-sector write, and other values model
+// arbitrary short writes. partial is ignored for syncs.
+func (m *Media) SetCrash(op, partial int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.crashOp = op
+	m.crashLen = partial
+}
+
+// Ops reports how many mutating operations (writes and syncs) have been
+// performed, including a crashing one.
+func (m *Media) Ops() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops
+}
+
+// Log returns the recorded mutating operations in order.
+func (m *Media) Log() []MediaOp {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]MediaOp(nil), m.log...)
+}
+
+// Down reports whether a scripted crash has fired.
+func (m *Media) Down() bool {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.down
+}
+
+// Crash power-cycles the device after a scripted crash (or at any moment):
+// with keepUnsynced false the volatile image reverts to the last synced
+// state; with true every applied write is promoted to durable first. The
+// crash script is cleared; the op counter keeps running.
+func (m *Media) Crash(keepUnsynced bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if keepUnsynced {
+		m.durable = append(m.durable[:0:0], m.volatile...)
+	} else {
+		m.volatile = append(m.volatile[:0:0], m.durable...)
+	}
+	m.down = false
+	m.crashOp = -1
+	m.crashLen = 0
+}
+
+// ReadAt implements io.ReaderAt over the volatile image.
+func (m *Media) ReadAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return 0, ErrPowerCut
+	}
+	if off < 0 || off >= int64(len(m.volatile)) {
+		return 0, io.EOF
+	}
+	n := copy(p, m.volatile[off:])
+	if n < len(p) {
+		return n, io.EOF
+	}
+	return n, nil
+}
+
+// WriteAt implements io.WriterAt into the volatile image, growing it (and
+// zero-filling any gap) as needed.
+func (m *Media) WriteAt(p []byte, off int64) (int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return 0, ErrPowerCut
+	}
+	idx := m.ops
+	m.ops++
+	m.log = append(m.log, MediaOp{Kind: "write", Off: off, Len: len(p)})
+	n := len(p)
+	if idx == m.crashOp {
+		m.down = true
+		if m.crashLen < n {
+			n = m.crashLen
+		}
+		m.applyLocked(p[:n], off)
+		return n, ErrInjected
+	}
+	m.applyLocked(p, off)
+	return n, nil
+}
+
+func (m *Media) applyLocked(p []byte, off int64) {
+	end := off + int64(len(p))
+	if end > int64(len(m.volatile)) {
+		grown := make([]byte, end)
+		copy(grown, m.volatile)
+		m.volatile = grown
+	}
+	copy(m.volatile[off:], p)
+}
+
+// Sync makes the volatile image durable.
+func (m *Media) Sync() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return ErrPowerCut
+	}
+	idx := m.ops
+	m.ops++
+	m.log = append(m.log, MediaOp{Kind: "sync"})
+	if idx == m.crashOp {
+		m.down = true
+		return ErrInjected
+	}
+	m.durable = append(m.durable[:0:0], m.volatile...)
+	return nil
+}
+
+// Size reports the length of the volatile image.
+func (m *Media) Size() (int64, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.down {
+		return 0, ErrPowerCut
+	}
+	return int64(len(m.volatile)), nil
+}
+
+// Close implements pager.BlockFile; the images stay inspectable.
+func (m *Media) Close() error { return nil }

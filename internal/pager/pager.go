@@ -7,23 +7,22 @@
 //
 // Two File implementations are provided: MemFile (a page store backed by an
 // in-memory slice, used by tests and the benchmark harness) and DiskFile (a
-// page store backed by an *os.File with an on-disk free list, used by the
-// CLI tools and examples that persist indexes).
+// crash-safe page store backed by a BlockFile — normally an *os.File — with
+// per-page CRC32C checksums and an atomic, shadow-paged checkpoint protocol;
+// see diskfile.go).
 //
 // Durability: DiskFile.Write hands pages to the operating system but does
-// not force them to stable storage. DiskFile.Sync fsyncs the underlying
-// file, and Close performs a final Sync before closing, so a DiskFile that
-// was closed without error holds every written page durably. Layers that
-// cache pages in front of a DiskFile (internal/bufferpool) build their
-// durability point out of this: flush the dirty pages, then Sync.
+// not force them to stable storage. DiskFile.Sync checkpoints the file:
+// it fsyncs all written pages, then atomically publishes a new header
+// generation, so a crash at any instant recovers to exactly the last
+// checkpoint. Layers that cache pages in front of a DiskFile
+// (internal/bufferpool) build their durability point out of this: flush the
+// dirty pages, then Sync.
 package pager
 
 import (
-	"encoding/binary"
 	"errors"
 	"fmt"
-	"io"
-	"os"
 	"sync"
 )
 
@@ -207,209 +206,3 @@ func (f *MemFile) Close() error {
 	return nil
 }
 
-// DiskFile is a File backed by an operating-system file. Page 0 of the file
-// holds a small header: a magic number, the page size, the number of pages,
-// and the head of the free list. Freed pages are chained through their first
-// four bytes.
-type DiskFile struct {
-	mu       sync.Mutex
-	f        *os.File
-	pageSize int
-	numPages int // total pages including header page 0
-	freeHead PageID
-	numFree  int
-	stats    Stats
-}
-
-const diskMagic = 0x55494458 // "UIDX"
-
-// CreateDiskFile creates (or truncates) a page file at path.
-func CreateDiskFile(path string, pageSize int) (*DiskFile, error) {
-	if pageSize <= 0 {
-		pageSize = DefaultPageSize
-	}
-	if pageSize < 32 {
-		return nil, fmt.Errorf("pager: page size %d too small", pageSize)
-	}
-	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
-	if err != nil {
-		return nil, err
-	}
-	d := &DiskFile{f: f, pageSize: pageSize, numPages: 1, freeHead: NilPage}
-	if err := d.writeHeader(); err != nil {
-		f.Close()
-		return nil, err
-	}
-	return d, nil
-}
-
-// OpenDiskFile opens an existing page file created by CreateDiskFile.
-func OpenDiskFile(path string) (*DiskFile, error) {
-	f, err := os.OpenFile(path, os.O_RDWR, 0)
-	if err != nil {
-		return nil, err
-	}
-	var hdr [20]byte
-	if _, err := f.ReadAt(hdr[:], 0); err != nil {
-		f.Close()
-		return nil, fmt.Errorf("pager: reading header: %w", err)
-	}
-	if binary.BigEndian.Uint32(hdr[0:]) != diskMagic {
-		f.Close()
-		return nil, fmt.Errorf("pager: %s is not a page file", path)
-	}
-	d := &DiskFile{
-		f:        f,
-		pageSize: int(binary.BigEndian.Uint32(hdr[4:])),
-		numPages: int(binary.BigEndian.Uint32(hdr[8:])),
-		freeHead: PageID(binary.BigEndian.Uint32(hdr[12:])),
-		numFree:  int(binary.BigEndian.Uint32(hdr[16:])),
-	}
-	return d, nil
-}
-
-func (d *DiskFile) writeHeader() error {
-	var hdr [20]byte
-	binary.BigEndian.PutUint32(hdr[0:], diskMagic)
-	binary.BigEndian.PutUint32(hdr[4:], uint32(d.pageSize))
-	binary.BigEndian.PutUint32(hdr[8:], uint32(d.numPages))
-	binary.BigEndian.PutUint32(hdr[12:], uint32(d.freeHead))
-	binary.BigEndian.PutUint32(hdr[16:], uint32(d.numFree))
-	if _, err := d.f.WriteAt(hdr[:], 0); err != nil {
-		return fmt.Errorf("pager: writing header: %w", err)
-	}
-	return nil
-}
-
-// PageSize implements File.
-func (d *DiskFile) PageSize() int { return d.pageSize }
-
-func (d *DiskFile) offset(id PageID) int64 {
-	return int64(id) * int64(d.pageSize)
-}
-
-// Alloc implements File.
-func (d *DiskFile) Alloc() (PageID, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	d.stats.Allocs++
-	zero := make([]byte, d.pageSize)
-	if d.freeHead != NilPage {
-		id := d.freeHead
-		var next [4]byte
-		if _, err := d.f.ReadAt(next[:], d.offset(id)); err != nil {
-			return NilPage, fmt.Errorf("pager: reading free link: %w", err)
-		}
-		d.freeHead = PageID(binary.BigEndian.Uint32(next[:]))
-		d.numFree--
-		if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
-			return NilPage, err
-		}
-		return id, d.writeHeader()
-	}
-	id := PageID(d.numPages)
-	if _, err := d.f.WriteAt(zero, d.offset(id)); err != nil {
-		return NilPage, err
-	}
-	d.numPages++
-	return id, d.writeHeader()
-}
-
-func (d *DiskFile) checkID(id PageID) error {
-	if id == NilPage || int(id) >= d.numPages {
-		return fmt.Errorf("%w: %d", ErrPageBounds, id)
-	}
-	return nil
-}
-
-// Read implements File.
-func (d *DiskFile) Read(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(buf) != d.pageSize {
-		return ErrPageSize
-	}
-	if err := d.checkID(id); err != nil {
-		return err
-	}
-	d.stats.Reads++
-	if _, err := d.f.ReadAt(buf, d.offset(id)); err != nil && err != io.EOF {
-		return err
-	}
-	return nil
-}
-
-// Write implements File.
-func (d *DiskFile) Write(id PageID, buf []byte) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if len(buf) != d.pageSize {
-		return ErrPageSize
-	}
-	if err := d.checkID(id); err != nil {
-		return err
-	}
-	d.stats.Writes++
-	_, err := d.f.WriteAt(buf, d.offset(id))
-	return err
-}
-
-// Free implements File.
-func (d *DiskFile) Free(id PageID) error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.checkID(id); err != nil {
-		return err
-	}
-	d.stats.Frees++
-	var link [4]byte
-	binary.BigEndian.PutUint32(link[:], uint32(d.freeHead))
-	if _, err := d.f.WriteAt(link[:], d.offset(id)); err != nil {
-		return err
-	}
-	d.freeHead = id
-	d.numFree++
-	return d.writeHeader()
-}
-
-// NumPages implements File.
-func (d *DiskFile) NumPages() int {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.numPages - 1 - d.numFree
-}
-
-// Stats implements File.
-func (d *DiskFile) Stats() Stats {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.stats
-}
-
-// Sync writes the header and forces all written pages to stable storage
-// (fsync). After Sync returns nil, every page written so far survives a
-// crash of the process or the machine.
-func (d *DiskFile) Sync() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	return d.syncLocked()
-}
-
-func (d *DiskFile) syncLocked() error {
-	if err := d.writeHeader(); err != nil {
-		return err
-	}
-	return d.f.Sync()
-}
-
-// Close implements File. It syncs before closing, so a nil return means the
-// file's pages are durable on disk.
-func (d *DiskFile) Close() error {
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	if err := d.syncLocked(); err != nil {
-		d.f.Close()
-		return err
-	}
-	return d.f.Close()
-}

@@ -2,6 +2,7 @@ package pager
 
 import (
 	"bytes"
+	"errors"
 	"math/rand"
 	"os"
 	"path/filepath"
@@ -66,6 +67,13 @@ func TestAllocZeroesRecycledPages(t *testing.T) {
 		if err := f.Free(id); err != nil {
 			t.Fatalf("Free: %v", err)
 		}
+		// A DiskFile quarantines freed pages until the next checkpoint;
+		// promote them so Alloc recycles.
+		if d, ok := f.(*DiskFile); ok {
+			if err := d.Sync(); err != nil {
+				t.Fatalf("Sync: %v", err)
+			}
+		}
 		id2, err := f.Alloc()
 		if err != nil {
 			t.Fatalf("Alloc: %v", err)
@@ -111,24 +119,22 @@ func TestBoundsChecks(t *testing.T) {
 }
 
 func TestDoubleFree(t *testing.T) {
-	// MemFile detects double frees eagerly; DiskFile chains freed pages
-	// and cannot detect them without a bitmap, so only test MemFile.
-	f := NewMemFile(128)
-	defer f.Close()
-	id, err := f.Alloc()
-	if err != nil {
-		t.Fatalf("Alloc: %v", err)
-	}
-	if err := f.Free(id); err != nil {
-		t.Fatalf("Free: %v", err)
-	}
-	if err := f.Free(id); err == nil {
-		t.Error("double Free succeeded, want error")
-	}
-	buf := make([]byte, f.PageSize())
-	if err := f.Read(id, buf); err == nil {
-		t.Error("Read of freed page succeeded, want error")
-	}
+	fileUnderTest(t, func(t *testing.T, f File) {
+		id, err := f.Alloc()
+		if err != nil {
+			t.Fatalf("Alloc: %v", err)
+		}
+		if err := f.Free(id); err != nil {
+			t.Fatalf("Free: %v", err)
+		}
+		if err := f.Free(id); err == nil {
+			t.Error("double Free succeeded, want error")
+		}
+		buf := make([]byte, f.PageSize())
+		if err := f.Read(id, buf); err == nil {
+			t.Error("Read of freed page succeeded, want error")
+		}
+	})
 }
 
 func TestNumPages(t *testing.T) {
@@ -235,18 +241,14 @@ func TestOpenDiskFileRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	f.Close()
-	// Corrupt the magic.
 	g, err := OpenDiskFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
 	g.Close()
-	raw, err := CreateDiskFile(path+"2", 128)
-	if err != nil {
-		t.Fatal(err)
-	}
-	raw.Close()
-	h, err := os.OpenFile(path+"2", os.O_WRONLY, 0)
+	// Corrupting ONE header slot falls back to the other generation;
+	// corrupting both makes the file unopenable with ErrCorruptFile.
+	h, err := os.OpenFile(path, os.O_WRONLY, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -254,78 +256,97 @@ func TestOpenDiskFileRejectsGarbage(t *testing.T) {
 		t.Fatal(err)
 	}
 	h.Close()
-	if _, err := OpenDiskFile(path + "2"); err == nil {
-		t.Error("OpenDiskFile on corrupted header succeeded, want error")
+	g, err = OpenDiskFile(path)
+	if err != nil {
+		t.Fatalf("OpenDiskFile with one corrupt header slot: %v", err)
+	}
+	g.Close() // republishes a valid newest header
+	h, err = os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, off := range []int64{0, headerSlotSize} {
+		if _, err := h.WriteAt([]byte{0, 0, 0, 0}, off); err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.Close()
+	if _, err := OpenDiskFile(path); !errors.Is(err, ErrCorruptFile) {
+		t.Errorf("OpenDiskFile with both headers corrupt = %v, want ErrCorruptFile", err)
 	}
 }
 
 // TestQuickMemDiskEquivalence drives random operation sequences against both
-// implementations and checks they stay in lock step.
+// implementations and checks they stay logically in lock step. Page ids may
+// diverge (MemFile recycles freed pages immediately and LIFO; DiskFile
+// quarantines them until the next checkpoint and then recycles FIFO), so
+// each file tracks its own id for the nth live page.
 func TestQuickMemDiskEquivalence(t *testing.T) {
 	check := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
-		mem := NewMemFile(64)
+		mem := NewMemFile(128)
 		defer mem.Close()
-		disk, err := CreateDiskFile(filepath.Join(t.TempDir(), "q.db"), 64)
+		disk, err := CreateDiskFile(filepath.Join(t.TempDir(), "q.db"), 128)
 		if err != nil {
 			t.Fatalf("CreateDiskFile: %v", err)
 		}
 		defer disk.Close()
-		var live []PageID
+		var memLive, diskLive []PageID
 		for op := 0; op < 200; op++ {
-			switch r := rng.Intn(10); {
-			case r < 4 || len(live) == 0: // alloc
+			switch r := rng.Intn(12); {
+			case r < 4 || len(memLive) == 0: // alloc
 				a, err1 := mem.Alloc()
 				b, err2 := disk.Alloc()
-				if (err1 == nil) != (err2 == nil) {
-					t.Errorf("alloc divergence: %v vs %v", err1, err2)
+				if err1 != nil || err2 != nil {
+					t.Errorf("alloc: mem %v, disk %v", err1, err2)
 					return false
 				}
-				// IDs may differ because the free lists have
-				// different orders; track the mem ids and keep a
-				// shadow only when they agree. For simplicity we
-				// require equality: both implementations recycle
-				// LIFO, so they should agree.
-				if a != b {
-					t.Errorf("alloc id divergence: %d vs %d", a, b)
-					return false
-				}
-				live = append(live, a)
-			case r < 8: // write+read
-				id := live[rng.Intn(len(live))]
-				buf := make([]byte, 64)
+				memLive = append(memLive, a)
+				diskLive = append(diskLive, b)
+			case r < 8: // write+read the same logical page
+				i := rng.Intn(len(memLive))
+				buf := make([]byte, 128)
 				rng.Read(buf)
-				if err := mem.Write(id, buf); err != nil {
+				if err := mem.Write(memLive[i], buf); err != nil {
 					t.Errorf("mem write: %v", err)
 					return false
 				}
-				if err := disk.Write(id, buf); err != nil {
+				if err := disk.Write(diskLive[i], buf); err != nil {
 					t.Errorf("disk write: %v", err)
 					return false
 				}
-				m := make([]byte, 64)
-				d := make([]byte, 64)
-				mem.Read(id, m)
-				disk.Read(id, d)
+				m := make([]byte, 128)
+				d := make([]byte, 128)
+				mem.Read(memLive[i], m)
+				disk.Read(diskLive[i], d)
 				if !bytes.Equal(m, d) {
 					t.Error("content divergence")
 					return false
 				}
-			default: // free
-				i := rng.Intn(len(live))
-				id := live[i]
-				live = append(live[:i], live[i+1:]...)
-				if err := mem.Free(id); err != nil {
+			case r < 11: // free the same logical page
+				i := rng.Intn(len(memLive))
+				if err := mem.Free(memLive[i]); err != nil {
 					t.Errorf("mem free: %v", err)
 					return false
 				}
-				if err := disk.Free(id); err != nil {
+				if err := disk.Free(diskLive[i]); err != nil {
 					t.Errorf("disk free: %v", err)
+					return false
+				}
+				memLive = append(memLive[:i], memLive[i+1:]...)
+				diskLive = append(diskLive[:i], diskLive[i+1:]...)
+			default: // checkpoint the disk file mid-run
+				if err := disk.Sync(); err != nil {
+					t.Errorf("disk sync: %v", err)
 					return false
 				}
 			}
 		}
-		return mem.NumPages() == disk.NumPages()
+		if mem.NumPages() != disk.NumPages() {
+			t.Errorf("NumPages divergence: mem %d, disk %d", mem.NumPages(), disk.NumPages())
+			return false
+		}
+		return true
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 10}); err != nil {
 		t.Fatal(err)
@@ -373,8 +394,9 @@ func TestNilTracker(t *testing.T) {
 }
 
 // TestDiskFileReopenFreeChain exercises the on-disk free list across close/
-// reopen cycles: freed pages must be reclaimed LIFO, NumPages must track
-// live pages exactly, and the file must not grow while freed pages remain.
+// reopen cycles: freed pages must be reclaimed in chain order after the
+// closing checkpoint, NumPages must track live pages exactly, and the file
+// must not grow while freed pages remain.
 func TestDiskFileReopenFreeChain(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "chain.db")
 	f, err := CreateDiskFile(path, 128)
@@ -409,8 +431,9 @@ func TestDiskFileReopenFreeChain(t *testing.T) {
 	if n := g.NumPages(); n != 5 {
 		t.Fatalf("NumPages after reopen = %d, want 5", n)
 	}
-	// Allocation must reclaim the freed pages LIFO before growing the file.
-	for _, want := range []PageID{ids[6], ids[4], ids[1]} {
+	// Allocation must reclaim the freed pages (in the order they entered
+	// the checkpointed chain) before growing the file.
+	for _, want := range []PageID{ids[1], ids[4], ids[6]} {
 		id, err := g.Alloc()
 		if err != nil {
 			t.Fatal(err)

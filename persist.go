@@ -8,9 +8,11 @@ package uindex
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"hash/crc32"
 	"io"
 	"math"
 	"os"
@@ -21,13 +23,32 @@ import (
 
 // ErrInvalidSnapshot reports that the input handed to Load/LoadWith is not a
 // well-formed database snapshot: wrong magic, an unsupported format version,
-// or corrupt section data. Match it with errors.Is.
+// a checksum mismatch, or corrupt section data. Every Load failure caused by
+// the input matches it with errors.Is.
 var ErrInvalidSnapshot = errors.New("uindex: invalid database snapshot")
 
 const (
-	snapshotMagic   = 0x554F4442 // "UODB"
-	snapshotVersion = 1
+	snapshotMagic = 0x554F4442 // "UODB"
+	// Version 2 appends a CRC32C trailer over the whole snapshot, so any
+	// corruption — even in value bytes no parser validates — is detected.
+	snapshotVersion = 2
+
+	// snapshotPreallocCap bounds slice preallocation from untrusted counts:
+	// larger counts still load (slices grow), but a corrupt count cannot
+	// balloon memory before the data runs out.
+	snapshotPreallocCap = 1 << 16
 )
+
+var snapshotCRC = crc32.MakeTable(crc32.Castagnoli)
+
+// invalidSnapshot tags an input-caused Load error with ErrInvalidSnapshot,
+// keeping the original error in the chain for errors.Is/As.
+func invalidSnapshot(err error) error {
+	if err == nil || errors.Is(err, ErrInvalidSnapshot) {
+		return err
+	}
+	return fmt.Errorf("%w: %w", ErrInvalidSnapshot, err)
+}
 
 // value tags in the object section.
 const (
@@ -129,10 +150,12 @@ func (sr *snapshotReader) byte() byte {
 }
 
 // Save writes a snapshot of the database (schema, objects, index
-// declarations) to w. Index contents are not serialized; Load rebuilds
-// them, which is both simpler and usually faster than paging them in.
+// declarations) to w, followed by a CRC32C trailer over everything written.
+// Index contents are not serialized; Load rebuilds them, which is both
+// simpler and usually faster than paging them in.
 func (db *Database) Save(w io.Writer) error {
-	sw := &snapshotWriter{w: bufio.NewWriter(w)}
+	h := crc32.New(snapshotCRC)
+	sw := &snapshotWriter{w: bufio.NewWriter(io.MultiWriter(w, h))}
 	sw.u32(snapshotMagic)
 	sw.u32(snapshotVersion)
 
@@ -243,7 +266,14 @@ func (db *Database) Save(w io.Writer) error {
 	if sw.err != nil {
 		return sw.err
 	}
-	return sw.w.Flush()
+	if err := sw.w.Flush(); err != nil {
+		return err
+	}
+	// The trailer goes to w alone: it is the checksum of everything above.
+	var tr [4]byte
+	binary.BigEndian.PutUint32(tr[:], h.Sum32())
+	_, err := w.Write(tr[:])
+	return err
 }
 
 // Load reconstructs a database from a snapshot produced by Save.
@@ -252,18 +282,31 @@ func Load(r io.Reader) (*Database, error) {
 }
 
 // LoadWith is Load with explicit Options; the rebuilt indexes run through
-// buffer pools when opts.PoolPages is set.
+// buffer pools when opts.PoolPages is set. The whole snapshot is checksum-
+// verified before any of it is parsed; every failure caused by the input
+// matches ErrInvalidSnapshot.
 func LoadWith(r io.Reader, opts Options) (*Database, error) {
-	sr := &snapshotReader{r: bufio.NewReader(r)}
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, invalidSnapshot(err)
+	}
+	if len(data) < 12 { // magic + version + trailer
+		return nil, fmt.Errorf("%w: %d bytes is too short", ErrInvalidSnapshot, len(data))
+	}
+	body := data[:len(data)-4]
+	if got := binary.BigEndian.Uint32(data[len(data)-4:]); got != crc32.Checksum(body, snapshotCRC) {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrInvalidSnapshot)
+	}
+	sr := &snapshotReader{r: bufio.NewReader(bytes.NewReader(body))}
 	if sr.u32() != snapshotMagic {
 		if sr.err != nil {
-			return nil, sr.err
+			return nil, invalidSnapshot(sr.err)
 		}
 		return nil, fmt.Errorf("%w: bad magic", ErrInvalidSnapshot)
 	}
 	if v := sr.u32(); v != snapshotVersion {
 		if sr.err != nil {
-			return nil, sr.err
+			return nil, invalidSnapshot(sr.err)
 		}
 		return nil, fmt.Errorf("%w: unsupported version %d", ErrInvalidSnapshot, v)
 	}
@@ -274,7 +317,7 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		name := sr.str()
 		super := sr.str()
 		nAttrs := sr.uvarint()
-		attrs := make([]Attr, 0, nAttrs)
+		attrs := make([]Attr, 0, min(nAttrs, snapshotPreallocCap))
 		for j := uint64(0); j < nAttrs && sr.err == nil; j++ {
 			a := Attr{Name: sr.str(), Ref: sr.str()}
 			a.Type = attrType(sr.byte())
@@ -283,21 +326,21 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		}
 		if sr.err == nil {
 			if err := s.AddClass(name, super, attrs...); err != nil {
-				return nil, err
+				return nil, invalidSnapshot(err)
 			}
 		}
 	}
 	if sr.err != nil {
-		return nil, sr.err
+		return nil, invalidSnapshot(sr.err)
 	}
 	db, err := NewDatabaseWith(s, opts)
 	if err != nil {
-		return nil, err
+		return nil, err // environment (e.g. Options.Dir), not the snapshot
 	}
 
 	next := OID(sr.u32())
 	nObjs := sr.uvarint()
-	objs := make([]store.RestoredObject, 0, nObjs)
+	objs := make([]store.RestoredObject, 0, min(nObjs, snapshotPreallocCap))
 	for i := uint64(0); i < nObjs && sr.err == nil; i++ {
 		ro := store.RestoredObject{OID: OID(sr.u32()), Class: sr.str(), Attrs: Attrs{}}
 		nAttrs := sr.uvarint()
@@ -335,10 +378,10 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		objs = append(objs, ro)
 	}
 	if sr.err != nil {
-		return nil, sr.err
+		return nil, invalidSnapshot(sr.err)
 	}
 	if err := db.st.Restore(objs, next); err != nil {
-		return nil, err
+		return nil, invalidSnapshot(err)
 	}
 
 	nIdx := sr.uvarint()
@@ -353,11 +396,14 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		spec.NoCompression = sr.byte() == 1
 		if sr.err == nil {
 			if err := db.CreateIndex(spec); err != nil {
-				return nil, err
+				return nil, invalidSnapshot(err)
 			}
 		}
 	}
-	return db, sr.err
+	if sr.err != nil {
+		return nil, invalidSnapshot(sr.err)
+	}
+	return db, nil
 }
 
 // attrType narrows a byte back to an encoding.AttrType; unknown values

@@ -1,0 +1,91 @@
+package uindex
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// corruptibleSnapshot builds a small but representative snapshot (class
+// hierarchy, references, multi-valued attributes, two indexes).
+func corruptibleSnapshot(t testing.TB) []byte {
+	t.Helper()
+	db, _ := paperDB(t)
+	var buf bytes.Buffer
+	if err := db.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestLoadCorruptionSweep flips every byte of a valid snapshot (several
+// patterns each) and tries every truncation: Load must always return an
+// error matching ErrInvalidSnapshot — never a panic, and never a
+// silently-wrong database (the CRC trailer makes any mutation detectable).
+func TestLoadCorruptionSweep(t *testing.T) {
+	snap := corruptibleSnapshot(t)
+	if _, err := Load(bytes.NewReader(snap)); err != nil {
+		t.Fatalf("pristine snapshot does not load: %v", err)
+	}
+	check := func(mut []byte, what string) {
+		t.Helper()
+		db, err := Load(bytes.NewReader(mut))
+		if err == nil {
+			t.Fatalf("%s: corrupt snapshot accepted", what)
+		}
+		if !errors.Is(err, ErrInvalidSnapshot) {
+			t.Fatalf("%s: error %v does not match ErrInvalidSnapshot", what, err)
+		}
+		if db != nil {
+			t.Fatalf("%s: non-nil database alongside error", what)
+		}
+	}
+	stride := 1
+	if testing.Short() {
+		stride = 13
+	}
+	for i := 0; i < len(snap); i += stride {
+		for _, pat := range []byte{0xFF, 0x01, 0x80} {
+			if snap[i]^pat == snap[i] {
+				continue
+			}
+			mut := append([]byte(nil), snap...)
+			mut[i] ^= pat
+			check(mut, "byte flip")
+		}
+	}
+	for n := 0; n < len(snap); n += stride {
+		check(snap[:n:n], "truncation")
+	}
+	// Appended trailing garbage changes the checksummed length.
+	check(append(append([]byte(nil), snap...), 0xAB), "trailing garbage")
+}
+
+// FuzzLoad asserts Load never panics on arbitrary input, and that accepted
+// inputs produce a usable database.
+func FuzzLoad(f *testing.F) {
+	snap := corruptibleSnapshot(f)
+	f.Add(snap)
+	if len(snap) > 40 {
+		f.Add(snap[:len(snap)/2])
+		mut := append([]byte(nil), snap...)
+		mut[17] ^= 0xFF
+		f.Add(mut)
+	}
+	f.Add([]byte{})
+	f.Add([]byte("UODB"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		got, err := Load(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrInvalidSnapshot) {
+				t.Fatalf("Load error %v does not match ErrInvalidSnapshot", err)
+			}
+			return
+		}
+		// Accepted: the database must be minimally usable.
+		got.Indexes()
+		if err := got.Close(); err != nil {
+			t.Fatalf("closing loaded database: %v", err)
+		}
+	})
+}

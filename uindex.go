@@ -30,8 +30,12 @@ package uindex
 
 import (
 	"context"
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -59,7 +63,15 @@ var (
 	// ErrSnapshotReleased is returned by queries through a released
 	// Snapshot.
 	ErrSnapshotReleased = btree.ErrSnapshotReleased
+	// ErrCorruptFile is returned when a disk-backed index file is
+	// structurally damaged (truncated or garbage headers, broken free
+	// chain). Corruption is surfaced, never silently rebuilt over.
+	ErrCorruptFile = pager.ErrCorruptFile
 )
+
+// ErrCorruptPage reports a page of a disk-backed index whose stored
+// checksum does not match its payload; match with errors.As.
+type ErrCorruptPage = pager.ErrCorruptPage
 
 // Re-exported types: the facade exposes the internal packages' vocabulary
 // under one import path.
@@ -143,6 +155,27 @@ var (
 // NewSchema returns an empty schema.
 func NewSchema() *Schema { return schema.New() }
 
+// Durability selects when a disk-backed index (Options.Dir) makes its
+// state crash-safe. Whatever the mode, a checkpoint is atomic: a crash at
+// any instant recovers the file to exactly the previous or the new
+// checkpoint, never a mix, and every page read back is checksum-verified.
+type Durability int
+
+const (
+	// DurabilityCheckpoint (the default) makes state durable at explicit
+	// Checkpoint calls, at CreateIndex (the freshly built index), and at
+	// Close and DropIndex.
+	DurabilityCheckpoint Durability = iota
+	// DurabilityNone checkpoints only at explicit Checkpoint calls and at
+	// CreateIndex; Close and DropIndex discard everything after the last
+	// checkpoint (the file keeps that checkpoint intact).
+	DurabilityNone
+	// DurabilitySync additionally checkpoints inside every mutation
+	// (Insert, Delete, Set) before it returns — maximum safety, one fsync
+	// pair per mutated index per call.
+	DurabilitySync
+)
+
 // Options configures optional Database machinery.
 type Options struct {
 	// PoolPages, when positive, places a buffer pool of that many frames
@@ -160,6 +193,17 @@ type Options struct {
 	// page-read counts (those are tracked before any cache is
 	// consulted); NodeCacheStats exposes its hit/miss counters.
 	NodeCacheSize int
+	// Dir, when non-empty, backs each index with a crash-safe page file at
+	// Dir/<name>.uidx (checksummed pages, atomic shadow-paged
+	// checkpoints) instead of an in-memory file. CreateIndex reopens an
+	// existing file from its last checkpoint without rebuilding; a corrupt
+	// file surfaces an error matching ErrCorruptFile or ErrCorruptPage,
+	// never a silent rebuild. Only the index trees live in these files —
+	// persist the object store separately with Save/Load.
+	Dir string
+	// Durability selects when disk-backed indexes checkpoint; see the
+	// Durability constants. Ignored when Dir is empty.
+	Durability Durability
 }
 
 // Database is a schema + object store + U-indexes, kept consistent.
@@ -184,6 +228,7 @@ type Database struct {
 	order   []string
 	opts    Options
 	pools   map[string]*bufferpool.Pool
+	files   map[string]*pager.DiskFile // disk-backed indexes (Options.Dir)
 	closed  bool
 }
 
@@ -201,17 +246,24 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 			return nil, err
 		}
 	}
+	if opts.Dir != "" {
+		if err := os.MkdirAll(opts.Dir, 0o755); err != nil {
+			return nil, fmt.Errorf("uindex: creating database directory: %w", err)
+		}
+	}
 	return &Database{
 		sch:     s,
 		st:      store.New(s),
 		indexes: make(map[string]*core.Index),
 		opts:    opts,
 		pools:   make(map[string]*bufferpool.Pool),
+		files:   make(map[string]*pager.DiskFile),
 	}, nil
 }
 
-// Close marks the database closed and releases every index's buffer pool
-// (flushing dirty pages into the backing files first). It waits for
+// Close marks the database closed, checkpoints every disk-backed index
+// (unless Options.Durability is DurabilityNone, which discards work after
+// the last checkpoint), and releases buffer pools and files. It waits for
 // in-flight operations; subsequent operations fail with ErrClosed. Close is
 // idempotent.
 func (db *Database) Close() error {
@@ -223,13 +275,37 @@ func (db *Database) Close() error {
 	db.closed = true
 	var first error
 	for _, name := range db.order {
-		pool, ok := db.pools[name]
-		if !ok {
-			continue
-		}
-		if err := db.indexes[name].DropCache(); err != nil && first == nil {
+		if err := db.releaseIndexLocked(name); err != nil && first == nil {
 			first = err
 		}
+	}
+	return first
+}
+
+// releaseIndexLocked checkpoints (per the durability mode) and tears down
+// one index's pool and disk file. The caller holds the catalog write lock.
+func (db *Database) releaseIndexLocked(name string) error {
+	ix := db.indexes[name]
+	pool, hasPool := db.pools[name]
+	df, disk := db.files[name]
+	var first error
+	if disk {
+		if db.opts.Durability != DurabilityNone {
+			first = db.checkpointIndexLocked(name, ix)
+		}
+		// The checkpoint above is the only publish point: closing must
+		// not sync a stale payload, so the pool is discarded (its frames
+		// are clean after a successful checkpoint) and the file closed
+		// without a further checkpoint.
+		if err := df.CloseDiscard(); err != nil && first == nil {
+			first = err
+		}
+		delete(db.pools, name)
+		delete(db.files, name)
+		return first
+	}
+	if hasPool {
+		first = ix.DropCache() // push tree-cache state down before the pool closes
 		if err := pool.Close(); err != nil && first == nil {
 			first = err
 		}
@@ -303,8 +379,17 @@ func (db *Database) Store() *store.Store { return db.st }
 func (db *Database) Coding() *Coding { return db.sch.Coding() }
 
 // CreateIndex declares a U-index and builds it from the current objects.
-// Each index lives in its own in-memory page file with the paper's 1024-byte
-// pages; with Options.PoolPages set, a buffer pool sits in front of it.
+// Each index lives in its own page file with the paper's 1024-byte pages —
+// in memory by default, or a crash-safe file at Options.Dir/<name>.uidx
+// when Dir is set; with Options.PoolPages set, a buffer pool sits in front
+// of it.
+//
+// With Dir set, an existing file is reopened from its last checkpoint
+// instead of rebuilding: the caller must present the same spec and an
+// object store with the same contents (see Load). Corruption — structural
+// damage or a checksum-failing page — is surfaced as an error matching
+// ErrCorruptFile or ErrCorruptPage, never silently rebuilt over. A freshly
+// built index is checkpointed before CreateIndex returns.
 func (db *Database) CreateIndex(spec IndexSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -317,7 +402,42 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 	if spec.NodeCacheSize == 0 {
 		spec.NodeCacheSize = db.opts.NodeCacheSize
 	}
-	var f pager.File = pager.NewMemFile(0)
+	var (
+		f          pager.File
+		df         *pager.DiskFile
+		reopen     bool
+		reopenMeta pager.PageID
+	)
+	if db.opts.Dir != "" {
+		path := filepath.Join(db.opts.Dir, spec.Name+".uidx")
+		var err error
+		if _, statErr := os.Stat(path); statErr == nil {
+			df, err = pager.OpenDiskFile(path)
+			if err != nil {
+				return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+			}
+			if pl := df.Payload(); len(pl) == 4 {
+				reopenMeta = pager.PageID(binary.BigEndian.Uint32(pl))
+				reopen = true
+			} else if len(pl) != 0 {
+				df.CloseDiscard()
+				return fmt.Errorf("uindex: index %q: %w: checkpoint payload has unexpected length %d",
+					spec.Name, ErrCorruptFile, len(pl))
+			}
+			// An empty payload means the file was created but never
+			// checkpointed with a built index: build fresh onto it.
+		} else if errors.Is(statErr, fs.ErrNotExist) {
+			df, err = pager.CreateDiskFile(path, 0)
+			if err != nil {
+				return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+			}
+		} else {
+			return fmt.Errorf("uindex: index %q: %w", spec.Name, statErr)
+		}
+		f = df
+	} else {
+		f = pager.NewMemFile(0)
+	}
 	var pool *bufferpool.Pool
 	if db.opts.PoolPages > 0 {
 		var err error
@@ -326,44 +446,121 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 			Policy: db.opts.PoolPolicy,
 		})
 		if err != nil {
+			if df != nil {
+				df.CloseDiscard()
+			}
 			return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
 		}
 		f = pool
 	}
-	ix, err := core.New(f, db.st, spec)
-	if err != nil {
-		return err
+	var ix *core.Index
+	var err error
+	if reopen {
+		ix, err = core.Open(f, db.st, spec, reopenMeta)
+	} else {
+		ix, err = core.New(f, db.st, spec)
+		if err == nil {
+			err = ix.Build()
+		}
 	}
-	if err := ix.Build(); err != nil {
+	if err != nil {
+		if df != nil {
+			df.CloseDiscard()
+		}
 		return err
 	}
 	db.indexes[spec.Name] = ix
 	if pool != nil {
 		db.pools[spec.Name] = pool
 	}
+	if df != nil {
+		db.files[spec.Name] = df
+	}
 	db.order = append(db.order, spec.Name)
+	if df != nil && !reopen {
+		// Make the freshly built index durable so a reopened file is
+		// self-describing from the start.
+		if err := db.checkpointIndexLocked(spec.Name, ix); err != nil {
+			return fmt.Errorf("uindex: index %q: checkpointing initial build: %w", spec.Name, err)
+		}
+	}
 	return nil
 }
 
-// DropIndex removes an index, closing its buffer pool if it has one.
+// checkpointIndexLocked makes the named index's current state durable: it
+// flushes the tree (copy-on-write metadata), stages the new meta page id as
+// the file's checkpoint payload, and flushes the pool (or syncs the file),
+// which atomically publishes pages, free list, and payload together. The
+// caller must hold either the index's write lock or the catalog write lock.
+// Indexes that are not disk-backed are a no-op.
+func (db *Database) checkpointIndexLocked(name string, ix *core.Index) error {
+	df, ok := db.files[name]
+	if !ok {
+		return nil
+	}
+	if err := ix.Flush(); err != nil {
+		return err
+	}
+	var pl [4]byte
+	binary.BigEndian.PutUint32(pl[:], uint32(ix.MetaPage()))
+	if err := df.SetPayload(pl[:]); err != nil {
+		return err
+	}
+	if pool, ok := db.pools[name]; ok {
+		return pool.FlushAll()
+	}
+	return df.Sync()
+}
+
+// maybeSyncIndex checkpoints one index after a mutation when the database
+// runs with DurabilitySync; the caller holds the index's write lock.
+func (db *Database) maybeSyncIndex(ix *core.Index) error {
+	if db.opts.Durability != DurabilitySync {
+		return nil
+	}
+	return db.checkpointIndexLocked(ix.Spec().Name, ix)
+}
+
+// Checkpoint makes the current state of every disk-backed index durable.
+// Each index checkpoints atomically under its write lock: a crash at any
+// instant leaves each index file at exactly its previous or its new
+// checkpoint. Queries proceed unblocked throughout. Databases without
+// Options.Dir return nil immediately.
+func (db *Database) Checkpoint() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return ErrClosed
+	}
+	for _, name := range db.order {
+		ix := db.indexes[name]
+		if _, ok := db.files[name]; !ok {
+			continue
+		}
+		ix.LockWrite()
+		err := db.checkpointIndexLocked(name, ix)
+		ix.UnlockWrite()
+		if err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// DropIndex removes an index, closing its buffer pool and disk file if it
+// has them. A disk-backed index is checkpointed first (unless the database
+// runs with DurabilityNone); its file is left on disk and can be
+// re-attached by a later CreateIndex with the same name.
 func (db *Database) DropIndex(name string) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	ix, ok := db.indexes[name]
-	if !ok {
+	if _, ok := db.indexes[name]; !ok {
 		return fmt.Errorf("uindex: no index %q: %w", name, ErrIndexNotFound)
 	}
-	var err error
-	if pool, ok := db.pools[name]; ok {
-		err = ix.DropCache() // push tree-cache state down before the pool closes
-		if cerr := pool.Close(); err == nil {
-			err = cerr
-		}
-		delete(db.pools, name)
-	}
+	err := db.releaseIndexLocked(name)
 	delete(db.indexes, name)
 	for i, n := range db.order {
 		if n == name {
@@ -422,6 +619,9 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 	for _, ix := range db.coveringIndexes(class) {
 		ix.LockWrite()
 		err := ix.Add(oid)
+		if err == nil {
+			err = db.maybeSyncIndex(ix)
+		}
 		ix.UnlockWrite()
 		if err != nil {
 			return 0, fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
@@ -459,7 +659,15 @@ func (db *Database) Delete(oid OID) error {
 			return fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
 		}
 	}
-	return db.st.Delete(oid)
+	if err := db.st.Delete(oid); err != nil {
+		return err
+	}
+	for _, ix := range covering {
+		if err := db.maybeSyncIndex(ix); err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q: %w", ix.Spec().Name, err)
+		}
+	}
+	return nil
 }
 
 // Set updates one attribute of an object, applying the batch index diff of
@@ -505,6 +713,11 @@ func (db *Database) Set(oid OID, attr string, v any) error {
 		}
 		if err := ix.ApplyDiff(olds[i], newKeys); err != nil {
 			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
+		}
+	}
+	for _, ix := range covering {
+		if err := db.maybeSyncIndex(ix); err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q: %w", ix.Spec().Name, err)
 		}
 	}
 	return nil

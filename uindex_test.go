@@ -7,7 +7,7 @@ import (
 )
 
 // paperDB builds the paper's Example 1 database through the public API.
-func paperDB(t *testing.T) (*Database, map[string]OID) {
+func paperDB(t testing.TB) (*Database, map[string]OID) {
 	t.Helper()
 	s := NewSchema()
 	must := func(err error) {
