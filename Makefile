@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress crash apicheck bench bench-short ci
+.PHONY: build test race vet stress crash serve apicheck bench bench-short ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,14 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'DecodeNode|TreeGet' -benchtime 1x -benchmem ./internal/btree/
 	$(GO) run ./cmd/uindexbench -readbench -short -benchjson /tmp/BENCH_read.json
 
+# Network-subsystem check, race-enabled and uncached: the wire-protocol
+# round trips, the server/client integration suite (concurrent sessions,
+# snapshot isolation, admission control, graceful drain), the metrics
+# registry, and the session/metrics satellites on the facade.
+serve:
+	$(GO) test -race -count=1 ./internal/server/ ./internal/obs/
+	$(GO) test -race -count=1 -run 'Metrics|QueryParallelCancellation|CloseReleasesSnapshots|NetShapes' . ./internal/experiments/parallel/
+
 # API-surface check: vet plus a grep that keeps the deprecated query
 # wrappers (QueryWith/QueryString) out of commands, examples, and internal
 # packages. The repo root is exempt — it holds the wrapper definitions and
@@ -61,4 +69,4 @@ apicheck: vet
 	fi
 	@echo "apicheck: ok"
 
-ci: build apicheck test race stress crash
+ci: build apicheck test race stress crash serve

@@ -12,6 +12,8 @@
 //	uindexbench -parallel 8              # concurrent query throughput
 //	uindexbench -mixed                   # read throughput vs. concurrent writers
 //	uindexbench -readbench -benchjson BENCH_read.json   # read-path ns/op + allocs/op
+//	uindexbench -readbench -addr self    # same suite over the wire (loopback uindexd)
+//	uindexbench -readbench -addr host:9040   # against a running uindexd
 //	uindexbench -exp fig5 -cpuprofile cpu.out -memprofile mem.out
 //
 // Experiments: table1, fig5, fig6, fig7, fig8, all.
@@ -66,6 +68,7 @@ func run() int {
 		readbench = flag.Bool("readbench", false, "run the read-path benchmark suite (ns/op, allocs/op, queries/sec per query shape, node cache on vs. off)")
 		benchjson = flag.String("benchjson", "", "write -readbench results as JSON to this file (e.g. BENCH_read.json)")
 		short     = flag.Bool("short", false, "smoke scale for -readbench: small database, same code paths")
+		addr      = flag.String("addr", "", "measure -readbench over the network: 'self' serves the benchmark database on an in-process loopback uindexd, host:port dials a running uindexd")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
 		memprof   = flag.String("memprofile", "", "write a heap profile to this file on exit")
 	)
@@ -114,9 +117,14 @@ func run() int {
 		if benchObjects == 150000 { // flag default is experiment-scale
 			benchObjects = 0 // RunRead's default scale
 		}
-		r, err := parbench.RunRead(parbench.ReadConfig{
-			Objects: benchObjects, Seed: *seed, Short: *short,
-		})
+		rcfg := parbench.ReadConfig{Objects: benchObjects, Seed: *seed, Short: *short}
+		var r *parbench.ReadResult
+		var err error
+		if *addr != "" {
+			r, err = parbench.RunReadNet(rcfg, *addr)
+		} else {
+			r, err = parbench.RunRead(rcfg)
+		}
 		if err != nil {
 			return fail("uindexbench: readbench: %v", err)
 		}

@@ -1,0 +1,131 @@
+package parallel
+
+// Network read benchmark: the readbench suite measured through uindexd's
+// wire protocol instead of in-process calls, so the delta between
+// BENCH_read.json and a -addr run is the protocol + scheduling overhead.
+// The shapes are the same four as readShapes, phrased in the querylang
+// textual grammar the protocol carries.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"runtime"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// netShapes are the textual twins of readShapes — same indexes, same
+// classes, same value predicates.
+var netShapes = []struct {
+	name, index, query string
+}{
+	{"QueryExact", "color", "(Color=Red, Automobile)"},
+	{"QueryRange", "color", "(Color=[Black-Red], Vehicle*)"},
+	{"QuerySubtree", "age", "(Age=45, ?, ?, Automobile*)"},
+	{"QueryParscan", "color", "(Color={Red,Blue,Green}, [CompactAutomobile*, Truck*])"},
+}
+
+// NetAddrSelf asks RunReadNet to serve the benchmark database itself on a
+// loopback listener, measuring the full client/server round trip with no
+// external process.
+const NetAddrSelf = "self"
+
+// RunReadNet measures every shape over the network. addr NetAddrSelf
+// builds the benchmark database and serves it in-process on a loopback
+// port; any other addr dials an already-running uindexd, which must serve
+// a database with the readbench schema (uindexd's built-in demo database
+// qualifies — the counts differ, the shapes still answer).
+func RunReadNet(cfg ReadConfig, addr string) (*ReadResult, error) {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 6000
+	}
+	if cfg.Short && cfg.Objects > 1500 {
+		cfg.Objects = 1500
+	}
+	res := &ReadResult{
+		Objects:    cfg.Objects,
+		Seed:       cfg.Seed,
+		Short:      cfg.Short,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Transport:  "tcp",
+		Addr:       addr,
+	}
+
+	if addr == NetAddrSelf {
+		db, err := buildParallelDB(Config{Objects: cfg.Objects, Seed: cfg.Seed})
+		if err != nil {
+			return nil, err
+		}
+		defer db.Close()
+		srv, err := server.New(server.Config{
+			DB:     db,
+			Addr:   "127.0.0.1:0",
+			Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := srv.Start(); err != nil {
+			return nil, err
+		}
+		defer srv.Shutdown(context.Background())
+		res.Addr = srv.Addr()
+		if err := benchNetShapes(res, srv.Addr()); err != nil {
+			return nil, err
+		}
+		res.NodeCache = db.NodeCacheStats()
+		return res, nil
+	}
+	res.Objects = 0 // remote database: its size is not ours to report
+	if err := benchNetShapes(res, addr); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// benchNetShapes appends one measured point per shape, all cache-on (the
+// server owns its cache configuration).
+func benchNetShapes(res *ReadResult, addr string) error {
+	c, err := server.Dial(addr)
+	if err != nil {
+		return fmt.Errorf("netbench: %w", err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for _, sh := range netShapes {
+		// Warm outside the timed region, and fail fast on a server whose
+		// schema does not answer the shape.
+		if _, _, err := c.Query(ctx, sh.index, sh.query); err != nil {
+			return fmt.Errorf("netbench %s: %w", sh.name, err)
+		}
+		var benchErr error
+		r := testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := c.Query(ctx, sh.index, sh.query); err != nil {
+					benchErr = err
+					b.FailNow()
+				}
+			}
+		})
+		if benchErr != nil {
+			return fmt.Errorf("netbench %s: %w", sh.name, benchErr)
+		}
+		p := ReadPoint{
+			Name:        sh.name,
+			NodeCache:   true,
+			Iterations:  r.N,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+		if p.NsPerOp > 0 {
+			p.QueriesPerSec = 1e9 / p.NsPerOp
+		}
+		res.Points = append(res.Points, p)
+	}
+	return nil
+}

@@ -1,0 +1,51 @@
+package parallel
+
+import (
+	"context"
+	"io"
+	"log/slog"
+	"testing"
+
+	"repro/internal/server"
+)
+
+// TestNetShapesAnswer pins that every textual shape of the network
+// benchmark parses and answers with matches over the wire against the
+// benchmark database — without paying for a full timed run.
+func TestNetShapesAnswer(t *testing.T) {
+	db, err := buildParallelDB(Config{Objects: 800, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	srv, err := server.New(server.Config{
+		DB: db, Addr: "127.0.0.1:0",
+		Logger: slog.New(slog.NewTextHandler(io.Discard, nil)),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Shutdown(context.Background())
+
+	c, err := server.Dial(srv.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	ctx := context.Background()
+	for _, sh := range netShapes {
+		ms, stats, err := c.Query(ctx, sh.index, sh.query)
+		if err != nil {
+			t.Fatalf("%s (%s): %v", sh.name, sh.query, err)
+		}
+		if len(ms) == 0 {
+			t.Errorf("%s (%s): no matches on the benchmark database", sh.name, sh.query)
+		}
+		if stats.Matches != len(ms) {
+			t.Errorf("%s: stats.Matches=%d, len=%d", sh.name, stats.Matches, len(ms))
+		}
+	}
+}

@@ -39,11 +39,15 @@ type ReadPoint struct {
 
 // ReadResult is the whole suite, written to BENCH_read.json by `make bench`.
 type ReadResult struct {
-	Objects    int         `json:"objects"`
-	Seed       int64       `json:"seed"`
-	Short      bool        `json:"short"`
-	GoMaxProcs int         `json:"gomaxprocs"`
-	Points     []ReadPoint `json:"points"`
+	Objects    int   `json:"objects"`
+	Seed       int64 `json:"seed"`
+	Short      bool  `json:"short"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	// Transport and Addr are set by RunReadNet ("tcp" + the measured
+	// endpoint); empty for the in-process suite.
+	Transport string      `json:"transport,omitempty"`
+	Addr      string      `json:"addr,omitempty"`
+	Points    []ReadPoint `json:"points"`
 	// NodeCache is the cache-enabled database's cumulative hit/miss
 	// counters over the whole suite — direct evidence the measured hot
 	// path actually ran against a warm cache.
@@ -167,6 +171,9 @@ func RunRead(cfg ReadConfig) (*ReadResult, error) {
 func RenderRead(w io.Writer, r *ReadResult) {
 	fmt.Fprintf(w, "read-path benchmark (%d objects, seed %d, GOMAXPROCS %d)\n",
 		r.Objects, r.Seed, r.GoMaxProcs)
+	if r.Transport != "" {
+		fmt.Fprintf(w, "  over %s://%s\n", r.Transport, r.Addr)
+	}
 	fmt.Fprintf(w, "  %-14s %-6s %12s %12s %12s %14s\n",
 		"shape", "cache", "ns/op", "B/op", "allocs/op", "queries/sec")
 	for _, p := range r.Points {

@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("uindexd_requests_total", "Requests served.", Label{"shape", "exact"})
+	c2 := r.Counter("uindexd_requests_total", "Requests served.", Label{"shape", "range"})
+	g := r.Gauge("uindexd_inflight", "In-flight requests.")
+	c.Add(3)
+	c2.Inc()
+	g.Set(7)
+	g.Dec()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP uindexd_requests_total Requests served.",
+		"# TYPE uindexd_requests_total counter",
+		`uindexd_requests_total{shape="exact"} 3`,
+		`uindexd_requests_total{shape="range"} 1`,
+		"# TYPE uindexd_inflight gauge",
+		"uindexd_inflight 6",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+	// One family header per name, even with two series.
+	if n := strings.Count(out, "# TYPE uindexd_requests_total"); n != 1 {
+		t.Errorf("family header rendered %d times, want 1", n)
+	}
+}
+
+func TestHistogramBucketsCumulative(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat_seconds", "Latency.", []float64{0.01, 0.1, 1}, Label{"shape", "exact"})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 0.005+0.05+0.05+0.5+5; got != want {
+		t.Fatalf("sum %g, want %g", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`lat_seconds_bucket{shape="exact",le="0.01"} 1`,
+		`lat_seconds_bucket{shape="exact",le="0.1"} 3`,
+		`lat_seconds_bucket{shape="exact",le="1"} 4`,
+		`lat_seconds_bucket{shape="exact",le="+Inf"} 5`,
+		`lat_seconds_count{shape="exact"} 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestCollectOnScrapeFuncs(t *testing.T) {
+	r := NewRegistry()
+	v := 41.0
+	r.CounterFunc("engine_pages_total", "Pages.", func() float64 { v++; return v })
+	r.GaugeFunc("engine_snapshots", "Active snapshots.", func() float64 { return 2 })
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "engine_pages_total 42") {
+		t.Errorf("counter func not collected:\n%s", out)
+	}
+	if !strings.Contains(out, "engine_snapshots 2") {
+		t.Errorf("gauge func not collected:\n%s", out)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("c_total", "C.", Label{"q", "a\"b\\c\nd"})
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `c_total{q="a\"b\\c\nd"} 0`) {
+		t.Errorf("bad escaping:\n%s", b.String())
+	}
+}
+
+func TestMixedTypeRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "M.")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering m as gauge after counter did not panic")
+		}
+	}()
+	r.Gauge("m", "M.")
+}
+
+// TestHotPathAllocationFree pins the registry's core promise: recording a
+// sample allocates nothing.
+func TestHotPathAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", nil)
+	if n := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Add(2)
+		h.Observe(0.003)
+	}); n != 0 {
+		t.Fatalf("hot path allocates %v per op, want 0", n)
+	}
+}
+
+// TestConcurrentRecording hammers every series type from many goroutines;
+// run under -race this pins the lock-free hot path, and the totals pin
+// that no increment is lost.
+func TestConcurrentRecording(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.")
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", []float64{0.5})
+	const workers, each = 8, 2000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				c.Inc()
+				g.Inc()
+				h.Observe(0.25)
+				var b strings.Builder
+				if i%500 == 0 { // scrapes race recordings
+					_ = r.WritePrometheus(&b)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*each {
+		t.Errorf("counter %d, want %d", c.Value(), workers*each)
+	}
+	if g.Value() != workers*each {
+		t.Errorf("gauge %d, want %d", g.Value(), workers*each)
+	}
+	if h.Count() != workers*each {
+		t.Errorf("histogram count %d, want %d", h.Count(), workers*each)
+	}
+	if got, want := h.Sum(), 0.25*workers*each; got != want {
+		t.Errorf("histogram sum %g, want %g", got, want)
+	}
+}

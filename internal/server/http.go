@@ -1,0 +1,71 @@
+package server
+
+import (
+	"context"
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"time"
+)
+
+// opsServer is the HTTP observability listener: Prometheus metrics,
+// liveness/readiness, and the pprof handlers, on an explicit mux (nothing
+// leaks onto http.DefaultServeMux). It tracks its serve goroutine on its
+// own WaitGroup — the data-path drain must complete (and take its final
+// metrics) before this listener goes away, so it is not part of Server.wg.
+type opsServer struct {
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+}
+
+func newOpsServer(s *Server) (*opsServer, error) {
+	ln, err := net.Listen("tcp", s.cfg.HTTPAddr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen %s: %w", s.cfg.HTTPAddr, err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		if err := s.reg.WritePrometheus(w); err != nil {
+			s.log.Warn("metrics scrape failed", "err", err)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.WriteHeader(http.StatusOK)
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		// Ready means accepting data-path traffic: false before Start
+		// and from the first instant of a drain, so load balancers stop
+		// routing before in-flight requests finish.
+		if !s.ready.Load() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	hs := &http.Server{
+		Handler:           mux,
+		ReadHeaderTimeout: 5 * time.Second,
+	}
+	o := &opsServer{ln: ln, srv: hs}
+	o.wg.Add(1)
+	go func() {
+		defer o.wg.Done()
+		hs.Serve(ln) // returns on close
+	}()
+	return o, nil
+}
+
+func (o *opsServer) close(ctx context.Context) {
+	o.srv.Shutdown(ctx)
+	o.wg.Wait()
+}

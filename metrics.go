@@ -1,0 +1,115 @@
+package uindex
+
+import "sync/atomic"
+
+// Metrics is one merged snapshot of every counter the engine maintains:
+// the buffer-pool and decoded-node-cache counters that previously required
+// separate PoolStats/NodeCacheStats calls, plus cumulative query and write
+// counters accumulated by the facade. internal/obs (and any future tool)
+// reads this one struct instead of three ad-hoc accessors.
+//
+// All counters are cumulative over the database's lifetime; Metrics may be
+// called at any time, including concurrently with queries and writers, and
+// after Close.
+type Metrics struct {
+	// Pool aggregates the buffer-pool counters over every index;
+	// PoolEnabled is false when the database runs without a pool
+	// (Options.PoolPages 0), in which case Pool is zero.
+	Pool        BufferPoolStats
+	PoolEnabled bool
+	// NodeCache aggregates the decoded-node cache counters over every
+	// index.
+	NodeCache NodeCacheStats
+
+	// Query-side counters. Queries counts completed Query calls —
+	// including snapshot queries and QueryParallel jobs; QueryErrors the
+	// subset that returned an error. PagesRead, EntriesScanned, and
+	// Matches sum the per-query Stats.
+	Queries        uint64
+	QueryErrors    uint64
+	PagesRead      uint64
+	EntriesScanned uint64
+	Matches        uint64
+
+	// Write-side counters: completed mutations and the subset that
+	// returned an error (store rejection or index-maintenance failure).
+	Inserts     uint64
+	Deletes     uint64
+	Sets        uint64
+	WriteErrors uint64
+
+	// Checkpoints counts completed Checkpoint calls.
+	Checkpoints uint64
+
+	// Snapshot lifecycle: how many Snapshot() calls ever pinned a view,
+	// and how many are currently unreleased. SnapshotsActive reaching 0
+	// after Close proves no epoch pins leak.
+	SnapshotsTaken  uint64
+	SnapshotsActive uint64
+
+	// Indexes is the number of declared indexes.
+	Indexes int
+}
+
+// counters is the facade's cumulative side of Metrics; every field is
+// atomic so queries and writers record without any shared lock.
+type counters struct {
+	queries        atomic.Uint64
+	queryErrors    atomic.Uint64
+	pagesRead      atomic.Uint64
+	entriesScanned atomic.Uint64
+	matches        atomic.Uint64
+	inserts        atomic.Uint64
+	deletes        atomic.Uint64
+	sets           atomic.Uint64
+	writeErrors    atomic.Uint64
+	checkpoints    atomic.Uint64
+	snapsTaken     atomic.Uint64
+	snapsActive    atomic.Int64
+}
+
+// countQuery records one completed query execution.
+func (c *counters) countQuery(stats Stats, err error) {
+	c.queries.Add(1)
+	if err != nil {
+		c.queryErrors.Add(1)
+		return
+	}
+	c.pagesRead.Add(uint64(stats.PagesRead))
+	c.entriesScanned.Add(uint64(stats.EntriesScanned))
+	c.matches.Add(uint64(stats.Matches))
+}
+
+// countWrite records one completed mutation on the given counter.
+func (c *counters) countWrite(kind *atomic.Uint64, err error) {
+	if err != nil {
+		c.writeErrors.Add(1)
+		return
+	}
+	kind.Add(1)
+}
+
+// Metrics returns one merged snapshot of the engine's counters; see the
+// Metrics type for the field semantics.
+func (db *Database) Metrics() Metrics {
+	m := Metrics{
+		Queries:         db.ctrs.queries.Load(),
+		QueryErrors:     db.ctrs.queryErrors.Load(),
+		PagesRead:       db.ctrs.pagesRead.Load(),
+		EntriesScanned:  db.ctrs.entriesScanned.Load(),
+		Matches:         db.ctrs.matches.Load(),
+		Inserts:         db.ctrs.inserts.Load(),
+		Deletes:         db.ctrs.deletes.Load(),
+		Sets:            db.ctrs.sets.Load(),
+		WriteErrors:     db.ctrs.writeErrors.Load(),
+		Checkpoints:     db.ctrs.checkpoints.Load(),
+		SnapshotsTaken:  db.ctrs.snapsTaken.Load(),
+		SnapshotsActive: uint64(max(0, db.ctrs.snapsActive.Load())),
+	}
+	m.Pool, m.PoolEnabled = db.PoolStats()
+	m.NodeCache = db.NodeCacheStats()
+	db.mu.RLock()
+	m.Indexes = len(db.indexes)
+	db.mu.RUnlock()
+	return m
+}

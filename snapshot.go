@@ -3,7 +3,7 @@ package uindex
 import (
 	"context"
 	"fmt"
-	"sync/atomic"
+	"sync"
 
 	"repro/internal/core"
 )
@@ -17,14 +17,23 @@ import (
 //
 // A Snapshot is safe for concurrent use. Release it when done (idempotent);
 // a long-lived snapshot holds superseded pages, so the page footprint grows
-// with the write volume during its lifetime.
+// with the write volume during its lifetime. Closing the database releases
+// every snapshot still open: Close waits for the snapshot's in-flight
+// queries to finish, then unpins its views, and later queries through it
+// fail with ErrSnapshotReleased — epoch pins never outlive the database.
 //
 // The snapshot covers index state. Match fields resolved through the object
 // store (the Obj pointer of a Match) read the store's latest state.
 type Snapshot struct {
-	views    map[string]*core.Snapshot
-	order    []string
-	released atomic.Bool
+	db    *Database
+	views map[string]*core.Snapshot
+	order []string
+	// mu serializes Release against in-flight queries: queries hold it in
+	// read mode for their whole execution, so Release (and through it,
+	// Database.Close) waits for them instead of unpinning pages a scan is
+	// still walking.
+	mu       sync.RWMutex
+	released bool
 }
 
 // Snapshot pins the current version of every index and returns the view.
@@ -35,28 +44,63 @@ func (db *Database) Snapshot() (*Snapshot, error) {
 		return nil, ErrClosed
 	}
 	s := &Snapshot{
+		db:    db,
 		views: make(map[string]*core.Snapshot, len(db.order)),
 		order: append([]string(nil), db.order...),
 	}
 	for _, name := range db.order {
 		s.views[name] = db.indexes[name].Snapshot()
 	}
+	db.snapMu.Lock()
+	if db.snaps == nil {
+		db.snaps = make(map[*Snapshot]struct{})
+	}
+	db.snaps[s] = struct{}{}
+	db.snapMu.Unlock()
+	db.ctrs.snapsTaken.Add(1)
+	db.ctrs.snapsActive.Add(1)
 	return s, nil
 }
 
+// releaseSnapshotsLocked releases every snapshot still open; the caller
+// holds the catalog write lock (Close). Each Release waits for that
+// snapshot's in-flight queries, so when this returns no query is touching
+// the pools and files about to be torn down.
+func (db *Database) releaseSnapshotsLocked() {
+	db.snapMu.Lock()
+	open := make([]*Snapshot, 0, len(db.snaps))
+	for s := range db.snaps {
+		open = append(open, s)
+	}
+	db.snaps = nil
+	db.snapMu.Unlock()
+	for _, s := range open {
+		s.Release()
+	}
+}
+
 // Release unpins every index version the snapshot holds, letting the engine
-// reclaim pages superseded since. Release is idempotent; queries after
+// reclaim pages superseded since. Release waits for the snapshot's
+// in-flight queries to finish first. It is idempotent; queries after
 // Release fail with ErrSnapshotReleased.
 func (s *Snapshot) Release() error {
-	if s.released.Swap(true) {
+	s.mu.Lock()
+	if s.released {
+		s.mu.Unlock()
 		return nil
 	}
+	s.released = true
+	s.mu.Unlock()
 	var first error
 	for _, name := range s.order {
 		if err := s.views[name].Release(); err != nil && first == nil {
 			first = err
 		}
 	}
+	s.db.snapMu.Lock()
+	delete(s.db.snaps, s)
+	s.db.snapMu.Unlock()
+	s.db.ctrs.snapsActive.Add(-1)
 	return first
 }
 
@@ -86,13 +130,17 @@ func (s *Snapshot) Query(ctx context.Context, index string, q Query, opts ...Que
 	return s.query(ctx, index, q, cfg)
 }
 
-func (s *Snapshot) query(ctx context.Context, index string, q Query, cfg queryConfig) ([]Match, Stats, error) {
-	if s.released.Load() {
+func (s *Snapshot) query(ctx context.Context, index string, q Query, cfg queryConfig) (_ []Match, _ Stats, err error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.released {
 		return nil, Stats{}, ErrSnapshotReleased
 	}
 	v, ok := s.views[index]
 	if !ok {
-		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+		err := fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+		s.db.ctrs.countQuery(Stats{}, err)
+		return nil, Stats{}, err
 	}
 	ec := &core.ExecContext{Tracker: cfg.tr, Algorithm: cfg.alg}
 	var out []Match
@@ -100,5 +148,6 @@ func (s *Snapshot) query(ctx context.Context, index string, q Query, cfg queryCo
 		out = append(out, m)
 		return true
 	})
+	s.db.ctrs.countQuery(stats, err)
 	return out, stats, err
 }

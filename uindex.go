@@ -230,6 +230,14 @@ type Database struct {
 	pools   map[string]*bufferpool.Pool
 	files   map[string]*pager.DiskFile // disk-backed indexes (Options.Dir)
 	closed  bool
+
+	// snapMu guards the open-snapshot registry (always acquired after mu
+	// when both are held); Close releases every snapshot still open so no
+	// epoch pin outlives the database.
+	snapMu sync.Mutex
+	snaps  map[*Snapshot]struct{}
+	// ctrs are the cumulative counters behind Metrics().
+	ctrs counters
 }
 
 // NewDatabase creates a database over the schema, assigning class codes if
@@ -264,7 +272,9 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 // Close marks the database closed, checkpoints every disk-backed index
 // (unless Options.Durability is DurabilityNone, which discards work after
 // the last checkpoint), and releases buffer pools and files. It waits for
-// in-flight operations; subsequent operations fail with ErrClosed. Close is
+// in-flight operations — including queries through open Snapshots, which
+// are released here so no epoch pin survives Close; subsequent operations
+// fail with ErrClosed (snapshot queries with ErrSnapshotReleased). Close is
 // idempotent.
 func (db *Database) Close() error {
 	db.mu.Lock()
@@ -273,6 +283,7 @@ func (db *Database) Close() error {
 		return nil
 	}
 	db.closed = true
+	db.releaseSnapshotsLocked()
 	var first error
 	for _, name := range db.order {
 		if err := db.releaseIndexLocked(name); err != nil && first == nil {
@@ -544,6 +555,7 @@ func (db *Database) Checkpoint() error {
 			return fmt.Errorf("uindex: checkpointing index %q: %w", name, err)
 		}
 	}
+	db.ctrs.checkpoints.Add(1)
 	return nil
 }
 
@@ -614,6 +626,7 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 	}
 	oid, err := db.st.Insert(class, attrs)
 	if err != nil {
+		db.ctrs.countWrite(&db.ctrs.inserts, err)
 		return 0, err
 	}
 	for _, ix := range db.coveringIndexes(class) {
@@ -624,9 +637,11 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 		}
 		ix.UnlockWrite()
 		if err != nil {
+			db.ctrs.countWrite(&db.ctrs.inserts, err)
 			return 0, fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
 		}
 	}
+	db.ctrs.countWrite(&db.ctrs.inserts, nil)
 	return oid, nil
 }
 
@@ -635,12 +650,13 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 // through the deleted object are removed here. The write locks of every
 // covering index are held for the whole removal, so concurrent writers to
 // those indexes wait while others proceed.
-func (db *Database) Delete(oid OID) error {
+func (db *Database) Delete(oid OID) (err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
+	defer func() { db.ctrs.countWrite(&db.ctrs.deletes, err) }()
 	o, ok := db.st.Get(oid)
 	if !ok {
 		return db.st.Delete(oid) // surfaces the store's not-found error
@@ -675,12 +691,13 @@ func (db *Database) Delete(oid OID) error {
 // Set call). The write locks of every covering index are held across the
 // before-enumeration, the store update, and the diff application, so each
 // index moves atomically from the old state to the new one.
-func (db *Database) Set(oid OID, attr string, v any) error {
+func (db *Database) Set(oid OID, attr string, v any) (err error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	if db.closed {
 		return ErrClosed
 	}
+	defer func() { db.ctrs.countWrite(&db.ctrs.sets, err) }()
 	o, ok := db.st.Get(oid)
 	if !ok {
 		_, err := db.st.SetAttr(oid, attr, v) // surfaces the store's not-found error
@@ -781,7 +798,9 @@ func (db *Database) Query(ctx context.Context, index string, q Query, opts ...Qu
 	}
 	ix, ok := db.indexes[index]
 	if !ok {
-		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+		err := fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
+		db.ctrs.countQuery(Stats{}, err)
+		return nil, Stats{}, err
 	}
 	ec := &core.ExecContext{Tracker: cfg.tr, Algorithm: cfg.alg}
 	var out []Match
@@ -789,6 +808,7 @@ func (db *Database) Query(ctx context.Context, index string, q Query, opts ...Qu
 		out = append(out, m)
 		return true
 	})
+	db.ctrs.countQuery(stats, err)
 	return out, stats, err
 }
 
@@ -853,6 +873,11 @@ type QueryResult struct {
 // alone on a cold tracker; experiment-level totals that must match a
 // sequential shared-tracker run can be rebuilt by merging per-job trackers
 // (see Tracker.Merge) — QueryParallel itself keeps jobs independent.
+//
+// When ctx is canceled mid-batch, in-flight jobs abort at their next page
+// visit and every not-yet-started job is drained without executing; both
+// record ctx's error in their QueryResult, so the pool returns promptly
+// instead of plowing through the remaining queue.
 func (db *Database) QueryParallel(ctx context.Context, jobs []QueryJob, workers int) []QueryResult {
 	results := make([]QueryResult, len(jobs))
 	if len(jobs) == 0 {
@@ -882,6 +907,13 @@ func (db *Database) QueryParallel(ctx context.Context, jobs []QueryJob, workers 
 				i := int(next.Add(1)) - 1
 				if i >= len(jobs) {
 					return
+				}
+				if err := ctx.Err(); err != nil {
+					// Drain without executing: a canceled batch must not
+					// start new scans just to have each one abort at its
+					// first page visit.
+					results[i] = QueryResult{Err: err}
+					continue
 				}
 				job := jobs[i]
 				ms, stats, err := snap.Query(ctx, job.Index, job.Query, WithAlgorithm(job.Algorithm))
