@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress crash serve apicheck bench bench-short ci
+.PHONY: build test race vet stress crash serve shard apicheck bench bench-short ci
 
 build:
 	$(GO) build ./...
@@ -56,17 +56,24 @@ serve:
 	$(GO) test -race -count=1 ./internal/server/ ./internal/obs/
 	$(GO) test -race -count=1 -run 'Metrics|QueryParallelCancellation|CloseReleasesSnapshots|NetShapes' . ./internal/experiments/parallel/
 
-# API-surface check: vet plus a grep that keeps the deprecated query
-# wrappers (QueryWith/QueryString) out of commands, examples, and internal
-# packages. The repo root is exempt — it holds the wrapper definitions and
-# their compatibility tests.
+# Sharding check, race-enabled and uncached: the shard-invariance suite
+# (sharded results identical to flat under every layout), the batched write
+# surface, the cross-shard writer stress, and the sharded crash matrix (two
+# shard files + manifest, crashed at every op on every device).
+shard:
+	$(GO) test -race -count=1 -run 'Shard|ApplyBatch' . ./internal/core/ ./internal/pager/ ./internal/faultfs/
+
+# API-surface check: vet plus a grep that keeps the removed query wrappers
+# (QueryWith/QueryString) from creeping back anywhere — they were deleted in
+# favor of Query with options, and the batched write surface (Apply) is the
+# only multi-mutation entry point.
 apicheck: vet
-	@deprecated=$$(grep -rnE '\.(QueryWith|QueryString)\(' cmd/ examples/ internal/ || true); \
+	@deprecated=$$(grep -rnE --include='*.go' '\.(QueryWith|QueryString)\(' . || true); \
 	if [ -n "$$deprecated" ]; then \
-		echo "deprecated query API used outside the facade:"; \
+		echo "removed query API referenced:"; \
 		echo "$$deprecated"; \
 		exit 1; \
 	fi
 	@echo "apicheck: ok"
 
-ci: build apicheck test race stress crash serve
+ci: build apicheck test race stress crash serve shard

@@ -11,6 +11,8 @@
 //	uindexbench -exp table1 -seed 7
 //	uindexbench -parallel 8              # concurrent query throughput
 //	uindexbench -mixed                   # read throughput vs. concurrent writers
+//	uindexbench -mixed -writers 4 -shards 4 -writerate -1 -benchjson BENCH_shard.json
+//	                                     # per-shard writer scaling + distribution
 //	uindexbench -readbench -benchjson BENCH_read.json   # read-path ns/op + allocs/op
 //	uindexbench -readbench -addr self    # same suite over the wire (loopback uindexd)
 //	uindexbench -readbench -addr host:9040   # against a running uindexd
@@ -64,9 +66,11 @@ func run() int {
 		durstr    = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, or sync (sync exposes per-mutation fsync cost in -mixed)")
 		writers   = flag.Int("writers", 1, "writer goroutines in the -mixed benchmark")
 		writerate = flag.Int("writerate", 500, "paced mutations/sec per -mixed writer (-1 = unthrottled)")
+		shards     = flag.Int("shards", 0, "partition each index into this many class-code shards with independent writer locks (0/1 = unsharded); applies to -mixed and -parallel")
+		writebatch = flag.Int("writebatch", 0, "group each -mixed writer's mutations into Apply batches of this size (<=1 = individual Insert/Set calls)")
 		duration  = flag.Duration("duration", 2*time.Second, "length of each -mixed phase")
 		readbench = flag.Bool("readbench", false, "run the read-path benchmark suite (ns/op, allocs/op, queries/sec per query shape, node cache on vs. off)")
-		benchjson = flag.String("benchjson", "", "write -readbench results as JSON to this file (e.g. BENCH_read.json)")
+		benchjson = flag.String("benchjson", "", "write -readbench or -mixed results as JSON to this file (e.g. BENCH_read.json, BENCH_shard.json)")
 		short     = flag.Bool("short", false, "smoke scale for -readbench: small database, same code paths")
 		addr      = flag.String("addr", "", "measure -readbench over the network: 'self' serves the benchmark database on an in-process loopback uindexd, host:port dials a running uindexd")
 		cpuprof   = flag.String("cpuprofile", "", "write a CPU profile to this file")
@@ -165,15 +169,31 @@ func run() int {
 				Seed:       *seed,
 				Dir:        *dir,
 				Durability: durability,
+				Shards:     *shards,
 			},
-			Duration:  *duration,
-			Writers:   *writers,
-			WriteRate: *writerate,
+			Duration:   *duration,
+			Writers:    *writers,
+			WriteRate:  *writerate,
+			WriteBatch: *writebatch,
 		})
 		if err != nil {
 			return fail("uindexbench: mixed: %v", err)
 		}
 		parbench.RenderMixed(os.Stdout, r)
+		if *benchjson != "" {
+			f, err := os.Create(*benchjson)
+			if err != nil {
+				return fail("uindexbench: benchjson: %v", err)
+			}
+			err = parbench.WriteMixedJSON(f, r)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			if err != nil {
+				return fail("uindexbench: benchjson: %v", err)
+			}
+			fmt.Printf("wrote %s\n", *benchjson)
+		}
 		return 0
 	}
 
@@ -197,6 +217,7 @@ func run() int {
 			Seed:       *seed,
 			Dir:        *dir,
 			Durability: durability,
+			Shards:     *shards,
 		})
 		if err != nil {
 			return fail("uindexbench: parallel: %v", err)

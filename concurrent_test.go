@@ -13,6 +13,14 @@ import (
 // class-hierarchy index (color) and a two-ref path index (age).
 func stressDB(t testing.TB, poolPages int) *Database {
 	t.Helper()
+	return stressDBWith(t, Options{PoolPages: poolPages})
+}
+
+// stressDBWith is stressDB with full Options control (shard count, disk
+// directory, durability) — the shard tests build the same deterministic
+// database under every layout.
+func stressDBWith(t testing.TB, opts Options) *Database {
+	t.Helper()
 	s := NewSchema()
 	must := func(err error) {
 		t.Helper()
@@ -31,7 +39,7 @@ func stressDB(t testing.TB, poolPages int) *Database {
 	must(s.AddClass("Truck", "Vehicle"))
 	must(s.AddClass("CompactAutomobile", "Automobile"))
 
-	db, err := NewDatabaseWith(s, Options{PoolPages: poolPages})
+	db, err := NewDatabaseWith(s, opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,7 +105,7 @@ func TestConcurrentQueries(t *testing.T) {
 
 			want := make([][]Match, len(jobs))
 			for i, j := range jobs {
-				ms, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+				ms, _, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm))
 				if err != nil {
 					t.Fatalf("baseline job %d: %v", i, err)
 				}
@@ -113,7 +121,7 @@ func TestConcurrentQueries(t *testing.T) {
 					for rep := 0; rep < 5; rep++ {
 						i := (g + rep) % len(jobs)
 						j := jobs[i]
-						ms, stats, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+						ms, stats, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm))
 						if err != nil {
 							t.Errorf("g%d job %d: %v", g, i, err)
 							return
@@ -130,12 +138,17 @@ func TestConcurrentQueries(t *testing.T) {
 				}(g)
 			}
 			// Textual queries run concurrently with programmatic ones.
+			cx, _ := db.Index("color")
+			parsed, err := ParseQuery(cx, "(Color=Red, Vehicle*)")
+			if err != nil {
+				t.Fatalf("ParseQuery: %v", err)
+			}
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
 				for rep := 0; rep < 10; rep++ {
-					if _, _, err := db.QueryString("color", "(Color=Red, Vehicle*)"); err != nil {
-						t.Errorf("QueryString: %v", err)
+					if _, _, err := db.Query(context.Background(), "color", parsed); err != nil {
+						t.Errorf("parsed query: %v", err)
 						return
 					}
 				}
@@ -154,7 +167,7 @@ func TestQueryParallel(t *testing.T) {
 
 	want := make([][]Match, len(jobs))
 	for i, j := range jobs {
-		ms, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil)
+		ms, _, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -197,7 +210,7 @@ func TestParallelTrackerInvariance(t *testing.T) {
 
 	shared := NewTracker()
 	for _, j := range jobs {
-		if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, shared); err != nil {
+		if _, _, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm), WithTracker(shared)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -209,7 +222,7 @@ func TestParallelTrackerInvariance(t *testing.T) {
 		wg.Add(1)
 		go func(i int, j QueryJob) {
 			defer wg.Done()
-			if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, per[i]); err != nil {
+			if _, _, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm), WithTracker(per[i])); err != nil {
 				t.Error(err)
 			}
 		}(i, j)
@@ -248,7 +261,7 @@ func TestConcurrentReadersWithWriter(t *testing.T) {
 				default:
 				}
 				j := jobs[(g+rep)%len(jobs)]
-				if _, _, err := db.QueryWith(j.Index, j.Query, j.Algorithm, nil); err != nil {
+				if _, _, err := db.Query(context.Background(), j.Index, j.Query, WithAlgorithm(j.Algorithm)); err != nil {
 					t.Errorf("reader %d: %v", g, err)
 					return
 				}

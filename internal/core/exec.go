@@ -75,11 +75,61 @@ type ExecContext struct {
 	Algorithm Algorithm
 	// Stats accumulates cost over every query executed with this context.
 	Stats Stats
+	// shardTrackers are the per-shard page trackers of sharded executions.
+	// Shard files have independent page-id spaces, so one shared tracker
+	// would wrongly deduplicate across files; each shard gets its own and
+	// the reported PagesRead is the sum of per-shard distinct counts. They
+	// persist across queries on the context, preserving the cumulative
+	// buffered-experiment semantics of a reused tracker.
+	shardTrackers []*pager.Tracker
 }
 
 // NewExecContext returns an ExecContext with a fresh tracker.
 func NewExecContext(alg Algorithm) *ExecContext {
 	return &ExecContext{Tracker: pager.NewTracker(), Algorithm: alg}
+}
+
+// ShardTracker returns the context's page tracker for shard i of an n-shard
+// execution, allocating it on first use. n <= 1 is the unsharded case and
+// returns the plain Tracker, so single-shard executions are bit-identical to
+// the historical path.
+func (ec *ExecContext) ShardTracker(i, n int) *pager.Tracker {
+	if n <= 1 {
+		if ec.Tracker == nil {
+			ec.Tracker = pager.NewTracker()
+		}
+		return ec.Tracker
+	}
+	if len(ec.shardTrackers) < n {
+		grown := make([]*pager.Tracker, n)
+		copy(grown, ec.shardTrackers)
+		ec.shardTrackers = grown
+	}
+	if ec.shardTrackers[i] == nil {
+		ec.shardTrackers[i] = pager.NewTracker()
+	}
+	return ec.shardTrackers[i]
+}
+
+// pageCounts sums the context's cumulative page accounting over every
+// tracker it owns: the plain tracker plus any per-shard trackers.
+func (ec *ExecContext) pageCounts() (reads, hits, misses int, bytes int64) {
+	if ec.Tracker != nil {
+		reads += ec.Tracker.Reads()
+		hits += ec.Tracker.CacheHits()
+		misses += ec.Tracker.CacheMisses()
+		bytes += ec.Tracker.BytesDecoded()
+	}
+	for _, tr := range ec.shardTrackers {
+		if tr == nil {
+			continue
+		}
+		reads += tr.Reads()
+		hits += tr.CacheHits()
+		misses += tr.CacheMisses()
+		bytes += tr.BytesDecoded()
+	}
+	return reads, hits, misses, bytes
 }
 
 // view is the read surface a query executes against: the live tree (a
@@ -128,14 +178,25 @@ func (ix *Index) ExecuteCtx(ctx context.Context, q Query, ec *ExecContext, fn fu
 
 // executeView runs a query against an explicit read view.
 func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecContext, fn func(Match) bool) (Stats, error) {
-	if ec.Tracker == nil {
-		ec.Tracker = pager.NewTracker()
-	}
-	tr := ec.Tracker
 	p, err := ix.compile(q)
 	if err != nil {
 		return Stats{}, err
 	}
+	return ix.runPlan(ctx, v, p, ec, func(_ []byte, m Match) bool { return fn(m) })
+}
+
+// runPlan executes a compiled plan against one read view, streaming each
+// match together with its raw entry key — the sharded executor merges
+// per-shard streams in key order, and within one shard the scan emits keys
+// ascending. The plan may have been compiled by another shard of the same
+// index group; shards share spec, coding, and store, so plans are
+// interchangeable.
+func (ix *Index) runPlan(ctx context.Context, v view, p *plan, ec *ExecContext, fn func(key []byte, m Match) bool) (Stats, error) {
+	if ec.Tracker == nil {
+		ec.Tracker = pager.NewTracker()
+	}
+	tr := ec.Tracker
+	var err error
 	stats := Stats{Algorithm: ec.Algorithm, Intervals: len(p.intervals)}
 	lastDistinct := "" // forward-scan duplicate suppression for Distinct
 	emit := func(key []byte) (skipTo []byte, stop bool, err error) {
@@ -147,7 +208,7 @@ func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecConte
 		if m == nil {
 			return skip, false, nil
 		}
-		if q.Distinct > 0 && skip != nil {
+		if p.q.Distinct > 0 && skip != nil {
 			// The skip key doubles as the cluster signature. The
 			// parallel algorithm jumps past the cluster so this
 			// never repeats; the forward scan visits every entry
@@ -159,7 +220,7 @@ func (ix *Index) executeView(ctx context.Context, v view, q Query, ec *ExecConte
 			lastDistinct = sig
 		}
 		stats.Matches++
-		if !fn(*m) {
+		if !fn(key, *m) {
 			return nil, true, nil
 		}
 		return skip, false, nil

@@ -2,6 +2,7 @@ package parallel
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"runtime"
@@ -26,6 +27,19 @@ type MixedConfig struct {
 	// writer on a small machine steals cycles from readers even though no
 	// reader ever waits on a lock. Use WriteRate -1 for unthrottled.
 	WriteRate int
+	// WriteBatch, when >1, groups each writer's mutations into batches of
+	// this size applied with Database.Apply — one writer-lock acquisition
+	// per shard per batch instead of per mutation, and under
+	// DurabilitySync one fsync pair per batch. <=1 issues individual
+	// Insert/Set calls. Pacing ticks per mutation either way.
+	WriteBatch int
+}
+
+// WriterStat is one writer goroutine's slice of the mixed phase.
+type WriterStat struct {
+	Writer       int     `json:"writer"`
+	Writes       int64   `json:"writes"`
+	WritesPerSec float64 `json:"writes_per_sec"`
 }
 
 // MixedResult compares read throughput without and with concurrent writers.
@@ -38,6 +52,17 @@ type MixedResult struct {
 	Ratio         float64 // WithWriterQPS / ReadOnlyQPS
 	Writes        int64   // mutations committed during the mixed phase
 	WritesPerSec  float64
+	// Batches counts Apply calls issued during the mixed phase (0 unless
+	// WriteBatch > 1).
+	Batches int64
+	// PerWriter breaks the mixed-phase mutation count down by writer
+	// goroutine — the fairness view: under one global writer lock the
+	// writers serialize and starve unevenly; per-shard locks level them.
+	PerWriter []WriterStat
+	// ShardDist is the color index's per-shard distribution after the
+	// mixed phase: entries resident and writer-lock acquisitions per
+	// shard. A single-shard run reports one row.
+	ShardDist []uindex.ShardStat
 }
 
 // readPhase runs query workers against db until the deadline and returns the
@@ -111,7 +136,8 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 
 	// Phase 2: same read workload with writers committing concurrently.
 	stop := make(chan struct{})
-	var writes atomic.Int64
+	perWriter := make([]atomic.Int64, cfg.Writers)
+	var batches atomic.Int64
 	var writerErr atomic.Value
 	var wwg sync.WaitGroup
 	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver", "Yellow"}
@@ -126,6 +152,22 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 				defer tick.Stop()
 			}
 			var mine []uindex.OID
+			var batch uindex.Batch
+			flush := func() error {
+				n := batch.Len()
+				if n == 0 {
+					return nil
+				}
+				res, err := db.Apply(context.Background(), &batch)
+				batch.Reset()
+				if err != nil {
+					return err
+				}
+				mine = append(mine, res.OIDs...)
+				perWriter[w].Add(int64(n))
+				batches.Add(1)
+				return nil
+			}
 			for i := 0; ; i++ {
 				if tick != nil {
 					select {
@@ -142,8 +184,25 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 				}
 				var err error
 				switch {
+				case cfg.WriteBatch > 1:
+					// Batched surface: accumulate, apply every WriteBatch
+					// mutations. Sets only reference OIDs from earlier
+					// batches — a batch cannot reference its own inserts.
+					if len(mine) > 0 && i%4 == 3 {
+						batch.Set(mine[i%len(mine)], "Color", colors[i%len(colors)])
+					} else {
+						batch.Insert(classes[(w+i)%len(classes)], uindex.Attrs{
+							"Color": colors[(w+i)%len(colors)],
+						})
+					}
+					if batch.Len() >= cfg.WriteBatch {
+						err = flush()
+					}
 				case len(mine) > 0 && i%4 == 3: // recolor one of ours
 					err = db.Set(mine[i%len(mine)], "Color", colors[i%len(colors)])
+					if err == nil {
+						perWriter[w].Add(1)
+					}
 				default:
 					var oid uindex.OID
 					oid, err = db.Insert(classes[(w+i)%len(classes)], uindex.Attrs{
@@ -151,13 +210,13 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 					})
 					if err == nil {
 						mine = append(mine, oid)
+						perWriter[w].Add(1)
 					}
 				}
 				if err != nil {
 					writerErr.CompareAndSwap(nil, err)
 					return
 				}
-				writes.Add(1)
 			}
 		}(w)
 	}
@@ -176,11 +235,20 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 		Config:        cfg,
 		ReadOnlyQPS:   float64(baseline) / secs,
 		WithWriterQPS: float64(mixed) / secs,
-		Writes:        writes.Load(),
-		WritesPerSec:  float64(writes.Load()) / secs,
+		Batches:       batches.Load(),
+		PerWriter:     make([]WriterStat, cfg.Writers),
 	}
+	for w := range perWriter {
+		n := perWriter[w].Load()
+		res.PerWriter[w] = WriterStat{Writer: w, Writes: n, WritesPerSec: float64(n) / secs}
+		res.Writes += n
+	}
+	res.WritesPerSec = float64(res.Writes) / secs
 	if res.ReadOnlyQPS > 0 {
 		res.Ratio = res.WithWriterQPS / res.ReadOnlyQPS
+	}
+	if dist, ok := db.ShardStats("color"); ok {
+		res.ShardDist = dist
 	}
 	return res, nil
 }
@@ -191,10 +259,74 @@ func RenderMixed(w io.Writer, r *MixedResult) {
 	if r.Config.WriteRate > 0 {
 		rate = fmt.Sprintf("%d writes/sec each", r.Config.WriteRate)
 	}
-	fmt.Fprintf(w, "mixed read/write throughput (%d objects, %d read workers, %d writers %s, %s per phase)\n",
-		r.Config.Objects, r.Config.Workers, r.Config.Writers, rate, r.Config.Duration)
+	shards := r.Config.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	fmt.Fprintf(w, "mixed read/write throughput (%d objects, %d read workers, %d writers %s, %d shards, %s per phase)\n",
+		r.Config.Objects, r.Config.Workers, r.Config.Writers, rate, shards, r.Config.Duration)
 	fmt.Fprintf(w, "  read-only      %.0f queries/sec\n", r.ReadOnlyQPS)
 	fmt.Fprintf(w, "  with writers   %.0f queries/sec\n", r.WithWriterQPS)
 	fmt.Fprintf(w, "  ratio          %.3f (1.0 = writers cost readers nothing)\n", r.Ratio)
 	fmt.Fprintf(w, "  writes         %d committed (%.0f/sec)\n", r.Writes, r.WritesPerSec)
+	if r.Config.WriteBatch > 1 {
+		fmt.Fprintf(w, "  batches        %d Apply calls of up to %d mutations\n", r.Batches, r.Config.WriteBatch)
+	}
+	for _, ws := range r.PerWriter {
+		fmt.Fprintf(w, "  writer %-2d      %d writes (%.0f/sec)\n", ws.Writer, ws.Writes, ws.WritesPerSec)
+	}
+	for _, sd := range r.ShardDist {
+		fmt.Fprintf(w, "  shard %-2d       %d entries, %d lock acquisitions (color index)\n",
+			sd.Shard, sd.Entries, sd.Writes)
+	}
+}
+
+// mixedJSON is the stable JSON shape WriteMixedJSON emits (BENCH_shard.json
+// in the repo's bench pipeline).
+type mixedJSON struct {
+	Objects       int                `json:"objects"`
+	Workers       int                `json:"workers"`
+	Writers       int                `json:"writers"`
+	WriteRate     int                `json:"write_rate"`
+	WriteBatch    int                `json:"write_batch"`
+	Shards        int                `json:"shards"`
+	Durability    int                `json:"durability"`
+	DurationSecs  float64            `json:"duration_secs"`
+	ReadOnlyQPS   float64            `json:"read_only_qps"`
+	WithWriterQPS float64            `json:"with_writer_qps"`
+	Ratio         float64            `json:"ratio"`
+	Writes        int64              `json:"writes"`
+	WritesPerSec  float64            `json:"writes_per_sec"`
+	Batches       int64              `json:"batches"`
+	PerWriter     []WriterStat       `json:"per_writer"`
+	ShardDist     []uindex.ShardStat `json:"shard_dist"`
+}
+
+// WriteMixedJSON emits one RunMixed result as JSON — the machine-readable
+// side of RenderMixed, for comparing shard counts across runs.
+func WriteMixedJSON(w io.Writer, r *MixedResult) error {
+	shards := r.Config.Shards
+	if shards < 1 {
+		shards = 1
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(mixedJSON{
+		Objects:       r.Config.Objects,
+		Workers:       r.Config.Workers,
+		Writers:       r.Config.Writers,
+		WriteRate:     r.Config.WriteRate,
+		WriteBatch:    r.Config.WriteBatch,
+		Shards:        shards,
+		Durability:    int(r.Config.Durability),
+		DurationSecs:  r.Config.Duration.Seconds(),
+		ReadOnlyQPS:   r.ReadOnlyQPS,
+		WithWriterQPS: r.WithWriterQPS,
+		Ratio:         r.Ratio,
+		Writes:        r.Writes,
+		WritesPerSec:  r.WritesPerSec,
+		Batches:       r.Batches,
+		PerWriter:     r.PerWriter,
+		ShardDist:     r.ShardDist,
+	})
 }

@@ -35,6 +35,11 @@ type Config struct {
 	// benchmark's writer throughput).
 	Dir        string
 	Durability uindex.Durability
+	// Shards partitions each index into this many class-code shards, each
+	// with its own writer lock (0/1 = unsharded). The mixed benchmark's
+	// writers spread across the shard map, so writer throughput scales
+	// with the shard count until the cores run out.
+	Shards int
 }
 
 // Result reports aggregate throughput of one QueryParallel batch
@@ -82,7 +87,7 @@ func buildParallelDB(cfg Config) (*uindex.Database, error) {
 	}
 	db, err := uindex.NewDatabaseWith(s, uindex.Options{
 		PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy, NodeCacheSize: cfg.NodeCacheSize,
-		Dir: cfg.Dir, Durability: cfg.Durability,
+		Dir: cfg.Dir, Durability: cfg.Durability, Shards: cfg.Shards,
 	})
 	if err != nil {
 		return nil, err

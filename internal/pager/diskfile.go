@@ -273,12 +273,43 @@ func OpenDiskFile(path string) (*DiskFile, error) {
 	return d, nil
 }
 
+// OpenDiskFileAt is OpenDiskFile pinned to an explicit generation; see
+// OpenDiskFileOnAt.
+func OpenDiskFileAt(path string, gen uint64) (*DiskFile, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	d, err := OpenDiskFileOnAt(osBlock{f}, gen)
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return d, nil
+}
+
 // OpenDiskFileOn recovers a page file from an arbitrary BlockFile. It
 // selects the newest header slot with a valid checksum, adopts orphaned
 // shadow pages written after that checkpoint into the pending free list,
 // and rebuilds the allocable free list from the on-disk chain. Structural
 // damage returns an error matching ErrCorruptFile.
 func OpenDiskFileOn(b BlockFile) (*DiskFile, error) {
+	return openDiskFileOn(b, 0, false)
+}
+
+// OpenDiskFileOnAt recovers a page file at an explicit header generation
+// instead of the newest one — the rollback a shard manifest performs when a
+// crash separated a shard's checkpoint from the manifest commit recording
+// it. Opening at generation g is sound while the file's newest generation is
+// at most g+1: Alloc preserves the committed generation's sidecar free
+// links, shadow writes only touch pages free at g, and the next checkpoint
+// from the reopened state publishes g+1 over the orphaned slot. The missing
+// generation reports ErrCorruptFile.
+func OpenDiskFileOnAt(b BlockFile, gen uint64) (*DiskFile, error) {
+	return openDiskFileOn(b, gen, true)
+}
+
+func openDiskFileOn(b BlockFile, wantGen uint64, pinned bool) (*DiskFile, error) {
 	size, err := b.Size()
 	if err != nil {
 		return nil, err
@@ -294,6 +325,15 @@ func OpenDiskFileOn(b BlockFile) (*DiskFile, error) {
 	h1, ok1 := decodeHeader(pair[headerSlotSize:])
 	var hdr diskHeader
 	switch {
+	case pinned:
+		switch {
+		case ok0 && h0.gen == wantGen:
+			hdr = h0
+		case ok1 && h1.gen == wantGen:
+			hdr = h1
+		default:
+			return nil, fmt.Errorf("%w: no valid header for generation %d", ErrCorruptFile, wantGen)
+		}
 	case ok0 && ok1:
 		hdr = h0
 		if h1.gen > h0.gen {

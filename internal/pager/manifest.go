@@ -1,0 +1,289 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"sync"
+)
+
+// Manifest is the commit record of a sharded index: a tiny BlockFile that
+// atomically publishes one generation number per shard file, plus the
+// immutable shard routing bounds. It turns K independently shadow-paged
+// DiskFiles into one crash-consistent unit:
+//
+//   - Each shard file checkpoints on its own (Sync), which bumps that file's
+//     header generation. A crash between two shards' checkpoints would
+//     otherwise recover the shards at different logical points.
+//
+//   - After every group of shard checkpoints, Commit writes the vector of
+//     shard generations into the inactive one of two alternating checksummed
+//     slots and fsyncs. Recovery reads the newest valid slot and reopens
+//     every shard file pinned AT its recorded generation
+//     (OpenDiskFileOnAt), rolling back any shard whose checkpoint made it to
+//     disk without the manifest commit that would have published it.
+//
+//   - This is sound because the engine holds every touched shard's writer
+//     lock across checkpoint + Commit: a shard file's newest generation can
+//     lead its manifest-recorded generation by at most one, which is exactly
+//     the rollback window OpenDiskFileOnAt supports.
+//
+// The file layout is fault-injection friendly (no rename tricks, works on a
+// raw BlockFile): a checksummed preamble at offset 0 carrying the shard
+// count and routing bounds, then two 512-byte-aligned slots at offsets 512
+// and 1024 selected by generation parity. Torn writes hit only the slot
+// being written; the other slot stays valid.
+type Manifest struct {
+	mu     sync.Mutex
+	b      BlockFile
+	shards int
+	bounds [][]byte
+	gen    uint64   // generation of the last durable slot
+	gens   []uint64 // shard generations of that slot
+}
+
+const (
+	manifestMagic   = 0x5549584d // "UIXM"
+	manifestVersion = 1
+
+	// MaxShards bounds the shard count so a slot (8-byte slot generation,
+	// 8 bytes per shard generation, 4-byte CRC) fits in its 512-byte cell.
+	MaxShards = 62
+
+	manifestSlot0Off = 512
+	manifestSlotSize = 512
+)
+
+func manifestSlotOff(gen uint64) int64 {
+	return manifestSlot0Off + int64(gen%2)*manifestSlotSize
+}
+
+// CreateManifestOn initializes a manifest on an empty BlockFile: it writes
+// the preamble for len(gens) shards with the given routing bounds
+// (len(bounds) must be len(gens)-1), commits the initial shard-generation
+// vector as slot generation 1, and syncs. Bounds longer than the preamble
+// cell (512 bytes total) are rejected.
+func CreateManifestOn(b BlockFile, bounds [][]byte, gens []uint64) (*Manifest, error) {
+	shards := len(gens)
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("pager: manifest shard count %d out of range [1,%d]", shards, MaxShards)
+	}
+	if len(bounds) != shards-1 {
+		return nil, fmt.Errorf("pager: manifest has %d bounds for %d shards (want %d)",
+			len(bounds), shards, shards-1)
+	}
+	pre := make([]byte, 0, manifestSlot0Off)
+	pre = binary.BigEndian.AppendUint32(pre, manifestMagic)
+	pre = binary.BigEndian.AppendUint32(pre, manifestVersion)
+	pre = binary.BigEndian.AppendUint32(pre, uint32(shards))
+	pre = binary.BigEndian.AppendUint32(pre, uint32(len(bounds)))
+	for _, bd := range bounds {
+		if len(bd) > 0xffff {
+			return nil, fmt.Errorf("pager: manifest bound of %d bytes too long", len(bd))
+		}
+		pre = binary.BigEndian.AppendUint16(pre, uint16(len(bd)))
+		pre = append(pre, bd...)
+	}
+	pre = binary.BigEndian.AppendUint32(pre, crc32.Checksum(pre, castagnoli))
+	if len(pre) > manifestSlot0Off {
+		return nil, fmt.Errorf("pager: manifest preamble %d bytes exceeds %d (bounds too long)",
+			len(pre), manifestSlot0Off)
+	}
+	// Zero the whole fixed region first so the file spans complete cells
+	// and a stale slot from a recycled file can never decode as valid.
+	if _, err := b.WriteAt(make([]byte, manifestSlot0Off+2*manifestSlotSize), 0); err != nil {
+		return nil, err
+	}
+	if _, err := b.WriteAt(pre, 0); err != nil {
+		return nil, err
+	}
+	m := &Manifest{
+		b:      b,
+		shards: shards,
+		bounds: cloneBounds(bounds),
+	}
+	if err := m.Commit(gens); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// OpenManifestOn recovers a manifest: it validates the preamble and picks
+// the newest of the two slots with a valid checksum. A damaged preamble or
+// no valid slot reports an error matching ErrCorruptFile.
+func OpenManifestOn(b BlockFile) (*Manifest, error) {
+	size, err := b.Size()
+	if err != nil {
+		return nil, err
+	}
+	if size < manifestSlot0Off+2*manifestSlotSize {
+		return nil, fmt.Errorf("%w: manifest too short (%d bytes)", ErrCorruptFile, size)
+	}
+	var pre [manifestSlot0Off]byte
+	if err := readFull(b, pre[:], 0); err != nil {
+		return nil, fmt.Errorf("%w: reading manifest preamble: %v", ErrCorruptFile, err)
+	}
+	if binary.BigEndian.Uint32(pre[0:]) != manifestMagic {
+		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorruptFile)
+	}
+	if v := binary.BigEndian.Uint32(pre[4:]); v != manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorruptFile, v)
+	}
+	shards := int(binary.BigEndian.Uint32(pre[8:]))
+	nbounds := int(binary.BigEndian.Uint32(pre[12:]))
+	if shards < 1 || shards > MaxShards || nbounds != shards-1 {
+		return nil, fmt.Errorf("%w: manifest geometry %d shards / %d bounds", ErrCorruptFile, shards, nbounds)
+	}
+	off := 16
+	bounds := make([][]byte, 0, nbounds)
+	for i := 0; i < nbounds; i++ {
+		if off+2 > len(pre) {
+			return nil, fmt.Errorf("%w: manifest bound %d past preamble cell", ErrCorruptFile, i)
+		}
+		n := int(binary.BigEndian.Uint16(pre[off:]))
+		off += 2
+		if off+n > len(pre) {
+			return nil, fmt.Errorf("%w: manifest bound %d past preamble cell", ErrCorruptFile, i)
+		}
+		bounds = append(bounds, append([]byte(nil), pre[off:off+n]...))
+		off += n
+	}
+	if off+4 > len(pre) {
+		return nil, fmt.Errorf("%w: manifest preamble overflows its cell", ErrCorruptFile)
+	}
+	if binary.BigEndian.Uint32(pre[off:]) != crc32.Checksum(pre[:off], castagnoli) {
+		return nil, fmt.Errorf("%w: manifest preamble failed checksum verification", ErrCorruptFile)
+	}
+	m := &Manifest{b: b, shards: shards, bounds: bounds}
+	slotLen := 8 + 8*shards + 4
+	buf := make([]byte, slotLen)
+	for parity := uint64(0); parity < 2; parity++ {
+		if err := readFull(b, buf, manifestSlotOff(parity)); err != nil {
+			continue
+		}
+		gen, gens, ok := decodeManifestSlot(buf, shards, parity)
+		if ok && gen > m.gen {
+			m.gen, m.gens = gen, gens
+		}
+	}
+	if m.gen == 0 {
+		return nil, fmt.Errorf("%w: manifest has no valid commit slot", ErrCorruptFile)
+	}
+	return m, nil
+}
+
+// decodeManifestSlot validates one slot: checksum, nonzero generation, and
+// generation parity matching the slot's position (a valid-looking slot in
+// the wrong cell is corruption, since commits only ever write a generation
+// to its own parity cell).
+func decodeManifestSlot(buf []byte, shards int, parity uint64) (uint64, []uint64, bool) {
+	n := 8 + 8*shards
+	if binary.BigEndian.Uint32(buf[n:]) != crc32.Checksum(buf[:n], castagnoli) {
+		return 0, nil, false
+	}
+	gen := binary.BigEndian.Uint64(buf)
+	if gen == 0 || gen%2 != parity {
+		return 0, nil, false
+	}
+	gens := make([]uint64, shards)
+	for i := range gens {
+		gens[i] = binary.BigEndian.Uint64(buf[8+8*i:])
+	}
+	return gen, gens, true
+}
+
+// CreateManifestFile creates path (truncating any previous contents) and
+// initializes a manifest on it.
+func CreateManifestFile(path string, bounds [][]byte, gens []uint64) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m, err := CreateManifestOn(osBlock{f}, bounds, gens)
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// OpenManifestFile opens an existing manifest file.
+func OpenManifestFile(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR, 0)
+	if err != nil {
+		return nil, err
+	}
+	m, err := OpenManifestOn(osBlock{f})
+	if err != nil {
+		f.Close()
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return m, nil
+}
+
+// Commit atomically publishes a new shard-generation vector: it writes the
+// inactive slot, fsyncs, and only then advances the in-memory generation.
+// A crash anywhere in between leaves the previous commit intact.
+func (m *Manifest) Commit(gens []uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(gens) != m.shards {
+		return fmt.Errorf("pager: manifest commit with %d generations for %d shards", len(gens), m.shards)
+	}
+	next := m.gen + 1
+	buf := make([]byte, 0, 8+8*m.shards+4)
+	buf = binary.BigEndian.AppendUint64(buf, next)
+	for _, g := range gens {
+		buf = binary.BigEndian.AppendUint64(buf, g)
+	}
+	buf = binary.BigEndian.AppendUint32(buf, crc32.Checksum(buf, castagnoli))
+	if _, err := m.b.WriteAt(buf, manifestSlotOff(next)); err != nil {
+		return err
+	}
+	if err := m.b.Sync(); err != nil {
+		return err
+	}
+	m.gen = next
+	m.gens = append(m.gens[:0], gens...)
+	return nil
+}
+
+// Shards returns the shard count the manifest was created with.
+func (m *Manifest) Shards() int { return m.shards }
+
+// Bounds returns the routing bounds (len = Shards()-1) recorded at creation.
+func (m *Manifest) Bounds() [][]byte {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return cloneBounds(m.bounds)
+}
+
+// Gen returns the manifest's own commit generation.
+func (m *Manifest) Gen() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.gen
+}
+
+// Gens returns the last committed per-shard generation vector — the
+// generations recovery must reopen the shard files at.
+func (m *Manifest) Gens() []uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]uint64(nil), m.gens...)
+}
+
+// Close closes the underlying BlockFile.
+func (m *Manifest) Close() error {
+	return m.b.Close()
+}
+
+func cloneBounds(bounds [][]byte) [][]byte {
+	out := make([][]byte, len(bounds))
+	for i, bd := range bounds {
+		out[i] = append([]byte(nil), bd...)
+	}
+	return out
+}

@@ -233,6 +233,31 @@ func (c *Client) Delete(ctx context.Context, oid uindex.OID) error {
 	return err
 }
 
+// ApplyBatch executes a batch of mutations in one round trip with the
+// semantics of Database.Apply: one writer-lock acquisition per index shard,
+// operations applied in order, first failure stops the batch (earlier
+// operations stay applied — the error response carries no per-op result, so
+// re-derive state with a query if that matters). The session snapshot is
+// refreshed afterwards. Batches larger than the frame limit must be chunked
+// by the caller.
+func (c *Client) ApplyBatch(ctx context.Context, b *uindex.Batch) (uindex.BatchResult, error) {
+	if b == nil || b.Len() == 0 {
+		return uindex.BatchResult{}, nil
+	}
+	if b.Len() > maxOpsPerBatch {
+		return uindex.BatchResult{}, fmt.Errorf("%w: batch of %d operations exceeds %d", ErrBadRequest, b.Len(), maxOpsPerBatch)
+	}
+	body, err := c.call(ctx, request{op: OpBatch, ops: b.Ops()})
+	if err != nil {
+		return uindex.BatchResult{}, err
+	}
+	res, _, err := readBatchResult(body)
+	if err != nil {
+		return uindex.BatchResult{}, fmt.Errorf("server: malformed batch response: %w", err)
+	}
+	return res, nil
+}
+
 // Checkpoint makes every disk-backed index durable.
 func (c *Client) Checkpoint(ctx context.Context) error {
 	_, err := c.call(ctx, request{op: OpCheckpoint})

@@ -1,6 +1,8 @@
 package server
 
 import (
+	"fmt"
+
 	uindex "repro"
 	"repro/internal/obs"
 )
@@ -11,7 +13,7 @@ import (
 // every request lands in exactly one series.
 var shapes = []string{
 	"exact", "range", "subtree", "parscan",
-	"write", "checkpoint", "refresh", "ping",
+	"write", "batch", "checkpoint", "refresh", "ping",
 }
 
 // queryShape classifies one compiled query:
@@ -142,6 +144,10 @@ func registerEngine(reg *obs.Registry, db *uindex.Database) {
 		func(m uindex.Metrics) uint64 { return m.Sets })
 	counter("uindex_write_errors_total", "Mutations that returned an error.",
 		func(m uindex.Metrics) uint64 { return m.WriteErrors })
+	counter("uindex_batches_total", "Completed Apply (batch) calls.",
+		func(m uindex.Metrics) uint64 { return m.Batches })
+	counter("uindex_batch_ops_total", "Operations applied by batches.",
+		func(m uindex.Metrics) uint64 { return m.BatchOps })
 	counter("uindex_checkpoints_total", "Completed Checkpoint calls.",
 		func(m uindex.Metrics) uint64 { return m.Checkpoints })
 	counter("uindex_snapshots_taken_total", "Snapshots ever pinned.",
@@ -152,4 +158,35 @@ func registerEngine(reg *obs.Registry, db *uindex.Database) {
 		func() float64 { return float64(db.Metrics().NodeCache.Entries) })
 	reg.GaugeFunc("uindex_indexes", "Declared indexes.",
 		func() float64 { return float64(db.Metrics().Indexes) })
+
+	// Per-shard series, one (index, shard) label pair each. The shard
+	// topology is fixed once the database opens, so the labels are fixed at
+	// registration; the values read the live ShardStats at scrape.
+	for _, name := range db.Indexes() {
+		stats, ok := db.ShardStats(name)
+		if !ok {
+			continue
+		}
+		for i := range stats {
+			name, shard := name, i
+			labels := []obs.Label{
+				{Name: "index", Value: name},
+				{Name: "shard", Value: fmt.Sprint(shard)},
+			}
+			reg.GaugeFunc("uindex_shard_entries",
+				"Index entries resident per shard.", func() float64 {
+					if ss, ok := db.ShardStats(name); ok && shard < len(ss) {
+						return float64(ss[shard].Entries)
+					}
+					return 0
+				}, labels...)
+			reg.CounterFunc("uindex_shard_writes_total",
+				"Mutations that acquired the shard's writer lock.", func() float64 {
+					if ss, ok := db.ShardStats(name); ok && shard < len(ss) {
+						return float64(ss[shard].Writes)
+					}
+					return 0
+				}, labels...)
+		}
+	}
 }

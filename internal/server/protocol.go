@@ -54,6 +54,7 @@ const (
 	OpDelete     Op = 5 // body: oid(4) → empty
 	OpCheckpoint Op = 6 // body: empty → empty
 	OpRefresh    Op = 7 // body: empty → empty; re-pins the session snapshot
+	OpBatch      Op = 8 // body: nops ‖ op* → applied ‖ noids ‖ oid(4)*
 )
 
 // queryFlagForward selects the forward-scanning baseline algorithm.
@@ -247,11 +248,16 @@ type request struct {
 	oid   uindex.OID // OpSet, OpDelete
 	attr  string     // OpSet
 	value any        // OpSet
+	ops   []uindex.BatchOp // OpBatch
 }
 
 // maxAttrsPerInsert bounds the attribute count of one insert so a hostile
 // count prefix cannot drive allocation.
 const maxAttrsPerInsert = 1024
+
+// maxOpsPerBatch bounds one OpBatch frame so a hostile count prefix cannot
+// drive allocation; clients chunk larger batches across frames.
+const maxOpsPerBatch = 4096
 
 // decodeRequest parses a request payload. The header (op, id) parses
 // first, so even a malformed body yields an id the error response can be
@@ -335,10 +341,116 @@ func decodeRequest(payload []byte) (request, error) {
 		if len(body) != 0 {
 			return req, errShortFrame
 		}
+	case OpBatch:
+		var n uint64
+		if n, body, err = readUvarint(body); err != nil {
+			return req, err
+		}
+		if n > maxOpsPerBatch {
+			return req, fmt.Errorf("%w: %d batch operations", errShortFrame, n)
+		}
+		req.ops = make([]uindex.BatchOp, 0, n)
+		for i := uint64(0); i < n; i++ {
+			var op uindex.BatchOp
+			if op, body, err = readBatchOp(body); err != nil {
+				return req, err
+			}
+			req.ops = append(req.ops, op)
+		}
+		if len(body) != 0 {
+			return req, errShortFrame
+		}
 	default:
 		return req, fmt.Errorf("%w: unknown opcode %d", errShortFrame, req.op)
 	}
 	return req, nil
+}
+
+// readBatchOp decodes one batch operation: a kind byte, then the fields of
+// that kind — insert carries class and attributes like OpInsert, set and
+// delete carry the oid (and for set the attribute and tagged value) like
+// OpSet/OpDelete.
+func readBatchOp(b []byte) (uindex.BatchOp, []byte, error) {
+	var op uindex.BatchOp
+	if len(b) < 1 {
+		return op, nil, errShortFrame
+	}
+	kind, b := uindex.BatchOpKind(b[0]), b[1:]
+	op.Kind = kind
+	var err error
+	switch kind {
+	case uindex.BatchInsert:
+		if op.Class, b, err = readString(b); err != nil {
+			return op, nil, err
+		}
+		var n uint64
+		if n, b, err = readUvarint(b); err != nil {
+			return op, nil, err
+		}
+		if n > maxAttrsPerInsert {
+			return op, nil, fmt.Errorf("%w: %d attributes", errShortFrame, n)
+		}
+		op.Attrs = make(uindex.Attrs, n)
+		for i := uint64(0); i < n; i++ {
+			var name string
+			if name, b, err = readString(b); err != nil {
+				return op, nil, err
+			}
+			if op.Attrs[name], b, err = readValue(b); err != nil {
+				return op, nil, err
+			}
+		}
+	case uindex.BatchSet:
+		var oid uint32
+		if oid, b, err = readUint32(b); err != nil {
+			return op, nil, err
+		}
+		op.OID = uindex.OID(oid)
+		if op.Attr, b, err = readString(b); err != nil {
+			return op, nil, err
+		}
+		if op.Value, b, err = readValue(b); err != nil {
+			return op, nil, err
+		}
+	case uindex.BatchDelete:
+		var oid uint32
+		if oid, b, err = readUint32(b); err != nil {
+			return op, nil, err
+		}
+		op.OID = uindex.OID(oid)
+	default:
+		return op, nil, fmt.Errorf("%w: unknown batch op kind %d", errShortFrame, uint8(kind))
+	}
+	return op, b, nil
+}
+
+// appendBatchOp encodes one batch operation (the client side of
+// readBatchOp).
+func appendBatchOp(b []byte, op uindex.BatchOp) ([]byte, error) {
+	b = append(b, byte(op.Kind))
+	var err error
+	switch op.Kind {
+	case uindex.BatchInsert:
+		b = appendString(b, op.Class)
+		b = binary.AppendUvarint(b, uint64(len(op.Attrs)))
+		for name, v := range op.Attrs {
+			b = appendString(b, name)
+			if b, err = appendValue(b, v); err != nil {
+				return nil, err
+			}
+		}
+	case uindex.BatchSet:
+		b = binary.BigEndian.AppendUint32(b, uint32(op.OID))
+		b = appendString(b, op.Attr)
+		if b, err = appendValue(b, op.Value); err != nil {
+			return nil, err
+		}
+	case uindex.BatchDelete:
+		b = binary.BigEndian.AppendUint32(b, uint32(op.OID))
+	default:
+		return nil, fmt.Errorf("server: cannot encode batch op kind %d", uint8(op.Kind))
+	}
+	return b, nil
 }
 
 // encodeRequest builds a request payload (the client side of
@@ -376,6 +488,14 @@ func encodeRequest(req request) ([]byte, error) {
 		}
 	case OpDelete:
 		b = binary.BigEndian.AppendUint32(b, uint32(req.oid))
+	case OpBatch:
+		b = binary.AppendUvarint(b, uint64(len(req.ops)))
+		for _, op := range req.ops {
+			var err error
+			if b, err = appendBatchOp(b, op); err != nil {
+				return nil, err
+			}
+		}
 	default:
 		return nil, fmt.Errorf("server: cannot encode opcode %d", req.op)
 	}
@@ -485,6 +605,38 @@ func readMatches(b []byte) ([]uindex.Match, []byte, error) {
 		ms = append(ms, m)
 	}
 	return ms, b, nil
+}
+
+// appendBatchResult encodes an Apply result: the applied-operation count,
+// then the OIDs assigned to the batch's inserts in operation order.
+func appendBatchResult(b []byte, res uindex.BatchResult) []byte {
+	b = binary.AppendUvarint(b, uint64(res.Applied))
+	b = binary.AppendUvarint(b, uint64(len(res.OIDs)))
+	for _, oid := range res.OIDs {
+		b = binary.BigEndian.AppendUint32(b, uint32(oid))
+	}
+	return b
+}
+
+func readBatchResult(b []byte) (uindex.BatchResult, []byte, error) {
+	var res uindex.BatchResult
+	applied, b, err := readUvarint(b)
+	if err != nil {
+		return res, nil, err
+	}
+	res.Applied = int(applied)
+	n, b, err := readUvarint(b)
+	if err != nil {
+		return res, nil, err
+	}
+	for i := uint64(0); i < n; i++ { // grown per element: n is untrusted
+		var oid uint32
+		if oid, b, err = readUint32(b); err != nil {
+			return res, nil, err
+		}
+		res.OIDs = append(res.OIDs, uindex.OID(oid))
+	}
+	return res, b, nil
 }
 
 // codeOf maps an engine error to its wire code.

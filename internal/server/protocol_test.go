@@ -55,6 +55,11 @@ func TestRequestRoundTrip(t *testing.T) {
 		}},
 		{op: OpSet, id: 7, oid: 9, attr: "Color", value: "Red"},
 		{op: OpDelete, id: 8, oid: 12},
+		{op: OpBatch, id: 9, ops: []uindex.BatchOp{
+			{Kind: uindex.BatchInsert, Class: "Automobile", Attrs: uindex.Attrs{"Color": "Red"}},
+			{Kind: uindex.BatchSet, OID: 4, Attr: "Color", Value: "Blue"},
+			{Kind: uindex.BatchDelete, OID: 7},
+		}},
 	}
 	for _, want := range reqs {
 		payload, err := encodeRequest(want)
@@ -105,6 +110,11 @@ func TestDecodeRequestRejects(t *testing.T) {
 		mk(OpSet, 0, 0, 0, 1),                              // missing attr name
 		mk(OpDelete, 0, 0, 0),                              // short oid
 		mk(OpSet, 0, 0, 0, 1, 1, 'A', 200),                 // unknown value tag
+		mk(OpBatch),                                        // missing op count
+		mk(OpBatch, 0xFF, 0xFF, 0xFF, 0xFF, 0x7F),          // hostile op count
+		mk(OpBatch, 1, 99),                                 // unknown batch op kind
+		mk(OpBatch, 1, 3, 0, 0, 0),                         // delete with short oid
+		mk(OpBatch, 1, 3, 0, 0, 0, 1, 0xAA),                // trailing bytes
 	}
 	for i, payload := range cases {
 		if _, err := decodeRequest(payload); err == nil {

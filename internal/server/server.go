@@ -505,6 +505,33 @@ func (c *conn) execute(ctx context.Context, req request) (shape string, payload 
 			return "write", nil, err
 		}
 		return "write", encodeResponseHeader(CodeOK, req.id), nil
+	case OpBatch:
+		var b uindex.Batch
+		for _, op := range req.ops {
+			switch op.Kind {
+			case uindex.BatchInsert:
+				b.Insert(op.Class, op.Attrs)
+			case uindex.BatchSet:
+				b.Set(op.OID, op.Attr, op.Value)
+			case uindex.BatchDelete:
+				b.Delete(op.OID)
+			}
+		}
+		res, err := db.Apply(ctx, &b)
+		if err != nil {
+			// Applied operations stay applied (Apply is not a transaction),
+			// but the error response carries no result body; refresh anyway
+			// so the session observes the partial batch.
+			if res.Applied > 0 {
+				c.refreshSession()
+			}
+			return "batch", nil, err
+		}
+		if err := c.refreshSession(); err != nil {
+			return "batch", nil, err
+		}
+		out := encodeResponseHeader(CodeOK, req.id)
+		return "batch", appendBatchResult(out, res), nil
 	case OpCheckpoint:
 		if err := db.Checkpoint(); err != nil {
 			return "checkpoint", nil, err

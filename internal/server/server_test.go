@@ -221,6 +221,68 @@ func runClientWorkload(ctx context.Context, addr string, i int) error {
 	return c.Ping(ctx)
 }
 
+// TestApplyBatch exercises the batched write surface over the wire: one
+// round trip applies several inserts, read-your-write sees all of them, a
+// second batch mutates and deletes them, and planning errors come back as
+// typed errors without applying anything.
+func TestApplyBatch(t *testing.T) {
+	srv, db := newTestServer(t, nil)
+	defer db.Close()
+	defer srv.Shutdown(context.Background())
+	ctx := context.Background()
+	c := dialT(t, srv)
+	defer c.Close()
+
+	// Empty batches are free.
+	if res, err := c.ApplyBatch(ctx, &uindex.Batch{}); err != nil || res.Applied != 0 {
+		t.Fatalf("empty batch: %+v, %v", res, err)
+	}
+
+	var b uindex.Batch
+	const n = 5
+	for i := 0; i < n; i++ {
+		b.Insert("Automobile", uindex.Attrs{"Name": fmt.Sprintf("B%d", i), "Color": "Zbatch"})
+	}
+	res, err := c.ApplyBatch(ctx, &b)
+	if err != nil {
+		t.Fatalf("ApplyBatch: %v", err)
+	}
+	if res.Applied != n || len(res.OIDs) != n {
+		t.Fatalf("ApplyBatch result = %+v", res)
+	}
+	// Read-your-write: the session snapshot refreshed with the batch.
+	if ms, _, err := c.Query(ctx, "color", "(Color=Zbatch, Vehicle*)"); err != nil || len(ms) != n {
+		t.Fatalf("post-batch query: %d matches, err %v", len(ms), err)
+	}
+
+	// Second batch: recolor one, delete the rest.
+	b.Reset()
+	b.Set(res.OIDs[0], "Color", "Zkept")
+	for _, oid := range res.OIDs[1:] {
+		b.Delete(oid)
+	}
+	res2, err := c.ApplyBatch(ctx, &b)
+	if err != nil || res2.Applied != n {
+		t.Fatalf("second batch: %+v, %v", res2, err)
+	}
+	if ms, _, err := c.Query(ctx, "color", "(Color=Zbatch, Vehicle*)"); err != nil || len(ms) != 0 {
+		t.Fatalf("post-delete query: %d matches, err %v", len(ms), err)
+	}
+	if ms, _, err := c.Query(ctx, "color", "(Color=Zkept, Vehicle*)"); err != nil || len(ms) != 1 {
+		t.Fatalf("post-set query: %d matches, err %v", len(ms), err)
+	}
+
+	// Planning failure: unknown class rejects the whole batch before any op.
+	b.Reset()
+	b.Insert("Ghost", uindex.Attrs{"Color": "Znever"})
+	if _, err := c.ApplyBatch(ctx, &b); !errors.Is(err, uindex.ErrUnknownClass) {
+		t.Fatalf("unknown-class batch error = %v", err)
+	}
+	if ms, _, err := c.Query(ctx, "color", "(Color=Znever, Vehicle*)"); err != nil || len(ms) != 0 {
+		t.Fatalf("rejected batch leaked a write: %d matches, err %v", len(ms), err)
+	}
+}
+
 // TestSnapshotIsolation pins the session-snapshot semantics: a session does
 // not observe another session's committed write until it refreshes.
 func TestSnapshotIsolation(t *testing.T) {

@@ -38,6 +38,12 @@ type Metrics struct {
 	Sets        uint64
 	WriteErrors uint64
 
+	// Batches counts completed Apply calls; BatchOps the operations they
+	// applied (those are also counted individually under
+	// Inserts/Sets/Deletes).
+	Batches  uint64
+	BatchOps uint64
+
 	// Checkpoints counts completed Checkpoint calls.
 	Checkpoints uint64
 
@@ -49,6 +55,24 @@ type Metrics struct {
 
 	// Indexes is the number of declared indexes.
 	Indexes int
+
+	// Shards maps each index name to its per-shard series — entry counts
+	// and write-lock traffic — in shard order. Unsharded indexes appear
+	// with a single-element slice.
+	Shards map[string][]ShardStat
+}
+
+// ShardStat is one shard's slice of an index's per-shard metrics.
+type ShardStat struct {
+	// Shard is the shard's position in its group (0-based).
+	Shard int `json:"shard"`
+	// Entries is the number of index entries currently in the shard's
+	// tree.
+	Entries int `json:"entries"`
+	// Writes counts the mutations that acquired this shard's writer lock
+	// since the database opened — the shard-distribution metric for write
+	// workloads.
+	Writes uint64 `json:"writes"`
 }
 
 // counters is the facade's cumulative side of Metrics; every field is
@@ -63,6 +87,8 @@ type counters struct {
 	deletes        atomic.Uint64
 	sets           atomic.Uint64
 	writeErrors    atomic.Uint64
+	batches        atomic.Uint64
+	batchOps       atomic.Uint64
 	checkpoints    atomic.Uint64
 	snapsTaken     atomic.Uint64
 	snapsActive    atomic.Int64
@@ -102,6 +128,8 @@ func (db *Database) Metrics() Metrics {
 		Deletes:         db.ctrs.deletes.Load(),
 		Sets:            db.ctrs.sets.Load(),
 		WriteErrors:     db.ctrs.writeErrors.Load(),
+		Batches:         db.ctrs.batches.Load(),
+		BatchOps:        db.ctrs.batchOps.Load(),
 		Checkpoints:     db.ctrs.checkpoints.Load(),
 		SnapshotsTaken:  db.ctrs.snapsTaken.Load(),
 		SnapshotsActive: uint64(max(0, db.ctrs.snapsActive.Load())),
@@ -109,7 +137,51 @@ func (db *Database) Metrics() Metrics {
 	m.Pool, m.PoolEnabled = db.PoolStats()
 	m.NodeCache = db.NodeCacheStats()
 	db.mu.RLock()
-	m.Indexes = len(db.indexes)
+	m.Indexes = len(db.groups)
+	m.Shards = make(map[string][]ShardStat, len(db.groups))
+	for name, g := range db.groups {
+		m.Shards[name] = g.shardStats()
+	}
 	db.mu.RUnlock()
 	return m
+}
+
+// shardStats reads one group's per-shard series. Entry counts come from the
+// live trees (O(1) per shard) and may be mid-mutation; the write counters
+// are monotone.
+func (g *indexGroup) shardStats() []ShardStat {
+	out := make([]ShardStat, g.sharded.NumShards())
+	for i := range out {
+		out[i] = ShardStat{
+			Shard:   i,
+			Entries: g.sharded.Shard(i).Len(),
+			Writes:  g.shardWrites[i].Load(),
+		}
+	}
+	return out
+}
+
+// ShardStats returns the per-shard series of one index (see ShardStat); ok
+// is false when the index does not exist. Unsharded indexes report a single
+// shard.
+func (db *Database) ShardStats(index string) ([]ShardStat, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	g, ok := db.groups[index]
+	if !ok {
+		return nil, false
+	}
+	return g.shardStats(), true
+}
+
+// NumShards returns the shard count of one index; ok is false when the
+// index does not exist.
+func (db *Database) NumShards(index string) (int, bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	g, ok := db.groups[index]
+	if !ok {
+		return 0, false
+	}
+	return g.sharded.NumShards(), true
 }

@@ -7,6 +7,7 @@ package uindex
 // the per-package property tests.
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -143,7 +144,7 @@ func (w *oracleWorld) checkColorQuery() {
 		}
 	}
 	for _, alg := range []Algorithm{Parallel, Forward} {
-		ms, _, err := w.db.QueryWith("color", q, alg, nil)
+		ms, _, err := w.db.Query(context.Background(), "color", q, WithAlgorithm(alg))
 		if err != nil {
 			w.t.Fatal(err)
 		}
@@ -201,7 +202,7 @@ func (w *oracleWorld) checkAgeQuery() {
 		wantDistinct[prefix{ch[2], ch[1]}] = true
 	}
 	for _, alg := range []Algorithm{Parallel, Forward} {
-		ms, _, err := w.db.QueryWith("age", q, alg, nil)
+		ms, _, err := w.db.Query(context.Background(), "age", q, WithAlgorithm(alg))
 		if err != nil {
 			w.t.Fatal(err)
 		}

@@ -245,7 +245,7 @@ func (db *Database) Save(w io.Writer) error {
 	// Index declarations.
 	sw.uvarint(uint64(len(db.order)))
 	for _, name := range db.order {
-		spec := db.indexes[name].Spec()
+		spec := db.groups[name].sharded.Prototype().Spec()
 		if spec.Coding != nil {
 			return fmt.Errorf("uindex: index %q uses a custom coding; snapshots support default-coding indexes", name)
 		}

@@ -26,7 +26,7 @@ import (
 // store (the Obj pointer of a Match) read the store's latest state.
 type Snapshot struct {
 	db    *Database
-	views map[string]*core.Snapshot
+	views map[string]*core.ShardedSnap
 	order []string
 	// mu serializes Release against in-flight queries: queries hold it in
 	// read mode for their whole execution, so Release (and through it,
@@ -45,11 +45,11 @@ func (db *Database) Snapshot() (*Snapshot, error) {
 	}
 	s := &Snapshot{
 		db:    db,
-		views: make(map[string]*core.Snapshot, len(db.order)),
+		views: make(map[string]*core.ShardedSnap, len(db.order)),
 		order: append([]string(nil), db.order...),
 	}
 	for _, name := range db.order {
-		s.views[name] = db.indexes[name].Snapshot()
+		s.views[name] = db.groups[name].sharded.Snapshot()
 	}
 	db.snapMu.Lock()
 	if db.snaps == nil {

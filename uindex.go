@@ -204,6 +204,19 @@ type Options struct {
 	// Durability selects when disk-backed indexes checkpoint; see the
 	// Durability constants. Ignored when Dir is empty.
 	Durability Durability
+	// Shards, when greater than 1, partitions each index into up to that
+	// many shards by contiguous class-code intervals: every entry routes to
+	// exactly one shard by the class code at position 0 of its key (the
+	// terminal object's actual class), each shard owns its own page file,
+	// buffer pool (PoolPages frames each), node cache, and writer lock, and
+	// queries scatter over the relevant shards and merge in key order.
+	// The effective count is clamped to the number of classes under the
+	// index's terminal class and to pager.MaxShards (62). With Dir set, a
+	// sharded index lives in Dir/<name>.shard<i>.uidx files published
+	// atomically by a Dir/<name>.manifest commit record; an existing
+	// on-disk layout always wins over this setting on reopen. 0 or 1
+	// keeps the unsharded single-file layout.
+	Shards int
 }
 
 // Database is a schema + object store + U-indexes, kept consistent.
@@ -218,18 +231,16 @@ type Options struct {
 // DropIndex, Close) are exclusive: they wait for in-flight operations and
 // block new ones while they restructure the index set.
 type Database struct {
-	// mu guards the catalog: the index map, creation order, pools, and the
-	// closed flag. Queries and object mutations hold it in read mode (they
-	// only look indexes up); catalog operations hold it in write mode.
-	mu      sync.RWMutex
-	sch     *schema.Schema
-	st      *store.Store
-	indexes map[string]*core.Index
-	order   []string
-	opts    Options
-	pools   map[string]*bufferpool.Pool
-	files   map[string]*pager.DiskFile // disk-backed indexes (Options.Dir)
-	closed  bool
+	// mu guards the catalog: the group map, creation order, and the closed
+	// flag. Queries and object mutations hold it in read mode (they only
+	// look groups up); catalog operations hold it in write mode.
+	mu     sync.RWMutex
+	sch    *schema.Schema
+	st     *store.Store
+	groups map[string]*indexGroup
+	order  []string
+	opts   Options
+	closed bool
 
 	// snapMu guards the open-snapshot registry (always acquired after mu
 	// when both are held); Close releases every snapshot still open so no
@@ -238,6 +249,92 @@ type Database struct {
 	snaps  map[*Snapshot]struct{}
 	// ctrs are the cumulative counters behind Metrics().
 	ctrs counters
+}
+
+// indexGroup is the facade's unit of index management: one logical index as
+// a core.Sharded group (a single shard in the unsharded layout) together
+// with its per-shard machinery. Slots of pools/files are nil when the shard
+// runs without a pool or in memory.
+type indexGroup struct {
+	name    string
+	sharded *core.Sharded
+	pools   []*bufferpool.Pool
+	files   []*pager.DiskFile
+	// manifest is the commit record of a sharded disk layout; nil for
+	// single-file and in-memory groups. manifestMu serializes commits from
+	// concurrent per-shard DurabilitySync checkpoints: a committer reads
+	// every shard file's durable generation, and since each shard's
+	// checkpoint completes before its mutation unlocks, the recorded
+	// vector is always a consistent cut.
+	manifest   *pager.Manifest
+	manifestMu sync.Mutex
+	// shardWrites counts, per shard, the mutations that acquired that
+	// shard's writer lock — the write-distribution metric behind
+	// ShardStats.
+	shardWrites []atomic.Uint64
+}
+
+// disk reports whether the group is disk-backed.
+func (g *indexGroup) disk() bool { return len(g.files) > 0 && g.files[0] != nil }
+
+// allShards returns every shard index, ascending.
+func (g *indexGroup) allShards() []int {
+	ids := make([]int, g.sharded.NumShards())
+	for i := range ids {
+		ids[i] = i
+	}
+	return ids
+}
+
+// checkpointShard makes one shard's state durable (tree flush, meta-page
+// payload, pool flush or file sync). The caller holds that shard's writer
+// lock; memory-backed shards are a no-op. The shard's new generation is not
+// published to the manifest here — pair with commitManifest.
+func (g *indexGroup) checkpointShard(i int) error {
+	df := g.files[i]
+	if df == nil {
+		return nil
+	}
+	ix := g.sharded.Shard(i)
+	if err := ix.Flush(); err != nil {
+		return err
+	}
+	var pl [4]byte
+	binary.BigEndian.PutUint32(pl[:], uint32(ix.MetaPage()))
+	if err := df.SetPayload(pl[:]); err != nil {
+		return err
+	}
+	if pool := g.pools[i]; pool != nil {
+		return pool.FlushAll()
+	}
+	return df.Sync()
+}
+
+// commitManifest atomically publishes the current durable generation of
+// every shard file. No-op for groups without a manifest.
+func (g *indexGroup) commitManifest() error {
+	if g.manifest == nil {
+		return nil
+	}
+	g.manifestMu.Lock()
+	defer g.manifestMu.Unlock()
+	gens := make([]uint64, len(g.files))
+	for i, df := range g.files {
+		gens[i] = df.Generation()
+	}
+	return g.manifest.Commit(gens)
+}
+
+// checkpointShards checkpoints the given shards, then commits the manifest.
+// The caller holds the writer locks of exactly those shards; the manifest
+// commit is safe regardless, because it reads only durable generations.
+func (g *indexGroup) checkpointShards(ids []int) error {
+	for _, i := range ids {
+		if err := g.checkpointShard(i); err != nil {
+			return err
+		}
+	}
+	return g.commitManifest()
 }
 
 // NewDatabase creates a database over the schema, assigning class codes if
@@ -260,12 +357,10 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 		}
 	}
 	return &Database{
-		sch:     s,
-		st:      store.New(s),
-		indexes: make(map[string]*core.Index),
-		opts:    opts,
-		pools:   make(map[string]*bufferpool.Pool),
-		files:   make(map[string]*pager.DiskFile),
+		sch:    s,
+		st:     store.New(s),
+		groups: make(map[string]*indexGroup),
+		opts:   opts,
 	}, nil
 }
 
@@ -286,41 +381,50 @@ func (db *Database) Close() error {
 	db.releaseSnapshotsLocked()
 	var first error
 	for _, name := range db.order {
-		if err := db.releaseIndexLocked(name); err != nil && first == nil {
+		if err := db.releaseGroupLocked(name); err != nil && first == nil {
 			first = err
 		}
 	}
 	return first
 }
 
-// releaseIndexLocked checkpoints (per the durability mode) and tears down
-// one index's pool and disk file. The caller holds the catalog write lock.
-func (db *Database) releaseIndexLocked(name string) error {
-	ix := db.indexes[name]
-	pool, hasPool := db.pools[name]
-	df, disk := db.files[name]
+// releaseGroupLocked checkpoints (per the durability mode) and tears down
+// one group's pools, disk files, and manifest. The caller holds the catalog
+// write lock.
+func (db *Database) releaseGroupLocked(name string) error {
+	g := db.groups[name]
 	var first error
-	if disk {
+	if g.disk() {
 		if db.opts.Durability != DurabilityNone {
-			first = db.checkpointIndexLocked(name, ix)
+			first = g.checkpointShards(g.allShards())
 		}
 		// The checkpoint above is the only publish point: closing must
-		// not sync a stale payload, so the pool is discarded (its frames
-		// are clean after a successful checkpoint) and the file closed
-		// without a further checkpoint.
-		if err := df.CloseDiscard(); err != nil && first == nil {
-			first = err
+		// not sync a stale payload, so the pools are discarded (their
+		// frames are clean after a successful checkpoint) and the files
+		// closed without a further checkpoint.
+		for _, df := range g.files {
+			if err := df.CloseDiscard(); err != nil && first == nil {
+				first = err
+			}
 		}
-		delete(db.pools, name)
-		delete(db.files, name)
+		if g.manifest != nil {
+			if err := g.manifest.Close(); err != nil && first == nil {
+				first = err
+			}
+		}
 		return first
 	}
-	if hasPool {
-		first = ix.DropCache() // push tree-cache state down before the pool closes
+	for i, pool := range g.pools {
+		if pool == nil {
+			continue
+		}
+		// Push tree-cache state down before the pool closes.
+		if err := g.sharded.Shard(i).DropCache(); err != nil && first == nil {
+			first = err
+		}
 		if err := pool.Close(); err != nil && first == nil {
 			first = err
 		}
-		delete(db.pools, name)
 	}
 	return first
 }
@@ -338,10 +442,11 @@ func (db *Database) DropCaches() error {
 	}
 	var first error
 	for _, name := range db.order {
-		ix := db.indexes[name]
-		ix.LockWrite()
-		err := ix.DropCache()
-		ix.UnlockWrite()
+		g := db.groups[name]
+		ids := g.allShards()
+		g.sharded.LockShards(ids)
+		err := g.sharded.DropCache()
+		g.sharded.UnlockShards(ids)
 		if err != nil && first == nil {
 			first = err
 		}
@@ -358,8 +463,12 @@ func (db *Database) PoolStats() (BufferPoolStats, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var agg BufferPoolStats
-	for _, p := range db.pools {
-		agg.Add(p.PoolStats())
+	for _, g := range db.groups {
+		for _, p := range g.pools {
+			if p != nil {
+				agg.Add(p.PoolStats())
+			}
+		}
 	}
 	return agg, true
 }
@@ -370,8 +479,8 @@ func (db *Database) NodeCacheStats() NodeCacheStats {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
 	var agg NodeCacheStats
-	for _, ix := range db.indexes {
-		st := ix.NodeCacheStats()
+	for _, g := range db.groups {
+		st := g.sharded.NodeCacheStats()
 		agg.Hits += st.Hits
 		agg.Misses += st.Misses
 		agg.Entries += st.Entries
@@ -390,82 +499,164 @@ func (db *Database) Store() *store.Store { return db.st }
 func (db *Database) Coding() *Coding { return db.sch.Coding() }
 
 // CreateIndex declares a U-index and builds it from the current objects.
-// Each index lives in its own page file with the paper's 1024-byte pages —
-// in memory by default, or a crash-safe file at Options.Dir/<name>.uidx
-// when Dir is set; with Options.PoolPages set, a buffer pool sits in front
-// of it.
+// Each index lives in its own page files with the paper's 1024-byte pages —
+// in memory by default, or crash-safe files under Options.Dir when set;
+// with Options.PoolPages set, a buffer pool sits in front of each file.
+// With Options.Shards above 1 the index is partitioned into shards by
+// class-code intervals (see Options.Shards).
 //
-// With Dir set, an existing file is reopened from its last checkpoint
-// instead of rebuilding: the caller must present the same spec and an
-// object store with the same contents (see Load). Corruption — structural
-// damage or a checksum-failing page — is surfaced as an error matching
-// ErrCorruptFile or ErrCorruptPage, never silently rebuilt over. A freshly
-// built index is checkpointed before CreateIndex returns.
+// With Dir set, an existing file layout is reopened from its last
+// checkpoint instead of rebuilding — a single Dir/<name>.uidx file, or a
+// Dir/<name>.manifest plus its Dir/<name>.shard<i>.uidx files, whichever
+// exists; the on-disk layout's shard count wins over Options.Shards. The
+// caller must present the same spec and an object store with the same
+// contents (see Load). Corruption — structural damage or a checksum-failing
+// page — is surfaced as an error matching ErrCorruptFile or ErrCorruptPage,
+// never silently rebuilt over. A freshly built index is checkpointed before
+// CreateIndex returns.
 func (db *Database) CreateIndex(spec IndexSpec) error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
 		return ErrClosed
 	}
-	if _, dup := db.indexes[spec.Name]; dup {
+	if _, dup := db.groups[spec.Name]; dup {
 		return fmt.Errorf("uindex: index %q already exists", spec.Name)
 	}
 	if spec.NodeCacheSize == 0 {
 		spec.NodeCacheSize = db.opts.NodeCacheSize
 	}
+	g, err := db.openGroupLocked(spec)
+	if err != nil {
+		return err
+	}
+	db.groups[spec.Name] = g
+	db.order = append(db.order, spec.Name)
+	return nil
+}
+
+// openGroupLocked creates or reopens the group for one index spec, deciding
+// between the unsharded single-file layout and the sharded layout.
+func (db *Database) openGroupLocked(spec IndexSpec) (*indexGroup, error) {
+	// A throwaway in-memory index validates the spec and yields the
+	// class codes the shard map partitions (the terminal class's
+	// hierarchy, which is exactly the set of position-0 codes).
+	tmp, err := core.New(pager.NewMemFile(0), db.st, spec)
+	if err != nil {
+		return nil, err
+	}
+	codes := tmp.ShardCodes()
+
+	want := db.opts.Shards
+	if want > pager.MaxShards {
+		want = pager.MaxShards
+	}
+	if db.opts.Dir == "" {
+		return db.buildMemGroup(spec, core.NewShardMap(codes, want))
+	}
+	manifestPath := filepath.Join(db.opts.Dir, spec.Name+".manifest")
+	legacyPath := filepath.Join(db.opts.Dir, spec.Name+".uidx")
+	if _, statErr := os.Stat(manifestPath); statErr == nil {
+		return db.reopenShardedGroup(spec, manifestPath)
+	} else if !errors.Is(statErr, fs.ErrNotExist) {
+		return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, statErr)
+	}
+	if _, statErr := os.Stat(legacyPath); statErr == nil {
+		return db.openSingleFileGroup(spec, legacyPath, false)
+	} else if !errors.Is(statErr, fs.ErrNotExist) {
+		return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, statErr)
+	}
+	smap := core.NewShardMap(codes, want)
+	if smap.Shards() == 1 {
+		return db.openSingleFileGroup(spec, legacyPath, true)
+	}
+	return db.createShardedGroup(spec, smap, manifestPath)
+}
+
+// wrapPool places a buffer pool in front of a page file when the database is
+// configured with one.
+func (db *Database) wrapPool(f pager.File) (pager.File, *bufferpool.Pool, error) {
+	if db.opts.PoolPages <= 0 {
+		return f, nil, nil
+	}
+	pool, err := bufferpool.New(f, bufferpool.Config{
+		Pages:  db.opts.PoolPages,
+		Policy: db.opts.PoolPolicy,
+	})
+	if err != nil {
+		return nil, nil, err
+	}
+	return pool, pool, nil
+}
+
+// buildMemGroup builds a fresh in-memory group (any shard count).
+func (db *Database) buildMemGroup(spec IndexSpec, smap *core.ShardMap) (*indexGroup, error) {
+	n := smap.Shards()
+	shards := make([]*core.Index, n)
+	pools := make([]*bufferpool.Pool, n)
+	for i := range shards {
+		f, pool, err := db.wrapPool(pager.NewMemFile(0))
+		if err != nil {
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
+		pools[i] = pool
+		shards[i], err = core.New(f, db.st, spec)
+		if err != nil {
+			return nil, err
+		}
+	}
+	sh, err := core.NewSharded(shards, smap)
+	if err != nil {
+		return nil, err
+	}
+	if err := sh.Build(); err != nil {
+		return nil, err
+	}
+	return &indexGroup{
+		name:        spec.Name,
+		sharded:     sh,
+		pools:       pools,
+		files:       make([]*pager.DiskFile, n),
+		shardWrites: make([]atomic.Uint64, n),
+	}, nil
+}
+
+// openSingleFileGroup creates or reopens the unsharded disk layout: one
+// shard on one Dir/<name>.uidx file, no manifest.
+func (db *Database) openSingleFileGroup(spec IndexSpec, path string, create bool) (*indexGroup, error) {
 	var (
-		f          pager.File
 		df         *pager.DiskFile
+		err        error
 		reopen     bool
 		reopenMeta pager.PageID
 	)
-	if db.opts.Dir != "" {
-		path := filepath.Join(db.opts.Dir, spec.Name+".uidx")
-		var err error
-		if _, statErr := os.Stat(path); statErr == nil {
-			df, err = pager.OpenDiskFile(path)
-			if err != nil {
-				return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
-			}
-			if pl := df.Payload(); len(pl) == 4 {
-				reopenMeta = pager.PageID(binary.BigEndian.Uint32(pl))
-				reopen = true
-			} else if len(pl) != 0 {
-				df.CloseDiscard()
-				return fmt.Errorf("uindex: index %q: %w: checkpoint payload has unexpected length %d",
-					spec.Name, ErrCorruptFile, len(pl))
-			}
-			// An empty payload means the file was created but never
-			// checkpointed with a built index: build fresh onto it.
-		} else if errors.Is(statErr, fs.ErrNotExist) {
-			df, err = pager.CreateDiskFile(path, 0)
-			if err != nil {
-				return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
-			}
-		} else {
-			return fmt.Errorf("uindex: index %q: %w", spec.Name, statErr)
-		}
-		f = df
-	} else {
-		f = pager.NewMemFile(0)
-	}
-	var pool *bufferpool.Pool
-	if db.opts.PoolPages > 0 {
-		var err error
-		pool, err = bufferpool.New(f, bufferpool.Config{
-			Pages:  db.opts.PoolPages,
-			Policy: db.opts.PoolPolicy,
-		})
+	if create {
+		df, err = pager.CreateDiskFile(path, 0)
 		if err != nil {
-			if df != nil {
-				df.CloseDiscard()
-			}
-			return fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
 		}
-		f = pool
+	} else {
+		df, err = pager.OpenDiskFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
+		if pl := df.Payload(); len(pl) == 4 {
+			reopenMeta = pager.PageID(binary.BigEndian.Uint32(pl))
+			reopen = true
+		} else if len(pl) != 0 {
+			df.CloseDiscard()
+			return nil, fmt.Errorf("uindex: index %q: %w: checkpoint payload has unexpected length %d",
+				spec.Name, ErrCorruptFile, len(pl))
+		}
+		// An empty payload means the file was created but never
+		// checkpointed with a built index: build fresh onto it.
+	}
+	f, pool, err := db.wrapPool(df)
+	if err != nil {
+		df.CloseDiscard()
+		return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
 	}
 	var ix *core.Index
-	var err error
 	if reopen {
 		ix, err = core.Open(f, db.st, spec, reopenMeta)
 	} else {
@@ -475,61 +666,221 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 		}
 	}
 	if err != nil {
-		if df != nil {
-			df.CloseDiscard()
-		}
-		return err
+		df.CloseDiscard()
+		return nil, err
 	}
-	db.indexes[spec.Name] = ix
-	if pool != nil {
-		db.pools[spec.Name] = pool
+	smap := core.NewShardMap(nil, 1)
+	sh, err := core.NewSharded([]*core.Index{ix}, smap)
+	if err != nil {
+		df.CloseDiscard()
+		return nil, err
 	}
-	if df != nil {
-		db.files[spec.Name] = df
+	g := &indexGroup{
+		name:        spec.Name,
+		sharded:     sh,
+		pools:       []*bufferpool.Pool{pool},
+		files:       []*pager.DiskFile{df},
+		shardWrites: make([]atomic.Uint64, 1),
 	}
-	db.order = append(db.order, spec.Name)
-	if df != nil && !reopen {
+	if !reopen {
 		// Make the freshly built index durable so a reopened file is
 		// self-describing from the start.
-		if err := db.checkpointIndexLocked(spec.Name, ix); err != nil {
-			return fmt.Errorf("uindex: index %q: checkpointing initial build: %w", spec.Name, err)
+		if err := g.checkpointShards(g.allShards()); err != nil {
+			return nil, fmt.Errorf("uindex: index %q: checkpointing initial build: %w", spec.Name, err)
 		}
 	}
-	return nil
+	return g, nil
 }
 
-// checkpointIndexLocked makes the named index's current state durable: it
-// flushes the tree (copy-on-write metadata), stages the new meta page id as
-// the file's checkpoint payload, and flushes the pool (or syncs the file),
-// which atomically publishes pages, free list, and payload together. The
-// caller must hold either the index's write lock or the catalog write lock.
-// Indexes that are not disk-backed are a no-op.
-func (db *Database) checkpointIndexLocked(name string, ix *core.Index) error {
-	df, ok := db.files[name]
-	if !ok {
-		return nil
+// createShardedGroup builds a fresh sharded disk layout: one shard file per
+// interval plus the manifest. The manifest is created before the build (so
+// every on-disk artifact exists from the start) and committed again after
+// the initial checkpoint; a crash in between reopens to the consistent
+// empty state and rebuilds.
+func (db *Database) createShardedGroup(spec IndexSpec, smap *core.ShardMap, manifestPath string) (g *indexGroup, err error) {
+	n := smap.Shards()
+	files := make([]*pager.DiskFile, n)
+	defer func() {
+		if err != nil {
+			for _, df := range files {
+				if df != nil {
+					df.CloseDiscard()
+				}
+			}
+		}
+	}()
+	for i := range files {
+		files[i], err = pager.CreateDiskFile(db.shardPath(spec.Name, i), 0)
+		if err != nil {
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
 	}
-	if err := ix.Flush(); err != nil {
-		return err
+	gens := make([]uint64, n)
+	bounds := make([][]byte, 0, n-1)
+	for i, df := range files {
+		gens[i] = df.Generation()
+		if i > 0 {
+			bounds = append(bounds, []byte(smap.Bounds()[i-1]))
+		}
 	}
-	var pl [4]byte
-	binary.BigEndian.PutUint32(pl[:], uint32(ix.MetaPage()))
-	if err := df.SetPayload(pl[:]); err != nil {
-		return err
+	manifest, err := pager.CreateManifestFile(manifestPath, bounds, gens)
+	if err != nil {
+		return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
 	}
-	if pool, ok := db.pools[name]; ok {
-		return pool.FlushAll()
+	shards := make([]*core.Index, n)
+	pools := make([]*bufferpool.Pool, n)
+	for i, df := range files {
+		var f pager.File
+		f, pools[i], err = db.wrapPool(df)
+		if err == nil {
+			shards[i], err = core.New(f, db.st, spec)
+		}
+		if err != nil {
+			manifest.Close()
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
 	}
-	return df.Sync()
+	sh, nerr := core.NewSharded(shards, smap)
+	if nerr == nil {
+		nerr = sh.Build()
+	}
+	if nerr != nil {
+		err = nerr
+		manifest.Close()
+		return nil, err
+	}
+	g = &indexGroup{
+		name:        spec.Name,
+		sharded:     sh,
+		pools:       pools,
+		files:       files,
+		manifest:    manifest,
+		shardWrites: make([]atomic.Uint64, n),
+	}
+	if err = g.checkpointShards(g.allShards()); err != nil {
+		manifest.Close()
+		return nil, fmt.Errorf("uindex: index %q: checkpointing initial build: %w", spec.Name, err)
+	}
+	return g, nil
 }
 
-// maybeSyncIndex checkpoints one index after a mutation when the database
-// runs with DurabilitySync; the caller holds the index's write lock.
-func (db *Database) maybeSyncIndex(ix *core.Index) error {
+// reopenShardedGroup reopens a sharded disk layout from its manifest: shard
+// count and routing bounds come from the manifest (Options.Shards is
+// ignored), and every shard file is opened pinned AT its manifest-recorded
+// generation, rolling back any shard whose checkpoint outran the commit.
+func (db *Database) reopenShardedGroup(spec IndexSpec, manifestPath string) (g *indexGroup, err error) {
+	manifest, err := pager.OpenManifestFile(manifestPath)
+	if err != nil {
+		return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+	}
+	defer func() {
+		if err != nil {
+			manifest.Close()
+		}
+	}()
+	rawBounds := manifest.Bounds()
+	codes := make([]encoding.Code, len(rawBounds))
+	for i, b := range rawBounds {
+		codes[i] = encoding.Code(b)
+	}
+	smap, err := core.ShardMapFromBounds(codes)
+	if err != nil {
+		return nil, fmt.Errorf("uindex: index %q: %w: %v", spec.Name, ErrCorruptFile, err)
+	}
+	n := manifest.Shards()
+	gens := manifest.Gens()
+	files := make([]*pager.DiskFile, n)
+	defer func() {
+		if err != nil {
+			for _, df := range files {
+				if df != nil {
+					df.CloseDiscard()
+				}
+			}
+		}
+	}()
+	built, unbuilt := 0, 0
+	metas := make([]pager.PageID, n)
+	for i := range files {
+		files[i], err = pager.OpenDiskFileAt(db.shardPath(spec.Name, i), gens[i])
+		if err != nil {
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
+		switch pl := files[i].Payload(); len(pl) {
+		case 4:
+			metas[i] = pager.PageID(binary.BigEndian.Uint32(pl))
+			built++
+		case 0:
+			// Created but never checkpointed with a built index — only
+			// consistent when every shard is in that state.
+			unbuilt++
+		default:
+			err = fmt.Errorf("uindex: index %q shard %d: %w: checkpoint payload has unexpected length %d",
+				spec.Name, i, ErrCorruptFile, len(pl))
+			return nil, err
+		}
+	}
+	if built > 0 && unbuilt > 0 {
+		err = fmt.Errorf("uindex: index %q: %w: %d shards built, %d empty under one manifest commit",
+			spec.Name, ErrCorruptFile, built, unbuilt)
+		return nil, err
+	}
+	shards := make([]*core.Index, n)
+	pools := make([]*bufferpool.Pool, n)
+	for i, df := range files {
+		var f pager.File
+		f, pools[i], err = db.wrapPool(df)
+		if err != nil {
+			return nil, fmt.Errorf("uindex: index %q: %w", spec.Name, err)
+		}
+		if built > 0 {
+			shards[i], err = core.Open(f, db.st, spec, metas[i])
+		} else {
+			shards[i], err = core.New(f, db.st, spec)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	sh, err := core.NewSharded(shards, smap)
+	if err != nil {
+		return nil, err
+	}
+	if built == 0 {
+		if err = sh.Build(); err != nil {
+			return nil, err
+		}
+	}
+	g = &indexGroup{
+		name:        spec.Name,
+		sharded:     sh,
+		pools:       pools,
+		files:       files,
+		manifest:    manifest,
+		shardWrites: make([]atomic.Uint64, n),
+	}
+	if built == 0 {
+		if err = g.checkpointShards(g.allShards()); err != nil {
+			err = fmt.Errorf("uindex: index %q: checkpointing initial build: %w", spec.Name, err)
+			return nil, err
+		}
+	}
+	return g, nil
+}
+
+// shardPath is the page file of one shard of a sharded disk layout.
+func (db *Database) shardPath(name string, i int) string {
+	return filepath.Join(db.opts.Dir, fmt.Sprintf("%s.shard%d.uidx", name, i))
+}
+
+// maybeSyncGroup checkpoints the given shards of one group after a mutation
+// when the database runs with DurabilitySync; the caller holds those
+// shards' writer locks.
+func (db *Database) maybeSyncGroup(g *indexGroup, ids []int) error {
 	if db.opts.Durability != DurabilitySync {
 		return nil
 	}
-	return db.checkpointIndexLocked(ix.Spec().Name, ix)
+	return g.checkpointShards(ids)
 }
 
 // Checkpoint makes the current state of every disk-backed index durable.
@@ -544,13 +895,14 @@ func (db *Database) Checkpoint() error {
 		return ErrClosed
 	}
 	for _, name := range db.order {
-		ix := db.indexes[name]
-		if _, ok := db.files[name]; !ok {
+		g := db.groups[name]
+		if !g.disk() {
 			continue
 		}
-		ix.LockWrite()
-		err := db.checkpointIndexLocked(name, ix)
-		ix.UnlockWrite()
+		ids := g.allShards()
+		g.sharded.LockShards(ids)
+		err := g.checkpointShards(ids)
+		g.sharded.UnlockShards(ids)
 		if err != nil {
 			return fmt.Errorf("uindex: checkpointing index %q: %w", name, err)
 		}
@@ -569,11 +921,11 @@ func (db *Database) DropIndex(name string) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if _, ok := db.indexes[name]; !ok {
+	if _, ok := db.groups[name]; !ok {
 		return fmt.Errorf("uindex: no index %q: %w", name, ErrIndexNotFound)
 	}
-	err := db.releaseIndexLocked(name)
-	delete(db.indexes, name)
+	err := db.releaseGroupLocked(name)
+	delete(db.groups, name)
 	for i, n := range db.order {
 		if n == name {
 			db.order = append(db.order[:i], db.order[i+1:]...)
@@ -583,14 +935,21 @@ func (db *Database) DropIndex(name string) error {
 	return err
 }
 
-// Index returns a declared index by name. The returned index may be used
+// Index returns a declared index by name — for a sharded index, its
+// prototype shard, which carries the spec, coding, and key layout used by
+// ParseQuery, Explain, and introspection. The returned index may be used
 // for concurrent read-only calls; interleaving direct mutations with
-// Database traffic is the caller's responsibility.
+// Database traffic is the caller's responsibility. Note that on a sharded
+// index the prototype's Len covers only its own shard — use ShardStats for
+// per-shard entry counts.
 func (db *Database) Index(name string) (*core.Index, bool) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
-	ix, ok := db.indexes[name]
-	return ix, ok
+	g, ok := db.groups[name]
+	if !ok {
+		return nil, false
+	}
+	return g.sharded.Prototype(), true
 }
 
 // Indexes lists the declared index names in creation order.
@@ -600,17 +959,54 @@ func (db *Database) Indexes() []string {
 	return append([]string(nil), db.order...)
 }
 
-// coveringIndexes returns the indexes (in creation order) an object of the
-// given class can participate in. Acquiring their write locks in this order
-// — the single global order — keeps multi-index writers deadlock-free.
-func (db *Database) coveringIndexes(class string) []*core.Index {
-	out := make([]*core.Index, 0, len(db.order))
+// coveringGroups returns the groups (in creation order) an object of the
+// given class can participate in. Acquiring write locks in this order —
+// group creation order, then shard index ascending within each group, the
+// single global order — keeps multi-index writers deadlock-free.
+func (db *Database) coveringGroups(class string) []*indexGroup {
+	out := make([]*indexGroup, 0, len(db.order))
 	for _, name := range db.order {
-		if ix := db.indexes[name]; ix.Covers(class) {
-			out = append(out, ix)
+		if g := db.groups[name]; g.sharded.Covers(class) {
+			out = append(out, g)
 		}
 	}
 	return out
+}
+
+// lockedGroup pairs a group with the shard locks a mutation holds on it.
+type lockedGroup struct {
+	g   *indexGroup
+	ids []int
+}
+
+// lockCovering acquires, in the global lock order, the writer locks every
+// covering group requires for a mutation of an object of the given class.
+func (db *Database) lockCovering(class string) []lockedGroup {
+	covering := db.coveringGroups(class)
+	locked := make([]lockedGroup, 0, len(covering))
+	for _, g := range covering {
+		ids := g.sharded.WriteShards(class)
+		g.sharded.LockShards(ids)
+		locked = append(locked, lockedGroup{g: g, ids: ids})
+	}
+	return locked
+}
+
+// unlockAll releases the locks of lockCovering.
+func unlockAll(locked []lockedGroup) {
+	for _, lg := range locked {
+		lg.g.sharded.UnlockShards(lg.ids)
+	}
+}
+
+// countShardWrites records one successful mutation against each locked
+// shard's write counter.
+func countShardWrites(locked []lockedGroup) {
+	for _, lg := range locked {
+		for _, i := range lg.ids {
+			lg.g.shardWrites[i].Add(1)
+		}
+	}
 }
 
 // Insert stores a new object and adds its entries to every index that can
@@ -629,16 +1025,20 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 		db.ctrs.countWrite(&db.ctrs.inserts, err)
 		return 0, err
 	}
-	for _, ix := range db.coveringIndexes(class) {
-		ix.LockWrite()
-		err := ix.Add(oid)
+	for _, g := range db.coveringGroups(class) {
+		ids := g.sharded.WriteShards(class)
+		g.sharded.LockShards(ids)
+		err := g.sharded.Add(oid)
 		if err == nil {
-			err = db.maybeSyncIndex(ix)
+			err = db.maybeSyncGroup(g, ids)
 		}
-		ix.UnlockWrite()
+		g.sharded.UnlockShards(ids)
 		if err != nil {
 			db.ctrs.countWrite(&db.ctrs.inserts, err)
-			return 0, fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
+			return 0, fmt.Errorf("uindex: maintaining index %q: %w", g.name, err)
+		}
+		for _, i := range ids {
+			g.shardWrites[i].Add(1)
 		}
 	}
 	db.ctrs.countWrite(&db.ctrs.inserts, nil)
@@ -661,28 +1061,22 @@ func (db *Database) Delete(oid OID) (err error) {
 	if !ok {
 		return db.st.Delete(oid) // surfaces the store's not-found error
 	}
-	covering := db.coveringIndexes(o.Class)
-	for _, ix := range covering {
-		ix.LockWrite()
-	}
-	defer func() {
-		for _, ix := range covering {
-			ix.UnlockWrite()
-		}
-	}()
-	for _, ix := range covering {
-		if err := ix.Remove(oid); err != nil {
-			return fmt.Errorf("uindex: maintaining index %q: %w", ix.Spec().Name, err)
+	locked := db.lockCovering(o.Class)
+	defer unlockAll(locked)
+	for _, lg := range locked {
+		if err := lg.g.sharded.Remove(oid); err != nil {
+			return fmt.Errorf("uindex: maintaining index %q: %w", lg.g.name, err)
 		}
 	}
 	if err := db.st.Delete(oid); err != nil {
 		return err
 	}
-	for _, ix := range covering {
-		if err := db.maybeSyncIndex(ix); err != nil {
-			return fmt.Errorf("uindex: checkpointing index %q: %w", ix.Spec().Name, err)
+	for _, lg := range locked {
+		if err := db.maybeSyncGroup(lg.g, lg.ids); err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q: %w", lg.g.name, err)
 		}
 	}
+	countShardWrites(locked)
 	return nil
 }
 
@@ -703,40 +1097,34 @@ func (db *Database) Set(oid OID, attr string, v any) (err error) {
 		_, err := db.st.SetAttr(oid, attr, v) // surfaces the store's not-found error
 		return err
 	}
-	covering := db.coveringIndexes(o.Class)
-	for _, ix := range covering {
-		ix.LockWrite()
-	}
-	defer func() {
-		for _, ix := range covering {
-			ix.UnlockWrite()
-		}
-	}()
-	olds := make([][][]byte, len(covering))
-	for i, ix := range covering {
-		old, err := ix.EntriesFor(oid)
+	locked := db.lockCovering(o.Class)
+	defer unlockAll(locked)
+	olds := make([][][]byte, len(locked))
+	for i, lg := range locked {
+		old, err := lg.g.sharded.EntriesFor(oid)
 		if err != nil {
-			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
+			return fmt.Errorf("uindex: index %q: %w", lg.g.name, err)
 		}
 		olds[i] = old
 	}
 	if _, err := db.st.SetAttr(oid, attr, v); err != nil {
 		return err
 	}
-	for i, ix := range covering {
-		newKeys, err := ix.EntriesFor(oid)
+	for i, lg := range locked {
+		newKeys, err := lg.g.sharded.EntriesFor(oid)
 		if err != nil {
-			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
+			return fmt.Errorf("uindex: index %q: %w", lg.g.name, err)
 		}
-		if err := ix.ApplyDiff(olds[i], newKeys); err != nil {
-			return fmt.Errorf("uindex: index %q: %w", ix.Spec().Name, err)
-		}
-	}
-	for _, ix := range covering {
-		if err := db.maybeSyncIndex(ix); err != nil {
-			return fmt.Errorf("uindex: checkpointing index %q: %w", ix.Spec().Name, err)
+		if err := lg.g.sharded.ApplyDiff(olds[i], newKeys); err != nil {
+			return fmt.Errorf("uindex: index %q: %w", lg.g.name, err)
 		}
 	}
+	for _, lg := range locked {
+		if err := db.maybeSyncGroup(lg.g, lg.ids); err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q: %w", lg.g.name, err)
+		}
+	}
+	countShardWrites(locked)
 	return nil
 }
 
@@ -796,7 +1184,7 @@ func (db *Database) Query(ctx context.Context, index string, q Query, opts ...Qu
 	if db.closed {
 		return nil, Stats{}, ErrClosed
 	}
-	ix, ok := db.indexes[index]
+	g, ok := db.groups[index]
 	if !ok {
 		err := fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
 		db.ctrs.countQuery(Stats{}, err)
@@ -804,43 +1192,12 @@ func (db *Database) Query(ctx context.Context, index string, q Query, opts ...Qu
 	}
 	ec := &core.ExecContext{Tracker: cfg.tr, Algorithm: cfg.alg}
 	var out []Match
-	stats, err := ix.ExecuteCtx(ctx, q, ec, func(m Match) bool {
+	stats, err := g.sharded.ExecuteCtx(ctx, q, ec, func(m Match) bool {
 		out = append(out, m)
 		return true
 	})
 	db.ctrs.countQuery(stats, err)
 	return out, stats, err
-}
-
-// QueryWith runs a query with an explicit algorithm and optional shared
-// tracker.
-//
-// Deprecated: use Query with WithAlgorithm and WithTracker options.
-func (db *Database) QueryWith(index string, q Query, alg Algorithm, tr *Tracker) ([]Match, Stats, error) {
-	return db.Query(context.Background(), index, q, WithAlgorithm(alg), WithTracker(tr))
-}
-
-// QueryString parses and runs a paper-style textual query such as
-//
-//	(Color=Red, [C5A*, C5B])
-//	(Age=[50-60], C1, C2$12 ; distinct 2)
-//
-// against the named index. See the querylang package documentation for the
-// grammar.
-//
-// Deprecated: use ParseQuery and Query, which add context cancellation and
-// per-call options.
-func (db *Database) QueryString(index, query string) ([]Match, Stats, error) {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.closed {
-		return nil, Stats{}, ErrClosed
-	}
-	ix, ok := db.indexes[index]
-	if !ok {
-		return nil, Stats{}, fmt.Errorf("uindex: no index %q: %w", index, ErrIndexNotFound)
-	}
-	return querylang.Run(context.Background(), ix, query, nil)
 }
 
 // QueryJob names one query of a QueryParallel batch.

@@ -2,6 +2,7 @@ package uindex
 
 import (
 	"context"
+	"fmt"
 	"strings"
 	"testing"
 )
@@ -133,27 +134,39 @@ func TestFacadeMutations(t *testing.T) {
 	}
 }
 
-func TestQueryString(t *testing.T) {
+func TestParsedTextualQueries(t *testing.T) {
 	db, _ := paperDB(t)
-	ms, _, err := db.QueryString("color", `(Color=Red, Automobile*)`)
+	runText := func(index, text string) ([]Match, error) {
+		ix, ok := db.Index(index)
+		if !ok {
+			return nil, fmt.Errorf("no index %q", index)
+		}
+		q, err := ParseQuery(ix, text)
+		if err != nil {
+			return nil, err
+		}
+		ms, _, err := db.Query(context.Background(), index, q)
+		return ms, err
+	}
+	ms, err := runText("color", `(Color=Red, Automobile*)`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ms) != 2 {
-		t.Fatalf("QueryString matches = %d", len(ms))
+		t.Fatalf("textual query matches = %d", len(ms))
 	}
-	ms, _, err = db.QueryString("age", `(Age=50, ?, ?) ; distinct 2`)
+	ms, err = runText("age", `(Age=50, ?, ?) ; distinct 2`)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(ms) != 1 {
 		t.Fatalf("distinct companies = %d", len(ms))
 	}
-	if _, _, err := db.QueryString("nope", `(Color=Red)`); err == nil {
-		t.Error("QueryString on missing index succeeded")
+	if _, err := runText("nope", `(Color=Red)`); err == nil {
+		t.Error("textual query on missing index succeeded")
 	}
-	if _, _, err := db.QueryString("color", `garbage`); err == nil {
-		t.Error("QueryString with bad syntax succeeded")
+	if _, err := runText("color", `garbage`); err == nil {
+		t.Error("textual query with bad syntax succeeded")
 	}
 }
 
@@ -186,21 +199,22 @@ func TestIndexManagement(t *testing.T) {
 	}
 }
 
-func TestQueryWithAlgorithmsAgree(t *testing.T) {
+func TestQueryAlgorithmsAgree(t *testing.T) {
 	db, _ := paperDB(t)
+	ctx := context.Background()
 	q := Query{Value: OneOf("Red", "Blue"), Positions: []Position{On("Automobile")}}
-	a, _, err := db.QueryWith("color", q, Parallel, nil)
+	a, _, err := db.Query(ctx, "color", q, WithAlgorithm(Parallel))
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, _, err := db.QueryWith("color", q, Forward, nil)
+	b, _, err := db.Query(ctx, "color", q, WithAlgorithm(Forward))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if len(a) != len(b) {
 		t.Fatalf("algorithms disagree: %d vs %d", len(a), len(b))
 	}
-	if _, _, err := db.QueryWith("missing", q, Parallel, nil); err == nil {
+	if _, _, err := db.Query(ctx, "missing", q, WithAlgorithm(Parallel)); err == nil {
 		t.Error("query on missing index succeeded")
 	}
 }
