@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress crash serve shard apicheck bench bench-short ci
+.PHONY: build test race vet stress crash serve shard apicheck bench bench-short coldbench coldbench-short nouring ci
 
 build:
 	$(GO) build ./...
@@ -48,6 +48,26 @@ bench-short:
 	$(GO) test -run '^$$' -bench 'DecodeNode|TreeGet' -benchtime 1x -benchmem ./internal/btree/
 	$(GO) run ./cmd/uindexbench -readbench -short -benchjson /tmp/BENCH_read.json
 
+# Cold-cache benchmark: disk-backed databases, node caches + buffer pools +
+# OS page cache dropped before every timed query, prefetch off vs. on per
+# query shape. Writes BENCH_cold.json (median ns/op, per-iteration samples,
+# logical page counts, prefetch counters, io_uring availability).
+coldbench:
+	$(GO) run ./cmd/uindexbench -readbench -cold -benchjson BENCH_cold.json
+
+# coldbench at smoke scale: tiny database, one pass through the same
+# eviction and measurement code paths, JSON discarded. CI runs this so the
+# cold path can't bit-rot.
+coldbench-short:
+	$(GO) run ./cmd/uindexbench -readbench -cold -short -benchjson /tmp/BENCH_cold.json
+
+# The portable batched-read fallback: build and test the storage stack with
+# io_uring compiled out (-tags nouring), so the bounded-goroutine preadv
+# path stays honest on the platforms (and kernels) that need it.
+nouring:
+	$(GO) build -tags nouring ./...
+	$(GO) test -tags nouring -count=1 ./internal/pager/ ./internal/bufferpool/ ./internal/btree/ ./internal/experiments/parallel/
+
 # Network-subsystem check, race-enabled and uncached: the wire-protocol
 # round trips, the server/client integration suite (concurrent sessions,
 # snapshot isolation, admission control, graceful drain), the metrics
@@ -76,4 +96,4 @@ apicheck: vet
 	fi
 	@echo "apicheck: ok"
 
-ci: build apicheck test race stress crash serve shard
+ci: build apicheck test race stress crash serve shard nouring coldbench-short

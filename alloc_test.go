@@ -1,0 +1,77 @@
+package uindex
+
+import (
+	"context"
+
+	"math/rand"
+	"testing"
+)
+
+// TestRangeScanAllocsScaleWithMatches is the allocation regression guard
+// for the range executor: a value-range query inspects every entry in the
+// spanned clusters, and the per-entry parse used to allocate a path slice,
+// per-component code strings, and offset slices for each of them (~27k
+// allocations per query on the benchmark database). With the reusable
+// matchScratch the steady-state parse allocates nothing — only an actual
+// match allocates (the emitted Path copy and value boxing the caller may
+// retain). The test pins that down as an invariant: allocations scale with
+// matches, not with entries scanned.
+func TestRangeScanAllocsScaleWithMatches(t *testing.T) {
+	s := NewSchema()
+	if err := s.AddClass("Vehicle", "", Attr{Name: "Color", Type: String}); err != nil {
+		t.Fatal(err)
+	}
+	for _, sub := range []string{"Automobile", "Truck"} {
+		if err := s.AddClass(sub, "Vehicle"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	db, err := NewDatabaseWith(s, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	rng := rand.New(rand.NewSource(42))
+	colors := []string{"Red", "Blue", "White", "Green", "Black", "Silver"}
+	classes := []string{"Vehicle", "Automobile", "Truck"}
+	if err := db.CreateIndex(IndexSpec{Name: "color", Root: "Vehicle", Attr: "Color"}); err != nil {
+		t.Fatal(err)
+	}
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if _, err := db.Insert(classes[rng.Intn(len(classes))], Attrs{
+			"Color": colors[rng.Intn(len(colors))]}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Black..Red spans four of the six color clusters; every entry in the
+	// span is inspected and matches (positions are unrestricted), so the
+	// query both scans and matches thousands of entries.
+	q := Query{Value: Range("Black", "Red"), Positions: []Position{On("Vehicle")}}
+	ctx := context.Background()
+	matches, stats, err := db.Query(ctx, "color", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matches) < n/3 || stats.EntriesScanned < len(matches) {
+		t.Fatalf("weak fixture: %d matches, %d entries scanned", len(matches), stats.EntriesScanned)
+	}
+
+	allocs := testing.AllocsPerRun(5, func() {
+		if _, _, err := db.Query(ctx, "color", q); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Per match: the Path copy, the boxed string value, its backing bytes,
+	// and amortized result-slice growth — comfortably under 6; plus a flat
+	// allowance for the per-query setup (plan, intervals, tracker, scan
+	// state). The old per-entry parse added ~5 allocations per entry
+	// scanned and blows way past this bound.
+	limit := float64(6*len(matches) + 400)
+	if allocs > limit {
+		t.Fatalf("range query allocates %.0f per run for %d matches (%d entries scanned); limit %.0f — "+
+			"per-entry parsing is allocating again", allocs, len(matches), stats.EntriesScanned, limit)
+	}
+	t.Logf("range query: %.0f allocs, %d matches, %d entries scanned", allocs, len(matches), stats.EntriesScanned)
+}

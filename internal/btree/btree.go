@@ -62,6 +62,12 @@ type Tuning struct {
 	// entries instead of the whole page. 0 selects DefaultAnchorStride;
 	// a negative value writes legacy v1 pages with no anchor trailer.
 	AnchorStride int
+	// NoPrefetch disables the multi-interval scan's frontier prefetcher
+	// even when the tree's page file supports batched read-ahead
+	// (prefetch.go). Prefetch is pure read-ahead: it never changes what a
+	// scan returns or the logical pages it touches, only when the
+	// physical I/O happens.
+	NoPrefetch bool
 }
 
 // version is one immutable published state of the tree. Mutations never
@@ -100,8 +106,9 @@ type Tree struct {
 	meta       pager.PageID
 	cur        atomic.Pointer[version]
 	rec        *bufferpool.Reclaimer
-	ncache     *nodeCache // shared decoded-node cache; nil = disabled
-	anchorK    int        // anchor stride for pages written; 0 = v1 pages
+	ncache     *nodeCache   // shared decoded-node cache; nil = disabled
+	pf         prefetchPool // batched read-ahead surface of f; nil = no prefetch
+	anchorK    int          // anchor stride for pages written; 0 = v1 pages
 	noCompress bool
 }
 
@@ -200,6 +207,12 @@ func (t *Tree) applyTuning(tun Tuning) {
 		t.anchorK = DefaultAnchorStride
 	default:
 		t.anchorK = tun.AnchorStride
+	}
+	t.pf = nil
+	if !tun.NoPrefetch {
+		if pf, ok := t.f.(prefetchPool); ok {
+			t.pf = pf
+		}
 	}
 }
 

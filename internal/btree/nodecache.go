@@ -91,6 +91,20 @@ func (c *nodeCache) get(id pager.PageID) (*node, bool) {
 	return n, ok
 }
 
+// contains reports residency without touching the hit/miss counters. The
+// scan prefetcher uses it to drop already-decoded children from a frontier
+// batch; those probes are not fetches and must not distort cache stats.
+func (c *nodeCache) contains(id pager.PageID) bool {
+	if c == nil {
+		return false
+	}
+	s := c.shard(id)
+	s.mu.RLock()
+	_, ok := s.m[id]
+	s.mu.RUnlock()
+	return ok
+}
+
 // put caches a decoded node. The node must be immutable from this point on
 // (decoded from a committed page, or a fresh node being committed). When a
 // shard is full an arbitrary resident entry is evicted first — random

@@ -109,6 +109,13 @@ func (t *Tree) multiScanAt(ctx context.Context, v *version, ivs []Interval, tr *
 		return nil
 	}
 	s := &multiScan{ctx: ctx, op: &readOp{t: t}, tr: tr, ivs: ivs, fn: fn, keysOnly: keysOnly}
+	if t.pf != nil && v.hgt >= 2 {
+		// The prefetcher goroutine must finish before the version pin is
+		// released (the deferred stop runs before our caller's release),
+		// so read-ahead never touches a page after reclamation frees it.
+		s.startPrefetcher(t.pf)
+		defer s.stopPrefetcher()
+	}
 	_, err := s.walk(v.root)
 	return err
 }
@@ -122,6 +129,10 @@ type multiScan struct {
 	skip     []byte // dynamic lower bound set by ScanFunc skip requests
 	fn       ScanFunc
 	keysOnly bool // do not materialize values; fn sees a nil value
+
+	// Frontier prefetch (prefetch.go); nil pfCh = prefetch off.
+	pfCh   chan pfBatch
+	pfDone chan struct{}
 }
 
 // leafStart returns the index of the first leaf entry worth inspecting:
@@ -212,7 +223,10 @@ func (s *multiScan) walk(id pager.PageID) (bool, error) {
 	// Child ci covers keys in [keys[ci-1], keys[ci]) (open at the ends).
 	// A child is relevant when some interval intersects that range above
 	// the dynamic skip bound. Intervals are disjoint and ascending, so a
-	// single forward cursor (s.iv) suffices.
+	// single forward cursor (s.iv) suffices. The same relevance conditions,
+	// simulated against a local cursor, give the next-level frontier, which
+	// is handed to the prefetcher before the descent starts (prefetch.go).
+	s.maybePrefetch(n)
 	for ci := 0; ci <= len(n.keys); ci++ {
 		if ci > 0 && !s.advance(n.keys[ci-1]) {
 			return true, nil // every interval lies below this child

@@ -1,0 +1,239 @@
+package bufferpool
+
+import "repro/internal/pager"
+
+// batchChunk bounds how many pages one pool-mutex acquisition admits. The
+// chunk is the pipelining grain of the prefetch path: while one chunk's
+// batched read is in flight under the mutex, a scanning goroutine that
+// wants an already-admitted page waits at most one chunk's I/O, and decode
+// of chunk N overlaps the I/O of chunk N+1.
+const batchChunk = 16
+
+// PinBatch brings every page of ids into the pool with one batched backing
+// read per chunk of misses and takes one pin per position (duplicate ids pin
+// their shared frame once per occurrence). It returns the frame buffers
+// aligned with ids and, when any sub-read failed, a per-position error slice
+// (nil entries for the successes); a failed position has a nil buffer and no
+// pin. Pages that race in through concurrent readers are detected as hits
+// and never read twice.
+func (p *Pool) PinBatch(ids []pager.PageID) ([][]byte, []error) {
+	bufs := make([][]byte, len(ids))
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(ids))
+		}
+		errs[i] = err
+	}
+	for start := 0; start < len(ids); start += batchChunk {
+		end := min(start+batchChunk, len(ids))
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			for i := start; i < len(ids); i++ {
+				fail(i, ErrClosed)
+			}
+			return bufs, errs
+		}
+		p.admitChunkLocked(ids[start:end], true, bufs[start:end], func(i int, err error) {
+			fail(start+i, err)
+		})
+		p.mu.Unlock()
+	}
+	return bufs, errs
+}
+
+// UnpinBatch releases one pin per position of a PinBatch result; positions
+// with a nil buffer (failed sub-reads) are skipped. dirty marks every
+// unpinned frame as modified.
+func (p *Pool) UnpinBatch(ids []pager.PageID, bufs [][]byte, dirty bool) error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	var firstErr error
+	for i, id := range ids {
+		if bufs[i] == nil {
+			continue
+		}
+		fi, ok := p.table[id]
+		if !ok || p.frames[fi].pins == 0 {
+			if firstErr == nil {
+				firstErr = ErrNotPinned
+			}
+			continue
+		}
+		p.unpinLocked(fi, dirty)
+	}
+	return firstErr
+}
+
+// Prefetch loads the given pages into frames without pinning them — a
+// speculative hint from a scan that knows its next-level frontier. Resident
+// pages are skipped, misses are read with one ReadBatch per chunk, and
+// failures are swallowed (the scan's own synchronous read will surface
+// them). It returns the number of pages actually loaded. Prefetched frames
+// are immediately evictable and are tracked by the PrefetchPages /
+// PrefetchHits / PrefetchWasted counters.
+func (p *Pool) Prefetch(ids []pager.PageID) int {
+	loaded := 0
+	for start := 0; start < len(ids); start += batchChunk {
+		end := min(start+batchChunk, len(ids))
+		p.mu.Lock()
+		if p.closed {
+			p.mu.Unlock()
+			return loaded
+		}
+		loaded += p.admitChunkLocked(ids[start:end], false, nil, nil)
+		p.mu.Unlock()
+	}
+	return loaded
+}
+
+// admitChunkLocked admits one chunk of pages (len(ids) <= batchChunk) under
+// the pool mutex. With pin=true every position is pinned and its frame
+// buffer stored in bufs, and failures are reported through fail; with
+// pin=false (prefetch) frames are installed unpinned and evictable, bufs and
+// fail are unused, and the return value counts the pages loaded.
+func (p *Pool) admitChunkLocked(ids []pager.PageID, pin bool, bufs [][]byte, fail func(int, error)) int {
+	// Pass 1: reclaim a frame for every distinct non-resident page.
+	var missIDs []pager.PageID
+	var missFrames []int
+	var missErrs []error
+outer:
+	for _, id := range ids {
+		if _, ok := p.table[id]; ok {
+			continue
+		}
+		for _, m := range missIDs {
+			if m == id {
+				continue outer
+			}
+		}
+		fi, err := p.reclaimLocked()
+		if err != nil {
+			missIDs = append(missIDs, id)
+			missFrames = append(missFrames, -1)
+			missErrs = append(missErrs, err)
+			continue
+		}
+		missIDs = append(missIDs, id)
+		missFrames = append(missFrames, fi)
+		missErrs = append(missErrs, nil)
+	}
+
+	// Pass 2: one batched read straight into the reclaimed frame buffers.
+	loaded := 0
+	readIDs := missIDs[:0:0]
+	readBufs := make([][]byte, 0, len(missIDs))
+	readPos := make([]int, 0, len(missIDs))
+	for k, fi := range missFrames {
+		if fi < 0 {
+			continue
+		}
+		readIDs = append(readIDs, missIDs[k])
+		readBufs = append(readBufs, p.frames[fi].buf)
+		readPos = append(readPos, k)
+	}
+	if len(readIDs) > 0 {
+		p.stats.batchReads.Add(1)
+		rerrs := pager.ReadPages(p.inner, readIDs, readBufs)
+		for j, k := range readPos {
+			fi := missFrames[k]
+			if rerrs != nil && rerrs[j] != nil {
+				missErrs[k] = rerrs[j]
+				missFrames[k] = -1
+				p.free = append(p.free, fi)
+				continue
+			}
+			p.stats.physicalReads.Add(1)
+			if pin {
+				p.stats.misses.Add(1)
+			} else {
+				p.stats.prefetchPages.Add(1)
+			}
+			f := &p.frames[fi]
+			f.id = readIDs[j]
+			f.pins = 0
+			f.dirty = false
+			f.prefetched = !pin
+			p.table[f.id] = fi
+			p.rep.noteAccess(fi)
+			p.rep.setEvictable(fi, true)
+			loaded++
+		}
+	}
+	if !pin {
+		return loaded
+	}
+
+	// Pass 3: resolve every position against the (now warmer) table. The
+	// first position of a page loaded in pass 2 was already counted as a
+	// miss; every other resident position is a hit.
+	missCounted := make([]bool, len(missIDs))
+	for i, id := range ids {
+		fi, ok := p.table[id]
+		if !ok {
+			for k, m := range missIDs {
+				if m == id {
+					fail(i, missErrs[k])
+					break
+				}
+			}
+			continue
+		}
+		f := &p.frames[fi]
+		freshMiss := false
+		for k, m := range missIDs {
+			if m == id && missFrames[k] == fi && !missCounted[k] {
+				missCounted[k] = true
+				freshMiss = true
+				break
+			}
+		}
+		if !freshMiss {
+			p.stats.hits.Add(1)
+			if f.prefetched {
+				f.prefetched = false
+				p.stats.prefetchHits.Add(1)
+			}
+		}
+		f.pins++
+		p.rep.noteAccess(fi)
+		p.rep.setEvictable(fi, false)
+		bufs[i] = f.buf
+	}
+	return loaded
+}
+
+// Reset flushes dirty frames and drops every unpinned frame — resident
+// pages must be re-read from the backing file afterwards. Cold-cache
+// benchmarks call this between iterations (paired with the disk files'
+// DropOSCache); pinned frames survive untouched. Still-unused prefetched
+// frames count as wasted.
+func (p *Pool) Reset() error {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.closed {
+		return ErrClosed
+	}
+	if err := p.flushLocked(); err != nil {
+		return err
+	}
+	for id, fi := range p.table {
+		f := &p.frames[fi]
+		if f.pins > 0 {
+			continue
+		}
+		if f.prefetched {
+			f.prefetched = false
+			p.stats.prefetchWasted.Add(1)
+		}
+		delete(p.table, id)
+		p.rep.remove(fi)
+		f.dirty = false
+		p.free = append(p.free, fi)
+	}
+	return nil
+}

@@ -1,0 +1,292 @@
+package bufferpool
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/faultfs"
+	"repro/internal/pager"
+)
+
+// newBatchPool builds a pool of the given capacity over a MemFile with n
+// distinct-content pages; it returns the pool, the raw file, and the ids.
+func newBatchPool(t testing.TB, frames, n int) (*Pool, *pager.MemFile, []pager.PageID) {
+	t.Helper()
+	mf := pager.NewMemFile(0)
+	ids := make([]pager.PageID, n)
+	buf := make([]byte, mf.PageSize())
+	for i := range ids {
+		id, err := mf.Alloc()
+		if err != nil {
+			t.Fatalf("alloc: %v", err)
+		}
+		for j := range buf {
+			buf[j] = byte(int(id)*37 + j)
+		}
+		if err := mf.Write(id, buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ids[i] = id
+	}
+	p, err := New(mf, Config{Pages: frames})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	return p, mf, ids
+}
+
+func wantPage(t *testing.T, size int, id pager.PageID, got []byte) {
+	t.Helper()
+	for j := 0; j < size; j++ {
+		if got[j] != byte(int(id)*37+j) {
+			t.Fatalf("page %d: byte %d = %#x, want %#x", id, j, got[j], byte(int(id)*37+j))
+		}
+	}
+}
+
+func TestPinBatchBasic(t *testing.T) {
+	p, _, ids := newBatchPool(t, 64, 40)
+	bufs, errs := p.PinBatch(ids)
+	if errs != nil {
+		t.Fatalf("PinBatch errors: %v", errs)
+	}
+	for i, id := range ids {
+		wantPage(t, p.PageSize(), id, bufs[i])
+	}
+	st := p.PoolStats()
+	if st.Misses != 40 || st.Hits != 0 {
+		t.Fatalf("stats after cold batch: hits=%d misses=%d, want 0/40", st.Hits, st.Misses)
+	}
+	if st.BatchReads == 0 {
+		t.Fatalf("no batched backing reads recorded")
+	}
+	// Second batch over the same pages: all hits, no further physical I/O.
+	phys := st.PhysicalReads
+	bufs2, errs := p.PinBatch(ids)
+	if errs != nil {
+		t.Fatalf("warm PinBatch errors: %v", errs)
+	}
+	st = p.PoolStats()
+	if st.Hits != 40 || st.PhysicalReads != phys {
+		t.Fatalf("warm batch: hits=%d phys=%d, want 40/%d", st.Hits, st.PhysicalReads, phys)
+	}
+	if err := p.UnpinBatch(ids, bufs, false); err != nil {
+		t.Fatalf("unpin 1: %v", err)
+	}
+	if err := p.UnpinBatch(ids, bufs2, false); err != nil {
+		t.Fatalf("unpin 2: %v", err)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+}
+
+func TestPinBatchDuplicates(t *testing.T) {
+	p, _, ids := newBatchPool(t, 16, 4)
+	req := []pager.PageID{ids[0], ids[1], ids[0], ids[1], ids[0]}
+	bufs, errs := p.PinBatch(req)
+	if errs != nil {
+		t.Fatalf("PinBatch errors: %v", errs)
+	}
+	for i, id := range req {
+		wantPage(t, p.PageSize(), id, bufs[i])
+	}
+	st := p.PoolStats()
+	if st.Misses != 2 || st.Hits != 3 {
+		t.Fatalf("dup stats: hits=%d misses=%d, want 3/2", st.Hits, st.Misses)
+	}
+	// Each occurrence holds one pin: the page survives 2 unpins and is
+	// freed only after the third.
+	if err := p.UnpinBatch(req, bufs, false); err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+	if err := p.Unpin(ids[0], false); !errors.Is(err, ErrNotPinned) {
+		t.Fatalf("extra unpin: got %v, want ErrNotPinned", err)
+	}
+}
+
+// TestPinBatchFaultIsolation drives injected sub-read failures through the
+// whole stack: the failed page reports its error, sibling frames are
+// installed with correct contents, and the failed page is NOT left resident
+// (a later read retries and succeeds).
+func TestPinBatchFaultIsolation(t *testing.T) {
+	mf := pager.NewMemFile(0)
+	ids := make([]pager.PageID, 8)
+	buf := make([]byte, mf.PageSize())
+	for i := range ids {
+		id, _ := mf.Alloc()
+		for j := range buf {
+			buf[j] = byte(int(id)*37 + j)
+		}
+		if err := mf.Write(id, buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ids[i] = id
+	}
+	ff := faultfs.Wrap(mf)
+	p, err := New(ff, Config{Pages: 16})
+	if err != nil {
+		t.Fatalf("pool: %v", err)
+	}
+	ff.FailNth(faultfs.OpRead, 3, nil) // third sub-read of the batch fails
+	bufs, errs := p.PinBatch(ids)
+	if errs == nil {
+		t.Fatalf("expected a per-page error")
+	}
+	failed := -1
+	for i, e := range errs {
+		if e == nil {
+			continue
+		}
+		if failed != -1 {
+			t.Fatalf("more than one failed position: %d and %d", failed, i)
+		}
+		failed = i
+		if !errors.Is(e, faultfs.ErrInjected) {
+			t.Fatalf("position %d: got %v, want ErrInjected", i, e)
+		}
+		if bufs[i] != nil {
+			t.Fatalf("failed position %d still has a buffer", i)
+		}
+	}
+	if failed != 2 {
+		t.Fatalf("failed position = %d, want 2 (third sub-read)", failed)
+	}
+	for i, id := range ids {
+		if i == failed {
+			continue
+		}
+		wantPage(t, p.PageSize(), id, bufs[i]) // siblings not poisoned
+	}
+	// The failed page never became resident; a retry succeeds.
+	rbuf := make([]byte, p.PageSize())
+	if err := p.Read(ids[failed], rbuf); err != nil {
+		t.Fatalf("retry read: %v", err)
+	}
+	wantPage(t, p.PageSize(), ids[failed], rbuf)
+	if err := p.UnpinBatch(ids, bufs, false); err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+}
+
+func TestPrefetchLoadsWithoutPinning(t *testing.T) {
+	p, mf, ids := newBatchPool(t, 64, 30)
+	if n := p.Prefetch(ids); n != 30 {
+		t.Fatalf("Prefetch loaded %d, want 30", n)
+	}
+	st := p.PoolStats()
+	if st.PrefetchPages != 30 || st.BatchReads == 0 {
+		t.Fatalf("prefetch stats: pages=%d batchReads=%d", st.PrefetchPages, st.BatchReads)
+	}
+	if st.Hits != 0 && st.Misses != 0 {
+		t.Fatalf("prefetch counted as page requests: hits=%d misses=%d", st.Hits, st.Misses)
+	}
+	// Re-prefetching resident pages is a no-op.
+	if n := p.Prefetch(ids); n != 0 {
+		t.Fatalf("re-Prefetch loaded %d, want 0", n)
+	}
+	// Reads served from prefetched frames: prefetch hits, no physical I/O.
+	physBefore := mf.Stats().Reads
+	buf := make([]byte, p.PageSize())
+	for _, id := range ids[:20] {
+		if err := p.Read(id, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+		wantPage(t, p.PageSize(), id, buf)
+	}
+	if got := mf.Stats().Reads - physBefore; got != 0 {
+		t.Fatalf("reads after prefetch hit the backing file %d times", got)
+	}
+	st = p.PoolStats()
+	if st.PrefetchHits != 20 {
+		t.Fatalf("PrefetchHits = %d, want 20", st.PrefetchHits)
+	}
+	// Reset drops the remaining 10 untouched prefetched frames as wasted.
+	if err := p.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	st = p.PoolStats()
+	if st.PrefetchWasted != 10 {
+		t.Fatalf("PrefetchWasted = %d, want 10", st.PrefetchWasted)
+	}
+}
+
+func TestPrefetchErrorsAreSwallowed(t *testing.T) {
+	p, _, ids := newBatchPool(t, 16, 4)
+	bogus := append([]pager.PageID{pager.PageID(9999)}, ids...)
+	if n := p.Prefetch(bogus); n != 4 {
+		t.Fatalf("Prefetch loaded %d, want 4 (bogus page skipped)", n)
+	}
+	buf := make([]byte, p.PageSize())
+	for _, id := range ids {
+		if err := p.Read(id, buf); err != nil {
+			t.Fatalf("read after partial prefetch: %v", err)
+		}
+	}
+}
+
+func TestResetDropsUnpinnedKeepsPinned(t *testing.T) {
+	p, mf, ids := newBatchPool(t, 32, 10)
+	pinned, err := p.Pin(ids[0])
+	if err != nil {
+		t.Fatalf("pin: %v", err)
+	}
+	buf := make([]byte, p.PageSize())
+	for _, id := range ids[1:] {
+		if err := p.Read(id, buf); err != nil {
+			t.Fatalf("read: %v", err)
+		}
+	}
+	// Dirty one page through the pool; Reset must flush it, not lose it.
+	dirty := make([]byte, p.PageSize())
+	for j := range dirty {
+		dirty[j] = 0xAB
+	}
+	if err := p.Write(ids[5], dirty); err != nil {
+		t.Fatalf("write: %v", err)
+	}
+	if err := p.Reset(); err != nil {
+		t.Fatalf("reset: %v", err)
+	}
+	// Unpinned pages are gone: the next read is physical.
+	phys := mf.Stats().Reads
+	if err := p.Read(ids[1], buf); err != nil {
+		t.Fatalf("read after reset: %v", err)
+	}
+	if mf.Stats().Reads != phys+1 {
+		t.Fatalf("read after reset did not hit the backing file")
+	}
+	// The flushed write round-tripped.
+	if err := mf.Read(ids[5], buf); err != nil {
+		t.Fatalf("backing read: %v", err)
+	}
+	for j := range buf {
+		if buf[j] != 0xAB {
+			t.Fatalf("dirty page lost by Reset")
+		}
+	}
+	// The pinned frame survived with its contents.
+	wantPage(t, p.PageSize(), ids[0], pinned)
+	if err := p.Unpin(ids[0], false); err != nil {
+		t.Fatalf("unpin: %v", err)
+	}
+}
+
+func TestPinBatchOnClosedPool(t *testing.T) {
+	p, _, ids := newBatchPool(t, 16, 4)
+	if err := p.Close(); err != nil {
+		t.Fatalf("close: %v", err)
+	}
+	bufs, errs := p.PinBatch(ids)
+	if errs == nil {
+		t.Fatalf("PinBatch on closed pool returned no errors")
+	}
+	for i := range ids {
+		if !errors.Is(errs[i], ErrClosed) || bufs[i] != nil {
+			t.Fatalf("position %d: err=%v buf=%v, want ErrClosed/nil", i, errs[i], bufs[i])
+		}
+	}
+	if n := p.Prefetch(ids); n != 0 {
+		t.Fatalf("Prefetch on closed pool loaded %d", n)
+	}
+}

@@ -66,6 +66,12 @@ type Stats struct {
 	Flushes        int64 // dirty frames written back by FlushAll/Close
 	PhysicalReads  int64 // page reads issued to the backing file
 	PhysicalWrites int64 // page writes issued to the backing file
+
+	// Batched-read and prefetch accounting (see PinBatch/Prefetch).
+	BatchReads     int64 // ReadBatch calls issued to the backing file
+	PrefetchPages  int64 // pages loaded into frames by Prefetch
+	PrefetchHits   int64 // prefetched frames later served to a page request
+	PrefetchWasted int64 // prefetched frames dropped before any request hit them
 }
 
 // HitRate returns Hits / (Hits + Misses), or 0 when nothing was requested.
@@ -85,6 +91,10 @@ func (s *Stats) Add(other Stats) {
 	s.Flushes += other.Flushes
 	s.PhysicalReads += other.PhysicalReads
 	s.PhysicalWrites += other.PhysicalWrites
+	s.BatchReads += other.BatchReads
+	s.PrefetchPages += other.PrefetchPages
+	s.PrefetchHits += other.PrefetchHits
+	s.PrefetchWasted += other.PrefetchWasted
 }
 
 // Sub removes other from s (for computing the delta between two snapshots
@@ -97,6 +107,10 @@ func (s *Stats) Sub(other Stats) {
 	s.Flushes -= other.Flushes
 	s.PhysicalReads -= other.PhysicalReads
 	s.PhysicalWrites -= other.PhysicalWrites
+	s.BatchReads -= other.BatchReads
+	s.PrefetchPages -= other.PrefetchPages
+	s.PrefetchHits -= other.PrefetchHits
+	s.PrefetchWasted -= other.PrefetchWasted
 }
 
 // counters is the pool's live cache accounting. Every field is atomic so
@@ -110,6 +124,10 @@ type counters struct {
 	flushes        atomic.Int64
 	physicalReads  atomic.Int64
 	physicalWrites atomic.Int64
+	batchReads     atomic.Int64
+	prefetchPages  atomic.Int64
+	prefetchHits   atomic.Int64
+	prefetchWasted atomic.Int64
 }
 
 // snapshot materializes the counters into the exported Stats form.
@@ -122,6 +140,10 @@ func (c *counters) snapshot() Stats {
 		Flushes:        c.flushes.Load(),
 		PhysicalReads:  c.physicalReads.Load(),
 		PhysicalWrites: c.physicalWrites.Load(),
+		BatchReads:     c.batchReads.Load(),
+		PrefetchPages:  c.prefetchPages.Load(),
+		PrefetchHits:   c.prefetchHits.Load(),
+		PrefetchWasted: c.prefetchWasted.Load(),
 	}
 }
 
@@ -135,7 +157,11 @@ type frame struct {
 	buf   []byte
 	pins  int
 	dirty bool
-	latch sync.RWMutex
+	// prefetched marks a frame loaded speculatively by Prefetch and not yet
+	// hit by any page request; it drives the PrefetchHits/PrefetchWasted
+	// accounting and has no effect on replacement.
+	prefetched bool
+	latch      sync.RWMutex
 }
 
 // Pool is a buffer-pool manager over a pager.File. It implements pager.File
@@ -218,6 +244,10 @@ func (p *Pool) reclaimLocked() (int, error) {
 		f.dirty = false
 	}
 	p.stats.evictions.Add(1)
+	if f.prefetched {
+		f.prefetched = false
+		p.stats.prefetchWasted.Add(1)
+	}
 	delete(p.table, f.id)
 	return fi, nil
 }
@@ -228,6 +258,10 @@ func (p *Pool) pinLocked(id pager.PageID) (int, error) {
 	if fi, ok := p.table[id]; ok {
 		p.stats.hits.Add(1)
 		f := &p.frames[fi]
+		if f.prefetched {
+			f.prefetched = false
+			p.stats.prefetchHits.Add(1)
+		}
 		f.pins++
 		p.rep.noteAccess(fi)
 		p.rep.setEvictable(fi, false)
@@ -247,6 +281,7 @@ func (p *Pool) pinLocked(id pager.PageID) (int, error) {
 	f.id = id
 	f.pins = 1
 	f.dirty = false
+	f.prefetched = false
 	p.table[id] = fi
 	p.rep.noteAccess(fi)
 	p.rep.setEvictable(fi, false)
@@ -347,6 +382,10 @@ func (p *Pool) Write(id pager.PageID, buf []byte) error {
 	if fi, ok := p.table[id]; ok {
 		p.stats.hits.Add(1)
 		f := &p.frames[fi]
+		if f.prefetched {
+			f.prefetched = false
+			p.stats.prefetchHits.Add(1)
+		}
 		// Pin the frame so it survives the mutex gap, then copy under
 		// the exclusive frame latch; the unpin marks it dirty.
 		f.pins++
@@ -389,6 +428,7 @@ func (p *Pool) Alloc() (pager.PageID, error) {
 		f.id = id
 		f.pins = 0
 		f.dirty = false
+		f.prefetched = false
 		p.table[id] = fi
 		p.rep.noteAccess(fi)
 		p.rep.setEvictable(fi, true)
@@ -414,6 +454,10 @@ func (p *Pool) Free(id pager.PageID) error {
 		delete(p.table, id)
 		p.rep.remove(fi)
 		f.dirty = false
+		if f.prefetched {
+			f.prefetched = false
+			p.stats.prefetchWasted.Add(1)
+		}
 		p.free = append(p.free, fi)
 	}
 	return p.inner.Free(id)

@@ -50,6 +50,11 @@ type Stats struct {
 	NodeCacheHits   int
 	NodeCacheMisses int
 	BytesDecoded    int64
+	// PrefetchIssued counts pages the scan handed to the background
+	// frontier prefetcher (0 when prefetch is off or unsupported).
+	// Accounting only: prefetched pages are never Touched, so PagesRead
+	// is identical with prefetching on or off.
+	PrefetchIssued int
 }
 
 // ExecContext is the mutable per-query execution state: the page tracker,
@@ -113,12 +118,13 @@ func (ec *ExecContext) ShardTracker(i, n int) *pager.Tracker {
 
 // pageCounts sums the context's cumulative page accounting over every
 // tracker it owns: the plain tracker plus any per-shard trackers.
-func (ec *ExecContext) pageCounts() (reads, hits, misses int, bytes int64) {
+func (ec *ExecContext) pageCounts() (reads, hits, misses int, bytes int64, prefetch int) {
 	if ec.Tracker != nil {
 		reads += ec.Tracker.Reads()
 		hits += ec.Tracker.CacheHits()
 		misses += ec.Tracker.CacheMisses()
 		bytes += ec.Tracker.BytesDecoded()
+		prefetch += ec.Tracker.PrefetchIssued()
 	}
 	for _, tr := range ec.shardTrackers {
 		if tr == nil {
@@ -128,8 +134,9 @@ func (ec *ExecContext) pageCounts() (reads, hits, misses int, bytes int64) {
 		hits += tr.CacheHits()
 		misses += tr.CacheMisses()
 		bytes += tr.BytesDecoded()
+		prefetch += tr.PrefetchIssued()
 	}
-	return reads, hits, misses, bytes
+	return reads, hits, misses, bytes, prefetch
 }
 
 // view is the read surface a query executes against: the live tree (a
@@ -198,10 +205,11 @@ func (ix *Index) runPlan(ctx context.Context, v view, p *plan, ec *ExecContext, 
 	tr := ec.Tracker
 	var err error
 	stats := Stats{Algorithm: ec.Algorithm, Intervals: len(p.intervals)}
-	lastDistinct := "" // forward-scan duplicate suppression for Distinct
+	lastDistinct := ""  // forward-scan duplicate suppression for Distinct
+	var sc matchScratch // per-entry parse state, reused across the scan
 	emit := func(key []byte) (skipTo []byte, stop bool, err error) {
 		stats.EntriesScanned++
-		m, skip, err := p.matchKey(ix, key)
+		m, skip, err := p.matchKey(ix, key, &sc)
 		if err != nil {
 			return nil, true, err
 		}
@@ -258,6 +266,7 @@ func (ix *Index) runPlan(ctx context.Context, v view, p *plan, ec *ExecContext, 
 	stats.NodeCacheHits = tr.CacheHits()
 	stats.NodeCacheMisses = tr.CacheMisses()
 	stats.BytesDecoded = tr.BytesDecoded()
+	stats.PrefetchIssued = tr.PrefetchIssued()
 	ec.Stats.Algorithm = ec.Algorithm
 	ec.Stats.Intervals += stats.Intervals
 	ec.Stats.EntriesScanned += stats.EntriesScanned
@@ -266,5 +275,6 @@ func (ix *Index) runPlan(ctx context.Context, v view, p *plan, ec *ExecContext, 
 	ec.Stats.NodeCacheHits = tr.CacheHits()
 	ec.Stats.NodeCacheMisses = tr.CacheMisses()
 	ec.Stats.BytesDecoded = tr.BytesDecoded()
+	ec.Stats.PrefetchIssued = tr.PrefetchIssued()
 	return stats, err
 }

@@ -310,11 +310,26 @@ func (ix *Index) compile(q Query) (*plan, error) {
 	return p, nil
 }
 
+// matchScratch is the reusable per-execution state of matchKey: the parsed
+// path and offset slices, the class-code intern table, and the Match handed
+// to the emit callback. One scan reuses it for every entry inspected, so
+// the per-entry parse allocates nothing in steady state; only an actual
+// match allocates (the Path copy the caller is allowed to retain). A
+// scratch belongs to one execution goroutine — runPlan owns one per call.
+type matchScratch struct {
+	path  []encoding.PathEntry
+	offs  []int
+	codes encoding.CodeInterner
+	match Match
+}
+
 // matchKey checks a key against the residual patterns. It returns whether
 // the key matches, and — on mismatch or after a Distinct match — the skip
 // key for the parallel algorithm (nil when plain advancement is fine).
-func (p *plan) matchKey(ix *Index, key []byte) (m *Match, skipTo []byte, err error) {
-	attr, path, offs, err := splitKeyOffsets(ix.attrType, key)
+// The returned Match (and everything it references except Path) is only
+// valid until the next matchKey call on the same scratch.
+func (p *plan) matchKey(ix *Index, key []byte, sc *matchScratch) (m *Match, skipTo []byte, err error) {
+	attr, path, offs, err := sc.split(ix.attrType, key)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -348,14 +363,38 @@ func (p *plan) matchKey(ix *Index, key []byte) (m *Match, skipTo []byte, err err
 	if err != nil {
 		return nil, nil, err
 	}
-	m = &Match{Value: v, Path: path}
-	if p.q.Distinct > 0 {
-		if p.q.Distinct <= len(path) {
-			m.Path = path[:p.q.Distinct]
-			skipTo = skipPast(key, offs[p.q.Distinct-1])
-		}
+	if p.q.Distinct > 0 && p.q.Distinct <= len(path) {
+		path = path[:p.q.Distinct]
+		skipTo = skipPast(key, offs[p.q.Distinct-1])
 	}
-	return m, skipTo, nil
+	// The emitted Path must survive the next key (callers retain it), so
+	// the match — and only the match — copies out of the scratch.
+	sc.match = Match{Value: v, Path: append([]encoding.PathEntry(nil), path...)}
+	return &sc.match, skipTo, nil
+}
+
+// split parses a composite key into the scratch, returning the
+// attribute-value bytes, the path entries, and for each entry the byte
+// offset just past it (used to build skip keys). The returned slices alias
+// the scratch and are only valid until the next split.
+func (sc *matchScratch) split(t encoding.AttrType, key []byte) (attr []byte, path []encoding.PathEntry, offs []int, err error) {
+	attr, rest, err := t.SplitValue(key)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	path, err = encoding.AppendSplitPath(sc.path[:0], rest, &sc.codes)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	sc.path = path
+	offs = sc.offs[:0]
+	off := len(attr)
+	for _, pe := range path {
+		off += len(pe.Code) + 1 + encoding.OIDSize
+		offs = append(offs, off)
+	}
+	sc.offs = offs
+	return attr, path, offs, nil
 }
 
 // skipFor computes the resume key after a mismatch at position pi: the
@@ -415,24 +454,4 @@ func skipPast(key []byte, end int) []byte {
 	copy(out, key[:end])
 	out[end] = 0xFF
 	return out
-}
-
-// splitKeyOffsets parses a composite key and additionally returns, for each
-// path entry, the byte offset just past it (used to build skip keys).
-func splitKeyOffsets(t encoding.AttrType, key []byte) (attr []byte, path []encoding.PathEntry, offs []int, err error) {
-	attr, rest, err := t.SplitValue(key)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	base := len(attr)
-	path, err = encoding.SplitPath(rest)
-	if err != nil {
-		return nil, nil, nil, err
-	}
-	off := base
-	for _, pe := range path {
-		off += len(pe.Code) + 1 + encoding.OIDSize
-		offs = append(offs, off)
-	}
-	return attr, path, offs, nil
 }

@@ -425,11 +425,12 @@ func (sh *Sharded) execute(ctx context.Context, q Query, ec *ExecContext, fn fun
 // runPlan's accumulation: per-query counters add up, page counters are the
 // context's cumulative distinct counts (summed across shard trackers).
 func (sh *Sharded) finish(ec *ExecContext, stats Stats, err error) (Stats, error) {
-	reads, hits, misses, bytesDec := ec.pageCounts()
+	reads, hits, misses, bytesDec, prefetch := ec.pageCounts()
 	stats.PagesRead = reads
 	stats.NodeCacheHits = hits
 	stats.NodeCacheMisses = misses
 	stats.BytesDecoded = bytesDec
+	stats.PrefetchIssued = prefetch
 	ec.Stats.Algorithm = ec.Algorithm
 	ec.Stats.Intervals += stats.Intervals
 	ec.Stats.EntriesScanned += stats.EntriesScanned
@@ -438,6 +439,7 @@ func (sh *Sharded) finish(ec *ExecContext, stats Stats, err error) (Stats, error
 	ec.Stats.NodeCacheHits = hits
 	ec.Stats.NodeCacheMisses = misses
 	ec.Stats.BytesDecoded = bytesDec
+	ec.Stats.PrefetchIssued = prefetch
 	return stats, err
 }
 

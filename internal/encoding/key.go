@@ -246,7 +246,42 @@ func SplitKey(t AttrType, key []byte) (attr []byte, path []PathEntry, err error)
 // SplitPath parses the path portion of a composite key (everything after
 // the attribute value).
 func SplitPath(rest []byte) ([]PathEntry, error) {
-	var path []PathEntry
+	return AppendSplitPath(nil, rest, nil)
+}
+
+// CodeInterner converts raw code bytes from composite keys into validated
+// Codes, keeping one canonical string per distinct code. An index sees a
+// handful of distinct class codes across millions of entries, so the scan
+// executor's per-entry ParseCode (a string conversion plus label-by-label
+// validation) collapses to an allocation-free map probe. The zero value is
+// ready to use; an interner is not safe for concurrent use — give each
+// execution its own.
+type CodeInterner struct {
+	m map[string]Code
+}
+
+// Intern returns the validated Code for raw code bytes, reusing the
+// canonical string after the first occurrence.
+func (ci *CodeInterner) Intern(raw []byte) (Code, error) {
+	if c, ok := ci.m[string(raw)]; ok { // compiled to a no-alloc lookup
+		return c, nil
+	}
+	c, err := ParseCode(string(raw))
+	if err != nil {
+		return "", err
+	}
+	if ci.m == nil {
+		ci.m = make(map[string]Code)
+	}
+	ci.m[string(c)] = c
+	return c, nil
+}
+
+// AppendSplitPath is SplitPath appending into path — pass a retained
+// slice's path[:0] to reuse its backing array across keys. A non-nil
+// interner additionally dedups the per-entry code strings; nil falls back
+// to ParseCode per entry.
+func AppendSplitPath(path []PathEntry, rest []byte, ci *CodeInterner) ([]PathEntry, error) {
 	for len(rest) > 0 {
 		sep := -1
 		for i, b := range rest {
@@ -258,7 +293,13 @@ func SplitPath(rest []byte) ([]PathEntry, error) {
 		if sep <= 0 {
 			return nil, fmt.Errorf("encoding: malformed key path (missing code before separator)")
 		}
-		code, err := ParseCode(string(rest[:sep]))
+		var code Code
+		var err error
+		if ci != nil {
+			code, err = ci.Intern(rest[:sep])
+		} else {
+			code, err = ParseCode(string(rest[:sep]))
+		}
 		if err != nil {
 			return nil, fmt.Errorf("encoding: malformed key path: %w", err)
 		}

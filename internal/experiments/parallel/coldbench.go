@@ -1,0 +1,259 @@
+package parallel
+
+// Cold-cache benchmark: wall-clock latency of the read-path query shapes
+// when every cache between the query and the platters is empty — node
+// caches dropped, buffer pools reset, and the OS page cache evicted
+// (posix_fadvise DONTNEED) before every timed query. This is the regime
+// the Parscan frontier prefetcher targets: with warm caches batched
+// read-ahead has nothing to hide, but a cold descent pays one device
+// round-trip per page unless the next level is fetched as one batch.
+// Each shape runs under prefetch on and off against identically built
+// disk-backed databases, so the paired points isolate the prefetcher.
+// Results serialize to BENCH_cold.json.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"time"
+
+	uindex "repro"
+	"repro/internal/pager"
+)
+
+// ColdConfig sizes the cold-cache benchmark.
+type ColdConfig struct {
+	// Objects is the number of vehicles in the database (<=0: 30000 —
+	// larger than the warm suite's default because a cold descent only
+	// becomes I/O-bound once the tree spans enough pages; Short caps it
+	// lower).
+	Objects    int
+	Seed       int64  // workload seed
+	Short      bool   // CI smoke scale: small database, fewer iterations
+	Dir        string // scratch directory for the disk files ("" = os.MkdirTemp)
+	Iterations int    // timed cold queries per point (<=0: 5; Short: 3)
+	PoolPages  int    // buffer-pool frames (<=0: 512)
+}
+
+// ColdPoint is one query shape under one prefetch setting, cold caches.
+type ColdPoint struct {
+	Name       string  `json:"name"`
+	Prefetch   bool    `json:"prefetch"`
+	Iterations int     `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"` // median over the cold iterations
+	// SamplesNs are the individual cold-iteration latencies behind the
+	// median, in measurement order — the spread is the evidence for how
+	// much device noise the median is defending against.
+	SamplesNs []int64 `json:"samples_ns"`
+	// PagesRead is the query's logical distinct-page count — the paper's
+	// metric. It is identical with prefetch on and off (RunCold verifies
+	// this invariance and fails otherwise).
+	PagesRead int `json:"pages_read"`
+	// PrefetchIssued counts pages the scan handed to the prefetcher per
+	// query (0 with prefetch off).
+	PrefetchIssued int `json:"prefetch_issued"`
+}
+
+// ColdResult is the whole suite, written to BENCH_cold.json.
+type ColdResult struct {
+	Objects    int   `json:"objects"`
+	Seed       int64 `json:"seed"`
+	Short      bool  `json:"short"`
+	Iterations int   `json:"iterations"`
+	GoMaxProcs int   `json:"gomaxprocs"`
+	// Uring reports whether batched reads went through io_uring (false:
+	// the portable bounded-goroutine preadv fallback).
+	Uring  bool        `json:"io_uring"`
+	Points []ColdPoint `json:"points"`
+	// Pool is the prefetch-on database's cumulative buffer-pool counters
+	// over the whole suite — evidence the prefetch path actually ran
+	// (PrefetchPages, PrefetchHits) and how much read-ahead missed
+	// (PrefetchWasted).
+	Pool uindex.BufferPoolStats `json:"pool_totals"`
+}
+
+// RunCold builds one disk-backed database per prefetch setting (identical
+// contents, same seed) and measures every read shape cold: each timed
+// iteration drops the node caches, resets the buffer pools, and evicts the
+// OS page cache, then runs exactly one query. The off/on iterations of a
+// shape are interleaved — off, on, off, on, … — so slow drift in device
+// latency (writeback, queue state, host noise) lands on both settings
+// equally instead of biasing whichever ran last, and each point reports the
+// median iteration rather than the mean, which a single stalled read would
+// otherwise dominate.
+func RunCold(cfg ColdConfig) (*ColdResult, error) {
+	if cfg.Objects <= 0 {
+		cfg.Objects = 30000
+	}
+	if cfg.Short && cfg.Objects > 1500 {
+		cfg.Objects = 1500
+	}
+	if cfg.Iterations <= 0 {
+		cfg.Iterations = 15
+		if cfg.Short {
+			cfg.Iterations = 3
+		}
+	}
+	if cfg.PoolPages <= 0 {
+		cfg.PoolPages = 512
+	}
+	dir := cfg.Dir
+	if dir == "" {
+		var err error
+		if dir, err = os.MkdirTemp("", "uindex-coldbench-"); err != nil {
+			return nil, err
+		}
+		defer os.RemoveAll(dir)
+	}
+	res := &ColdResult{
+		Objects:    cfg.Objects,
+		Seed:       cfg.Seed,
+		Short:      cfg.Short,
+		Iterations: cfg.Iterations,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Uring:      pager.UringAvailable(),
+	}
+	ctx := context.Background()
+	settings := []bool{false, true} // off first: the speedup reads "off vs on"
+	dbs := make([]*uindex.Database, len(settings))
+	defer func() {
+		for _, db := range dbs {
+			if db != nil {
+				db.Close()
+			}
+		}
+	}()
+	for i, prefetch := range settings {
+		sub := filepath.Join(dir, map[bool]string{false: "nopf", true: "pf"}[prefetch])
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, err
+		}
+		db, err := buildParallelDB(Config{
+			Objects: cfg.Objects, Seed: cfg.Seed,
+			PoolPages: cfg.PoolPages, Dir: sub,
+			Durability: uindex.DurabilityCheckpoint,
+			NoPrefetch: !prefetch,
+		})
+		if err != nil {
+			return nil, err
+		}
+		dbs[i] = db
+	}
+	for _, sh := range readShapes() {
+		index, q := sh.job()
+		samples := make([][]time.Duration, len(settings))
+		stats := make([]uindex.Stats, len(settings))
+		// Validation runs: one warm query so the timed region never sees a
+		// first-query error path, then one discarded cold pass per database
+		// — the first eviction after a build flushes writeback the builds
+		// left behind, and that flush must not land inside a timed
+		// iteration.
+		for _, db := range dbs {
+			if _, _, err := db.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg)); err != nil {
+				return nil, fmt.Errorf("%s: %w", sh.name, err)
+			}
+			if err := db.DropPageCaches(); err != nil {
+				return nil, fmt.Errorf("%s: drop caches: %w", sh.name, err)
+			}
+			if _, _, err := db.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg)); err != nil {
+				return nil, fmt.Errorf("%s: %w", sh.name, err)
+			}
+		}
+		for it := 0; it < cfg.Iterations; it++ {
+			for i, db := range dbs {
+				if err := db.DropPageCaches(); err != nil {
+					return nil, fmt.Errorf("%s: drop caches: %w", sh.name, err)
+				}
+				start := time.Now()
+				_, st, err := db.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg))
+				elapsed := time.Since(start)
+				if err != nil {
+					return nil, fmt.Errorf("%s: %w", sh.name, err)
+				}
+				samples[i] = append(samples[i], elapsed)
+				stats[i] = st
+			}
+		}
+		for i, prefetch := range settings {
+			ns := make([]int64, len(samples[i]))
+			for j, d := range samples[i] {
+				ns[j] = d.Nanoseconds()
+			}
+			res.Points = append(res.Points, ColdPoint{
+				Name:           sh.name,
+				Prefetch:       prefetch,
+				Iterations:     cfg.Iterations,
+				NsPerOp:        float64(medianDuration(samples[i]).Nanoseconds()),
+				SamplesNs:      ns,
+				PagesRead:      stats[i].PagesRead,
+				PrefetchIssued: stats[i].PrefetchIssued,
+			})
+		}
+	}
+	res.Pool, _ = dbs[1].PoolStats()
+	// Logical page-count invariance: the same shape must touch the same
+	// distinct pages whether or not read-ahead ran.
+	for _, on := range res.Points {
+		if !on.Prefetch {
+			continue
+		}
+		for _, off := range res.Points {
+			if off.Name == on.Name && !off.Prefetch && off.PagesRead != on.PagesRead {
+				return nil, fmt.Errorf("%s: logical pages read differ: %d with prefetch, %d without",
+					on.Name, on.PagesRead, off.PagesRead)
+			}
+		}
+	}
+	return res, nil
+}
+
+// medianDuration returns the median of samples (average of the middle pair
+// when even), sorting a copy.
+func medianDuration(samples []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), samples...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	if n := len(s); n%2 == 1 {
+		return s[n/2]
+	} else {
+		return (s[n/2-1] + s[n/2]) / 2
+	}
+}
+
+// RenderCold prints the suite as a table, pairing prefetch off/on per shape
+// with the wall-clock speedup.
+func RenderCold(w io.Writer, r *ColdResult) {
+	fmt.Fprintf(w, "cold-cache benchmark (%d objects, seed %d, %d iterations/point, GOMAXPROCS %d, io_uring %v)\n",
+		r.Objects, r.Seed, r.Iterations, r.GoMaxProcs, r.Uring)
+	fmt.Fprintf(w, "  %-14s %12s %12s %8s %8s %10s\n",
+		"shape", "off ns/op", "on ns/op", "speedup", "pages", "prefetched")
+	for _, on := range r.Points {
+		if !on.Prefetch {
+			continue
+		}
+		for _, off := range r.Points {
+			if off.Name != on.Name || off.Prefetch {
+				continue
+			}
+			speedup := 0.0
+			if on.NsPerOp > 0 {
+				speedup = off.NsPerOp / on.NsPerOp
+			}
+			fmt.Fprintf(w, "  %-14s %12.0f %12.0f %7.2fx %8d %10d\n",
+				on.Name, off.NsPerOp, on.NsPerOp, speedup, on.PagesRead, on.PrefetchIssued)
+		}
+	}
+	fmt.Fprintf(w, "  pool: %d batched reads, %d prefetched pages, %d prefetch hits, %d wasted\n",
+		r.Pool.BatchReads, r.Pool.PrefetchPages, r.Pool.PrefetchHits, r.Pool.PrefetchWasted)
+}
+
+// WriteColdJSON serializes the suite for BENCH_cold.json.
+func WriteColdJSON(w io.Writer, r *ColdResult) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

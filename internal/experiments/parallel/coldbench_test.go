@@ -1,0 +1,99 @@
+package parallel
+
+import (
+	"context"
+	"testing"
+
+	uindex "repro"
+)
+
+// TestPrefetchInvarianceAcrossShapes is the facade-level page-count
+// invariance check: every read shape of the benchmark suite must return the
+// same matches and the same logical cost counters whether or not the
+// frontier prefetcher runs — prefetch may only move wall-clock time, never
+// the paper's metrics. It also confirms the prefetcher actually engages on
+// the pooled database (the invariance of a dead code path proves nothing).
+func TestPrefetchInvarianceAcrossShapes(t *testing.T) {
+	build := func(noPrefetch bool) *uindex.Database {
+		db, err := buildParallelDB(Config{
+			Objects: 4000, Seed: 7, PoolPages: 256, NoPrefetch: noPrefetch,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return db
+	}
+	off := build(true)
+	defer off.Close()
+	on := build(false)
+	defer on.Close()
+
+	ctx := context.Background()
+	issued := 0
+	for _, sh := range readShapes() {
+		// Cold node caches and pools: the frontier drops cache-resident
+		// children, so a build-warm database would issue no hints at all.
+		if err := off.DropPageCaches(); err != nil {
+			t.Fatal(err)
+		}
+		if err := on.DropPageCaches(); err != nil {
+			t.Fatal(err)
+		}
+		index, q := sh.job()
+		offM, offSt, err := off.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg))
+		if err != nil {
+			t.Fatalf("%s off: %v", sh.name, err)
+		}
+		onM, onSt, err := on.Query(ctx, index, q, uindex.WithAlgorithm(sh.alg))
+		if err != nil {
+			t.Fatalf("%s on: %v", sh.name, err)
+		}
+		if len(offM) != len(onM) {
+			t.Fatalf("%s: %d matches without prefetch, %d with", sh.name, len(offM), len(onM))
+		}
+		for i := range offM {
+			if offM[i].Value != onM[i].Value || len(offM[i].Path) != len(onM[i].Path) {
+				t.Fatalf("%s: match %d differs: %+v vs %+v", sh.name, i, offM[i], onM[i])
+			}
+		}
+		if offSt.PagesRead != onSt.PagesRead {
+			t.Errorf("%s: PagesRead %d without prefetch, %d with", sh.name, offSt.PagesRead, onSt.PagesRead)
+		}
+		if offSt.EntriesScanned != onSt.EntriesScanned || offSt.Matches != onSt.Matches {
+			t.Errorf("%s: scan counters differ: off=%+v on=%+v", sh.name, offSt, onSt)
+		}
+		if offSt.PrefetchIssued != 0 {
+			t.Errorf("%s: NoPrefetch database issued %d prefetch hints", sh.name, offSt.PrefetchIssued)
+		}
+		issued += onSt.PrefetchIssued
+	}
+	if issued == 0 {
+		t.Fatalf("no shape issued any prefetch hints on the pooled database")
+	}
+}
+
+// TestRunColdSmoke drives the cold benchmark end to end at a tiny scale:
+// disk-backed databases, real page-cache eviction per iteration, and the
+// built-in cross-setting PagesRead invariance check in RunCold.
+func TestRunColdSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("cold benchmark evicts OS caches; skipped in -short")
+	}
+	r, err := RunCold(ColdConfig{
+		Objects: 600, Seed: 3, Iterations: 1, PoolPages: 128, Dir: t.TempDir(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Points) != 2*len(readShapes()) {
+		t.Fatalf("got %d points, want %d", len(r.Points), 2*len(readShapes()))
+	}
+	for _, p := range r.Points {
+		if p.NsPerOp <= 0 || p.PagesRead <= 0 {
+			t.Errorf("%s prefetch=%v: implausible point %+v", p.Name, p.Prefetch, p)
+		}
+		if !p.Prefetch && p.PrefetchIssued != 0 {
+			t.Errorf("%s: prefetch-off point issued %d hints", p.Name, p.PrefetchIssued)
+		}
+	}
+}

@@ -40,6 +40,10 @@ type Config struct {
 	// writers spread across the shard map, so writer throughput scales
 	// with the shard count until the cores run out.
 	Shards int
+	// NoPrefetch disables the Parscan frontier prefetcher on every index —
+	// the cold benchmark's control setting. Logical page counts are
+	// identical either way; only wall-clock latency moves.
+	NoPrefetch bool
 }
 
 // Result reports aggregate throughput of one QueryParallel batch
@@ -88,6 +92,7 @@ func buildParallelDB(cfg Config) (*uindex.Database, error) {
 	db, err := uindex.NewDatabaseWith(s, uindex.Options{
 		PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy, NodeCacheSize: cfg.NodeCacheSize,
 		Dir: cfg.Dir, Durability: cfg.Durability, Shards: cfg.Shards,
+		NoPrefetch: cfg.NoPrefetch,
 	})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,108 @@
+package faultfs
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/pager"
+)
+
+// TestReadBatchStepsPerSubRead proves the injection granularity: every page
+// of a batch advances the OpRead counter individually, FailNth lands on
+// exactly that sub-read, and the sibling sub-reads complete with correct
+// contents.
+func TestReadBatchStepsPerSubRead(t *testing.T) {
+	mf := pager.NewMemFile(0)
+	ids := make([]pager.PageID, 6)
+	buf := make([]byte, mf.PageSize())
+	for i := range ids {
+		id, _ := mf.Alloc()
+		for j := range buf {
+			buf[j] = byte(int(id) + j)
+		}
+		if err := mf.Write(id, buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ids[i] = id
+	}
+	f := Wrap(mf)
+	sentinel := errors.New("torn read")
+	f.FailNth(OpRead, 4, sentinel)
+
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = make([]byte, f.PageSize())
+	}
+	errs := f.ReadBatch(ids, bufs)
+	if errs == nil {
+		t.Fatalf("expected a per-page error slice")
+	}
+	for i := range ids {
+		if i == 3 {
+			if !errors.Is(errs[i], sentinel) {
+				t.Fatalf("sub-read 4: got %v, want the injected error", errs[i])
+			}
+			continue
+		}
+		if errs[i] != nil {
+			t.Fatalf("sub-read %d poisoned by sibling: %v", i+1, errs[i])
+		}
+		for j := range bufs[i] {
+			if bufs[i][j] != byte(int(ids[i])+j) {
+				t.Fatalf("sub-read %d contents wrong", i+1)
+			}
+		}
+	}
+	if got := f.Calls(OpRead); got != len(ids) {
+		t.Fatalf("Calls(OpRead) = %d, want %d (one step per sub-read)", got, len(ids))
+	}
+
+	// The injection disarmed: the same batch now fully succeeds.
+	if errs := f.ReadBatch(ids, bufs); errs != nil {
+		t.Fatalf("second batch: %v", errs)
+	}
+	if got := f.Calls(OpRead); got != 2*len(ids) {
+		t.Fatalf("Calls(OpRead) = %d after second batch, want %d", got, 2*len(ids))
+	}
+}
+
+// TestReadBatchOverDiskMedia runs the batch path over a DiskFile on the
+// crash-test Media device, proving coalesced runs work on the fault device
+// and per-page CRC verification is preserved through the faultfs wrapper.
+func TestReadBatchOverDiskMedia(t *testing.T) {
+	m := NewMedia()
+	d, err := pager.CreateDiskFileOn(m, 256)
+	if err != nil {
+		t.Fatalf("create: %v", err)
+	}
+	ids := make([]pager.PageID, 10)
+	buf := make([]byte, d.PageSize())
+	for i := range ids {
+		id, _ := d.Alloc()
+		for j := range buf {
+			buf[j] = byte(int(id)*3 + j)
+		}
+		if err := d.Write(id, buf); err != nil {
+			t.Fatalf("write: %v", err)
+		}
+		ids[i] = id
+	}
+	if err := d.Sync(); err != nil {
+		t.Fatalf("sync: %v", err)
+	}
+	f := Wrap(d)
+	bufs := make([][]byte, len(ids))
+	for i := range bufs {
+		bufs[i] = make([]byte, d.PageSize())
+	}
+	if errs := f.ReadBatch(ids, bufs); errs != nil {
+		t.Fatalf("batch over media: %v", errs)
+	}
+	for i, id := range ids {
+		for j := range bufs[i] {
+			if bufs[i][j] != byte(int(id)*3+j) {
+				t.Fatalf("page %d contents wrong", id)
+			}
+		}
+	}
+}

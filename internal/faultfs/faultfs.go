@@ -132,6 +132,46 @@ func (f *File) Read(id pager.PageID, buf []byte) error {
 	return f.inner.Read(id, buf)
 }
 
+// ReadBatch implements pager.BatchReader. Every sub-read steps the OpRead
+// counter individually, so FailNth(OpRead, n) hits exactly the nth page of
+// the batch — the injected failure is attributed to that one position while
+// the surviving sub-reads are forwarded (as a batch when the inner file
+// supports it) and complete normally.
+func (f *File) ReadBatch(ids []pager.PageID, bufs [][]byte) []error {
+	if len(ids) != len(bufs) {
+		panic("faultfs: ReadBatch ids/bufs length mismatch")
+	}
+	var errs []error
+	fail := func(i int, err error) {
+		if errs == nil {
+			errs = make([]error, len(ids))
+		}
+		errs[i] = err
+	}
+	fwdIDs := make([]pager.PageID, 0, len(ids))
+	fwdBufs := make([][]byte, 0, len(ids))
+	fwdPos := make([]int, 0, len(ids))
+	for i := range ids {
+		if err := f.step(OpRead); err != nil {
+			fail(i, err)
+			continue
+		}
+		fwdIDs = append(fwdIDs, ids[i])
+		fwdBufs = append(fwdBufs, bufs[i])
+		fwdPos = append(fwdPos, i)
+	}
+	if len(fwdIDs) > 0 {
+		if ierrs := pager.ReadPages(f.inner, fwdIDs, fwdBufs); ierrs != nil {
+			for k, err := range ierrs {
+				if err != nil {
+					fail(fwdPos[k], err)
+				}
+			}
+		}
+	}
+	return errs
+}
+
 // Write implements pager.File.
 func (f *File) Write(id pager.PageID, buf []byte) error {
 	if err := f.step(OpWrite); err != nil {

@@ -61,8 +61,9 @@ type DiskFile struct {
 	pending   []PageID
 	free      map[PageID]struct{} // membership for both pools
 
-	stats Stats
-	rbuf  []byte // payload+CRC scratch, guarded by mu
+	stats    Stats
+	rbuf     []byte // payload+CRC scratch, guarded by mu
+	batchBuf []byte // ReadBatch slot scratch, guarded by mu
 }
 
 // BlockFile is the byte-addressed device a DiskFile stores its page slots

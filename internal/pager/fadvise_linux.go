@@ -1,0 +1,18 @@
+//go:build linux
+
+package pager
+
+import "syscall"
+
+// posixFadvDontneed is POSIX_FADV_DONTNEED from <fcntl.h>.
+const posixFadvDontneed = 4
+
+// fadviseDontNeed advises the kernel to drop the file's cached pages. Only
+// clean pages are dropped, so callers fsync first.
+func fadviseDontNeed(fd uintptr) error {
+	_, _, errno := syscall.Syscall6(syscall.SYS_FADVISE64, fd, 0, 0, posixFadvDontneed, 0, 0)
+	if errno != 0 {
+		return errno
+	}
+	return nil
+}

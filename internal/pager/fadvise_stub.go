@@ -1,0 +1,7 @@
+//go:build !linux
+
+package pager
+
+// fadviseDontNeed is a no-op where posix_fadvise is unavailable; cold-cache
+// benchmarks simply run warmer there.
+func fadviseDontNeed(fd uintptr) error { return nil }

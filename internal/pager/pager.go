@@ -205,4 +205,3 @@ func (f *MemFile) Close() error {
 	f.isFree = nil
 	return nil
 }
-

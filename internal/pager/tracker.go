@@ -30,6 +30,10 @@ type Tracker struct {
 	cacheHits    int
 	cacheMisses  int
 	bytesDecoded int64
+	// prefetchIssued counts pages this query's scans handed to the
+	// background prefetcher. Like the cache counters it never feeds the
+	// logical page counts: prefetching a page does not Touch it.
+	prefetchIssued int
 }
 
 // NewTracker returns an empty tracker.
@@ -102,6 +106,24 @@ func (t *Tracker) CacheMisses() int {
 	return t.cacheMisses
 }
 
+// NotePrefetch records that the query's scan handed pages to the background
+// prefetcher. This is accounting only; prefetched pages are never Touched,
+// so the paper's page-read counts are identical with prefetching on or off.
+func (t *Tracker) NotePrefetch(pages int) {
+	if t == nil {
+		return
+	}
+	t.prefetchIssued += pages
+}
+
+// PrefetchIssued returns the number of pages handed to the prefetcher.
+func (t *Tracker) PrefetchIssued() int {
+	if t == nil {
+		return 0
+	}
+	return t.prefetchIssued
+}
+
 // BytesDecoded returns the total entry bytes materialized by node decodes.
 func (t *Tracker) BytesDecoded() int64 {
 	if t == nil {
@@ -127,6 +149,7 @@ func (t *Tracker) Merge(other *Tracker) {
 	t.cacheHits += other.cacheHits
 	t.cacheMisses += other.cacheMisses
 	t.bytesDecoded += other.bytesDecoded
+	t.prefetchIssued += other.prefetchIssued
 }
 
 // Reset clears the tracker for reuse by the next query.
@@ -137,4 +160,5 @@ func (t *Tracker) Reset() {
 	clear(t.seen)
 	t.reads = 0
 	t.cacheHits, t.cacheMisses, t.bytesDecoded = 0, 0, 0
+	t.prefetchIssued = 0
 }

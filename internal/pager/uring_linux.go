@@ -1,0 +1,247 @@
+//go:build linux && !nouring
+
+// io_uring batch-read backend. ReadBatch submits every coalesced run of a
+// batch as one ring submission, so the kernel services the reads with real
+// queue depth instead of one serial pread per run. Everything here is raw
+// syscalls over the stable io_uring ABI — no cgo, no external packages. The
+// ring is probed once at first use; if io_uring is unavailable (old kernel,
+// seccomp filter, kernel.io_uring_disabled) the probe fails permanently and
+// callers fall back to the portable bounded-goroutine pool in batch.go. The
+// `nouring` build tag forces that fallback at compile time.
+package pager
+
+import (
+	"io"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"unsafe"
+)
+
+const (
+	sysIoUringSetup = 425
+	sysIoUringEnter = 426
+
+	ioringOffSqRing = 0x0
+	ioringOffCqRing = 0x8000000
+	ioringOffSqes   = 0x10000000
+
+	ioringEnterGetevents = 1 << 0
+	ioringOpRead         = 22 // IORING_OP_READ, kernel >= 5.6
+	ioringFeatSingleMmap = 1 << 0
+
+	uringEntries = 64
+)
+
+// Mirrors of struct io_sqring_offsets / io_cqring_offsets / io_uring_params
+// from <linux/io_uring.h>.
+type sqringOffsets struct {
+	head, tail, ringMask, ringEntries, flags, dropped, array, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type cqringOffsets struct {
+	head, tail, ringMask, ringEntries, overflow, cqes, flags, resv1 uint32
+	userAddr                                                        uint64
+}
+
+type uringParams struct {
+	sqEntries, cqEntries, flags, sqThreadCPU, sqThreadIdle, features, wqFd uint32
+	resv                                                                   [3]uint32
+	sqOff                                                                  sqringOffsets
+	cqOff                                                                  cqringOffsets
+}
+
+// uringSqe is struct io_uring_sqe (64 bytes).
+type uringSqe struct {
+	opcode   uint8
+	flags    uint8
+	ioprio   uint16
+	fd       int32
+	off      uint64
+	addr     uint64
+	len      uint32
+	rwFlags  uint32
+	userData uint64
+	pad      [3]uint64
+}
+
+// uringCqe is struct io_uring_cqe (16 bytes).
+type uringCqe struct {
+	userData uint64
+	res      int32
+	flags    uint32
+}
+
+// uring is one mmapped submission/completion ring pair. A single
+// process-wide ring is shared by every DiskFile and serialized by mu:
+// batches are infrequent enough that ring contention is negligible next to
+// the I/O itself.
+type uring struct {
+	mu      sync.Mutex
+	fd      int
+	entries uint32
+
+	sqHead, sqTail, sqMask *uint32
+	cqHead, cqTail, cqMask *uint32
+	sqArray                []uint32
+	sqes                   []uringSqe
+	cqes                   []uringCqe
+}
+
+var (
+	ringOnce sync.Once
+	ring     *uring
+)
+
+func setupRing() *uring {
+	var p uringParams
+	fd, _, errno := syscall.Syscall(sysIoUringSetup, uringEntries, uintptr(unsafe.Pointer(&p)), 0)
+	if errno != 0 {
+		return nil
+	}
+	r := &uring{fd: int(fd), entries: p.sqEntries}
+	sqSize := int(p.sqOff.array + p.sqEntries*4)
+	cqSize := int(p.cqOff.cqes + p.cqEntries*uint32(unsafe.Sizeof(uringCqe{})))
+	var sqMap, cqMap []byte
+	var err error
+	if p.features&ioringFeatSingleMmap != 0 {
+		size := max(sqSize, cqSize)
+		sqMap, err = syscall.Mmap(int(fd), ioringOffSqRing, size,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			syscall.Close(int(fd))
+			return nil
+		}
+		cqMap = sqMap
+	} else {
+		sqMap, err = syscall.Mmap(int(fd), ioringOffSqRing, sqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			syscall.Close(int(fd))
+			return nil
+		}
+		cqMap, err = syscall.Mmap(int(fd), ioringOffCqRing, cqSize,
+			syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+		if err != nil {
+			syscall.Munmap(sqMap)
+			syscall.Close(int(fd))
+			return nil
+		}
+	}
+	sqesMap, err := syscall.Mmap(int(fd), ioringOffSqes,
+		int(p.sqEntries)*int(unsafe.Sizeof(uringSqe{})),
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED|syscall.MAP_POPULATE)
+	if err != nil {
+		syscall.Munmap(sqMap)
+		if p.features&ioringFeatSingleMmap == 0 {
+			syscall.Munmap(cqMap)
+		}
+		syscall.Close(int(fd))
+		return nil
+	}
+	r.sqHead = (*uint32)(unsafe.Pointer(&sqMap[p.sqOff.head]))
+	r.sqTail = (*uint32)(unsafe.Pointer(&sqMap[p.sqOff.tail]))
+	r.sqMask = (*uint32)(unsafe.Pointer(&sqMap[p.sqOff.ringMask]))
+	r.sqArray = unsafe.Slice((*uint32)(unsafe.Pointer(&sqMap[p.sqOff.array])), p.sqEntries)
+	r.sqes = unsafe.Slice((*uringSqe)(unsafe.Pointer(&sqesMap[0])), p.sqEntries)
+	r.cqHead = (*uint32)(unsafe.Pointer(&cqMap[p.cqOff.head]))
+	r.cqTail = (*uint32)(unsafe.Pointer(&cqMap[p.cqOff.tail]))
+	r.cqMask = (*uint32)(unsafe.Pointer(&cqMap[p.cqOff.ringMask]))
+	r.cqes = unsafe.Slice((*uringCqe)(unsafe.Pointer(&cqMap[p.cqOff.cqes])), p.cqEntries)
+	// Smoke-test one no-op enter so a seccomp filter that allows setup but
+	// blocks enter is caught at probe time, not per batch.
+	if _, _, errno := syscall.Syscall6(sysIoUringEnter, fd, 0, 0, 0, 0, 0); errno != 0 {
+		return nil
+	}
+	return r
+}
+
+// UringAvailable reports whether batched reads go through io_uring in this
+// process (build not tagged nouring, kernel support present, probe passed).
+func UringAvailable() bool {
+	ringOnce.Do(func() { ring = setupRing() })
+	return ring != nil
+}
+
+// uringReadRuns reads every run through the shared ring, filling errs per
+// run, and reports false (leaving errs untouched) when the ring is
+// unavailable so the caller can fall back to the portable path.
+func uringReadRuns(fd uintptr, runs []ioRun, errs []error) bool {
+	if !UringAvailable() {
+		return false
+	}
+	r := ring
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for submitted := 0; submitted < len(runs); {
+		n := min(len(runs)-submitted, int(r.entries))
+		tail := atomic.LoadUint32(r.sqTail)
+		for i := 0; i < n; i++ {
+			run := &runs[submitted+i]
+			idx := (tail + uint32(i)) & *r.sqMask
+			r.sqes[idx] = uringSqe{
+				opcode:   ioringOpRead,
+				fd:       int32(fd),
+				off:      uint64(run.off),
+				addr:     uint64(uintptr(unsafe.Pointer(&run.buf[0]))),
+				len:      uint32(len(run.buf)),
+				userData: uint64(submitted + i),
+			}
+			r.sqArray[idx] = idx
+		}
+		atomic.StoreUint32(r.sqTail, tail+uint32(n))
+		got, _, errno := syscall.Syscall6(sysIoUringEnter,
+			uintptr(r.fd), uintptr(n), uintptr(n), ioringEnterGetevents, 0, 0)
+		if errno != 0 {
+			for i := submitted; i < len(runs); i++ {
+				errs[i] = errno
+			}
+			return true
+		}
+		accepted := int(got)
+		if accepted < n {
+			// The kernel left SQEs unconsumed; their userData would alias
+			// the next iteration's, so abandon the rest of the batch — the
+			// caller's per-page retry path recovers every abandoned run.
+			for i := submitted + accepted; i < len(runs); i++ {
+				errs[i] = io.ErrShortBuffer
+			}
+		}
+		for reaped := 0; reaped < accepted; {
+			head := atomic.LoadUint32(r.cqHead)
+			cqTail := atomic.LoadUint32(r.cqTail)
+			for head != cqTail && reaped < accepted {
+				cqe := r.cqes[head&*r.cqMask]
+				i := int(cqe.userData)
+				switch {
+				case cqe.res < 0:
+					errs[i] = syscall.Errno(-cqe.res)
+				case int(cqe.res) != len(runs[i].buf):
+					errs[i] = io.ErrUnexpectedEOF
+				}
+				head++
+				reaped++
+			}
+			atomic.StoreUint32(r.cqHead, head)
+			if reaped < accepted {
+				if _, _, errno := syscall.Syscall6(sysIoUringEnter,
+					uintptr(r.fd), 0, uintptr(accepted-reaped), ioringEnterGetevents, 0, 0); errno != 0 {
+					for i := submitted; i < submitted+accepted; i++ {
+						if errs[i] == nil {
+							errs[i] = errno
+						}
+					}
+					return true
+				}
+			}
+		}
+		if accepted < n {
+			break
+		}
+		submitted += n
+	}
+	runtime.KeepAlive(runs)
+	return true
+}

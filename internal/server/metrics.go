@@ -124,6 +124,14 @@ func registerEngine(reg *obs.Registry, db *uindex.Database) {
 		func(m uindex.Metrics) uint64 { return uint64(m.Pool.PhysicalReads) })
 	counter("uindex_pool_physical_writes_total", "Pages written to the page files.",
 		func(m uindex.Metrics) uint64 { return uint64(m.Pool.PhysicalWrites) })
+	counter("uindex_pool_batch_reads_total", "Batched backing reads issued by the pools.",
+		func(m uindex.Metrics) uint64 { return uint64(m.Pool.BatchReads) })
+	counter("uindex_pool_prefetch_pages_total", "Pages loaded by prefetch batches.",
+		func(m uindex.Metrics) uint64 { return uint64(m.Pool.PrefetchPages) })
+	counter("uindex_pool_prefetch_hits_total", "Reads served from a prefetched frame.",
+		func(m uindex.Metrics) uint64 { return uint64(m.Pool.PrefetchHits) })
+	counter("uindex_pool_prefetch_wasted_total", "Prefetched frames dropped before any use.",
+		func(m uindex.Metrics) uint64 { return uint64(m.Pool.PrefetchWasted) })
 	counter("uindex_nodecache_hits_total", "Decoded-node cache hits.",
 		func(m uindex.Metrics) uint64 { return uint64(m.NodeCache.Hits) })
 	counter("uindex_nodecache_misses_total", "Decoded-node cache misses.",
@@ -136,6 +144,8 @@ func registerEngine(reg *obs.Registry, db *uindex.Database) {
 		func(m uindex.Metrics) uint64 { return m.PagesRead })
 	counter("uindex_query_entries_scanned_total", "Index entries inspected by queries.",
 		func(m uindex.Metrics) uint64 { return m.EntriesScanned })
+	counter("uindex_query_prefetch_issued_total", "Pages handed to the frontier prefetcher by queries.",
+		func(m uindex.Metrics) uint64 { return m.PrefetchIssued })
 	counter("uindex_inserts_total", "Completed Insert mutations.",
 		func(m uindex.Metrics) uint64 { return m.Inserts })
 	counter("uindex_deletes_total", "Completed Delete mutations.",

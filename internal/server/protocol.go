@@ -245,9 +245,9 @@ type request struct {
 	alg   uindex.Algorithm
 	class string // OpInsert
 	attrs uindex.Attrs
-	oid   uindex.OID // OpSet, OpDelete
-	attr  string     // OpSet
-	value any        // OpSet
+	oid   uindex.OID       // OpSet, OpDelete
+	attr  string           // OpSet
+	value any              // OpSet
 	ops   []uindex.BatchOp // OpBatch
 }
 

@@ -23,13 +23,16 @@ type Metrics struct {
 
 	// Query-side counters. Queries counts completed Query calls —
 	// including snapshot queries and QueryParallel jobs; QueryErrors the
-	// subset that returned an error. PagesRead, EntriesScanned, and
-	// Matches sum the per-query Stats.
+	// subset that returned an error. PagesRead, EntriesScanned, Matches,
+	// and PrefetchIssued sum the per-query Stats (PrefetchIssued counts
+	// pages handed to the background frontier prefetcher — accounting
+	// only, prefetched pages never inflate PagesRead).
 	Queries        uint64
 	QueryErrors    uint64
 	PagesRead      uint64
 	EntriesScanned uint64
 	Matches        uint64
+	PrefetchIssued uint64
 
 	// Write-side counters: completed mutations and the subset that
 	// returned an error (store rejection or index-maintenance failure).
@@ -83,6 +86,7 @@ type counters struct {
 	pagesRead      atomic.Uint64
 	entriesScanned atomic.Uint64
 	matches        atomic.Uint64
+	prefetchIssued atomic.Uint64
 	inserts        atomic.Uint64
 	deletes        atomic.Uint64
 	sets           atomic.Uint64
@@ -104,6 +108,7 @@ func (c *counters) countQuery(stats Stats, err error) {
 	c.pagesRead.Add(uint64(stats.PagesRead))
 	c.entriesScanned.Add(uint64(stats.EntriesScanned))
 	c.matches.Add(uint64(stats.Matches))
+	c.prefetchIssued.Add(uint64(stats.PrefetchIssued))
 }
 
 // countWrite records one completed mutation on the given counter.
@@ -124,6 +129,7 @@ func (db *Database) Metrics() Metrics {
 		PagesRead:       db.ctrs.pagesRead.Load(),
 		EntriesScanned:  db.ctrs.entriesScanned.Load(),
 		Matches:         db.ctrs.matches.Load(),
+		PrefetchIssued:  db.ctrs.prefetchIssued.Load(),
 		Inserts:         db.ctrs.inserts.Load(),
 		Deletes:         db.ctrs.deletes.Load(),
 		Sets:            db.ctrs.sets.Load(),

@@ -204,6 +204,15 @@ type Options struct {
 	// Durability selects when disk-backed indexes checkpoint; see the
 	// Durability constants. Ignored when Dir is empty.
 	Durability Durability
+	// NoPrefetch disables the Parscan frontier prefetcher on every index
+	// (an explicit IndexSpec.NoPrefetch sets it per index). Prefetch only
+	// activates when a buffer pool is configured (PoolPages > 0): the
+	// scan hands its next-level page frontier to a background goroutine
+	// that loads it with one batched read while the current level is
+	// decoded. Like the caches it is transparent to query results and to
+	// the paper's logical page-read counts; Metrics exposes the
+	// prefetch counters.
+	NoPrefetch bool
 	// Shards, when greater than 1, partitions each index into up to that
 	// many shards by contiguous class-code intervals: every entry routes to
 	// exactly one shard by the class code at position 0 of its key (the
@@ -454,6 +463,48 @@ func (db *Database) DropCaches() error {
 	return first
 }
 
+// DropPageCaches is DropCaches plus the page layers below it: every buffer
+// pool is reset (dirty frames flushed, unpinned frames dropped) and every
+// disk-backed page file asks the OS to evict its page-cache contents
+// (posix_fadvise DONTNEED; a no-op on in-memory files and non-Linux
+// systems). After it returns, the next query's reads hit the actual device —
+// this is what the cold-cache benchmark calls between iterations. Locking
+// matches DropCaches: the catalog write lock plus every index's write locks.
+func (db *Database) DropPageCaches() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return ErrClosed
+	}
+	var first error
+	for _, name := range db.order {
+		g := db.groups[name]
+		ids := g.allShards()
+		g.sharded.LockShards(ids)
+		if err := g.sharded.DropCache(); err != nil && first == nil {
+			first = err
+		}
+		for _, pool := range g.pools {
+			if pool == nil {
+				continue
+			}
+			if err := pool.Reset(); err != nil && first == nil {
+				first = err
+			}
+		}
+		for _, f := range g.files {
+			if f == nil {
+				continue
+			}
+			if err := f.DropOSCache(); err != nil && first == nil {
+				first = err
+			}
+		}
+		g.sharded.UnlockShards(ids)
+	}
+	return first
+}
+
 // PoolStats aggregates the buffer-pool counters over every index. ok is
 // false when the database was opened without a pool (Options.PoolPages 0).
 func (db *Database) PoolStats() (BufferPoolStats, bool) {
@@ -525,6 +576,9 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 	}
 	if spec.NodeCacheSize == 0 {
 		spec.NodeCacheSize = db.opts.NodeCacheSize
+	}
+	if db.opts.NoPrefetch {
+		spec.NoPrefetch = true
 	}
 	g, err := db.openGroupLocked(spec)
 	if err != nil {
