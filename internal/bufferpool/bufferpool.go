@@ -178,6 +178,28 @@ type Pool struct {
 	stats  counters
 	calls  pager.Stats // caller-visible op counts (File.Stats)
 	closed bool
+
+	// Batched-admission window tracking (see admitChunk): inflight counts
+	// batched reads currently running with the mutex released, and stale
+	// collects the pages whose backing bytes changed while any such read was
+	// in flight, so a batch never installs bytes it read before the change.
+	inflight int
+	stale    map[pager.PageID]struct{}
+}
+
+// noteStoreLocked records that the backing contents of page id changed — a
+// write-through, a write-back, a flush, a free, or a re-allocation. While a
+// batched admission has the mutex released (p.inflight > 0), these pages are
+// collected so the batch discards its now-stale read instead of installing
+// it; with no batch in flight this is a no-op.
+func (p *Pool) noteStoreLocked(id pager.PageID) {
+	if p.inflight == 0 {
+		return
+	}
+	if p.stale == nil {
+		p.stale = make(map[pager.PageID]struct{})
+	}
+	p.stale[id] = struct{}{}
 }
 
 // syncer is implemented by backing files that can force written pages to
@@ -241,6 +263,7 @@ func (p *Pool) reclaimLocked() (int, error) {
 		}
 		p.stats.physicalWrites.Add(1)
 		p.stats.writebacks.Add(1)
+		p.noteStoreLocked(f.id)
 		f.dirty = false
 	}
 	p.stats.evictions.Add(1)
@@ -405,6 +428,7 @@ func (p *Pool) Write(id pager.PageID, buf []byte) error {
 		return err
 	}
 	p.stats.physicalWrites.Add(1)
+	p.noteStoreLocked(id)
 	return nil
 }
 
@@ -422,6 +446,7 @@ func (p *Pool) Alloc() (pager.PageID, error) {
 	if err != nil {
 		return pager.NilPage, err
 	}
+	p.noteStoreLocked(id)
 	if fi, err := p.reclaimLocked(); err == nil {
 		f := &p.frames[fi]
 		clear(f.buf)
@@ -460,6 +485,7 @@ func (p *Pool) Free(id pager.PageID) error {
 		}
 		p.free = append(p.free, fi)
 	}
+	p.noteStoreLocked(id)
 	return p.inner.Free(id)
 }
 
@@ -501,6 +527,7 @@ func (p *Pool) flushLocked() error {
 		}
 		p.stats.physicalWrites.Add(1)
 		p.stats.flushes.Add(1)
+		p.noteStoreLocked(f.id)
 		f.dirty = false
 	}
 	if s, ok := p.inner.(syncer); ok {

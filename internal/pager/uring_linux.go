@@ -152,7 +152,13 @@ func setupRing() *uring {
 	r.cqes = unsafe.Slice((*uringCqe)(unsafe.Pointer(&cqMap[p.cqOff.cqes])), p.cqEntries)
 	// Smoke-test one no-op enter so a seccomp filter that allows setup but
 	// blocks enter is caught at probe time, not per batch.
-	if _, _, errno := syscall.Syscall6(sysIoUringEnter, fd, 0, 0, 0, 0, 0); errno != 0 {
+	if _, errno := uringEnter(int(fd), 0, 0, 0); errno != 0 {
+		syscall.Munmap(sqesMap)
+		syscall.Munmap(sqMap)
+		if p.features&ioringFeatSingleMmap == 0 {
+			syscall.Munmap(cqMap)
+		}
+		syscall.Close(int(fd))
 		return nil
 	}
 	return r
@@ -165,9 +171,57 @@ func UringAvailable() bool {
 	return ring != nil
 }
 
+// uringEnter invokes io_uring_enter, retrying EINTR (liburing behavior: a
+// signal — SIGPROF, SIGURG from the Go runtime — landing during submit or
+// wait is not a failure of the batch).
+func uringEnter(fd int, toSubmit, minComplete uint32, flags uintptr) (int, syscall.Errno) {
+	for {
+		got, _, errno := syscall.Syscall6(sysIoUringEnter,
+			uintptr(fd), uintptr(toSubmit), uintptr(minComplete), flags, 0, 0)
+		if errno != syscall.EINTR {
+			return int(got), errno
+		}
+	}
+}
+
+// reap consumes exactly want completions from the CQ ring, recording
+// per-run errors through the CQE userData (a global index into runs/errs).
+// It never returns with completions outstanding: an in-flight read owns its
+// scratch buffer, and returning early would let the kernel write into
+// memory the next batch (or the GC) reuses. If the blocking wait itself
+// fails, the loop degrades to polling the ring — the reads are already
+// submitted I/O and complete on their own.
+func (r *uring) reap(want int, runs []ioRun, errs []error) {
+	for reaped := 0; reaped < want; {
+		head := atomic.LoadUint32(r.cqHead)
+		cqTail := atomic.LoadUint32(r.cqTail)
+		for head != cqTail && reaped < want {
+			cqe := r.cqes[head&*r.cqMask]
+			i := int(cqe.userData)
+			switch {
+			case cqe.res < 0:
+				errs[i] = syscall.Errno(-cqe.res)
+			case int(cqe.res) != len(runs[i].buf):
+				errs[i] = io.ErrUnexpectedEOF
+			}
+			head++
+			reaped++
+		}
+		atomic.StoreUint32(r.cqHead, head)
+		if reaped < want {
+			if _, errno := uringEnter(r.fd, 0, uint32(want-reaped), ioringEnterGetevents); errno != 0 {
+				runtime.Gosched()
+			}
+		}
+	}
+}
+
 // uringReadRuns reads every run through the shared ring, filling errs per
 // run, and reports false (leaving errs untouched) when the ring is
-// unavailable so the caller can fall back to the portable path.
+// unavailable so the caller can fall back to the portable path. On every
+// path the ring is left quiescent: all submitted reads are reaped before
+// returning, and unconsumed SQEs are rewound so a later call can never
+// resubmit entries whose buffers died with this one.
 func uringReadRuns(fd uintptr, runs []ioRun, errs []error) bool {
 	if !UringAvailable() {
 		return false
@@ -175,6 +229,7 @@ func uringReadRuns(fd uintptr, runs []ioRun, errs []error) bool {
 	r := ring
 	r.mu.Lock()
 	defer r.mu.Unlock()
+	defer runtime.KeepAlive(runs)
 	for submitted := 0; submitted < len(runs); {
 		n := min(len(runs)-submitted, int(r.entries))
 		tail := atomic.LoadUint32(r.sqTail)
@@ -192,56 +247,37 @@ func uringReadRuns(fd uintptr, runs []ioRun, errs []error) bool {
 			r.sqArray[idx] = idx
 		}
 		atomic.StoreUint32(r.sqTail, tail+uint32(n))
-		got, _, errno := syscall.Syscall6(sysIoUringEnter,
-			uintptr(r.fd), uintptr(n), uintptr(n), ioringEnterGetevents, 0, 0)
+		accepted, errno := uringEnter(r.fd, uint32(n), uint32(n), ioringEnterGetevents)
 		if errno != 0 {
-			for i := submitted; i < len(runs); i++ {
+			// enter reports an errno only when it consumed no SQEs (once
+			// anything was submitted it returns the count instead), but
+			// trust the ring head over that contract: reap whatever was
+			// consumed, rewind the tail over the rest so the kernel never
+			// sees those stale entries, and fail the unsubmitted runs.
+			consumed := int(atomic.LoadUint32(r.sqHead) - tail)
+			if consumed > 0 {
+				r.reap(consumed, runs, errs)
+			}
+			atomic.StoreUint32(r.sqTail, atomic.LoadUint32(r.sqHead))
+			for i := submitted + consumed; i < len(runs); i++ {
 				errs[i] = errno
 			}
 			return true
 		}
-		accepted := int(got)
+		// The wait half of enter can be cut short by a signal even when
+		// submission succeeded (the syscall then reports the submit count);
+		// reap blocks until every accepted read has actually completed.
+		r.reap(accepted, runs, errs)
 		if accepted < n {
-			// The kernel left SQEs unconsumed; their userData would alias
-			// the next iteration's, so abandon the rest of the batch — the
-			// caller's per-page retry path recovers every abandoned run.
+			// Short submit: rewind the tail over the unconsumed SQEs and
+			// fail their runs — the caller's per-page retry recovers them.
+			atomic.StoreUint32(r.sqTail, atomic.LoadUint32(r.sqHead))
 			for i := submitted + accepted; i < len(runs); i++ {
 				errs[i] = io.ErrShortBuffer
 			}
-		}
-		for reaped := 0; reaped < accepted; {
-			head := atomic.LoadUint32(r.cqHead)
-			cqTail := atomic.LoadUint32(r.cqTail)
-			for head != cqTail && reaped < accepted {
-				cqe := r.cqes[head&*r.cqMask]
-				i := int(cqe.userData)
-				switch {
-				case cqe.res < 0:
-					errs[i] = syscall.Errno(-cqe.res)
-				case int(cqe.res) != len(runs[i].buf):
-					errs[i] = io.ErrUnexpectedEOF
-				}
-				head++
-				reaped++
-			}
-			atomic.StoreUint32(r.cqHead, head)
-			if reaped < accepted {
-				if _, _, errno := syscall.Syscall6(sysIoUringEnter,
-					uintptr(r.fd), 0, uintptr(accepted-reaped), ioringEnterGetevents, 0, 0); errno != 0 {
-					for i := submitted; i < submitted+accepted; i++ {
-						if errs[i] == nil {
-							errs[i] = errno
-						}
-					}
-					return true
-				}
-			}
-		}
-		if accepted < n {
-			break
+			return true
 		}
 		submitted += n
 	}
-	runtime.KeepAlive(runs)
 	return true
 }
