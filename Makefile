@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: build test race vet stress crash serve shard apicheck bench bench-short coldbench coldbench-short nouring ci
+.PHONY: build test race vet stress crash wal serve shard apicheck bench bench-short coldbench coldbench-short nouring ci
 
 build:
 	$(GO) build ./...
@@ -31,6 +31,16 @@ vet:
 crash:
 	$(GO) test -race -count=1 ./internal/faultfs/
 	$(GO) test -race -count=1 -run 'Corrupt|Crash|Torn|Header|Recover|Orphan|Fault|Fail|Checkpoint|Durab|FlushMeta|FlushReleases' ./internal/pager/ ./internal/bufferpool/ ./internal/btree/ .
+
+# Write-ahead-log check, race-enabled and uncached: the log's unit suite
+# (framing, torn tails, group-commit coalescing, truncation slots), the
+# facade recovery tests (crash images, replay idempotence, writers
+# progressing through an in-flight incremental checkpoint), the WAL crash
+# matrix (power-cut at every log/data/manifest op under both power
+# models, torn writes), and the /metrics wal_* series.
+wal:
+	$(GO) test -race -count=1 ./internal/wal/
+	$(GO) test -race -count=1 -run 'WAL' . ./internal/faultfs/ ./internal/server/
 
 # Read-path performance trajectory: the go-test micro-benchmarks (node
 # decode, point lookup, the four facade query shapes) plus the readbench
@@ -96,4 +106,4 @@ apicheck: vet
 	fi
 	@echo "apicheck: ok"
 
-ci: build apicheck test race stress crash serve shard nouring coldbench-short
+ci: build apicheck test race stress crash wal serve shard nouring coldbench-short

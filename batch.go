@@ -176,21 +176,34 @@ func (db *Database) Apply(ctx context.Context, b *Batch) (BatchResult, error) {
 		gl.g.sharded.LockShards(ids)
 		locked = append(locked, lockedGroup{g: gl.g, ids: ids})
 	}
-	defer unlockAll(locked)
 
-	// Execute in order; first error stops the batch.
+	// Execute in order; first error stops the batch. With a WAL, each
+	// operation appends its own log record under the shard locks and the
+	// commit cut; the batch then waits once, after unlocking, for the
+	// highest LSN it produced — one group-commit wait per batch.
+	var lastLSN uint64
+	if db.wal != nil {
+		db.wal.commitMu.RLock()
+	}
 	err := func() error {
 		for i, op := range b.ops {
 			if cerr := ctx.Err(); cerr != nil {
 				return fmt.Errorf("uindex: batch op %d: %w", i, cerr)
 			}
-			if aerr := db.applyOpLocked(op, classes[i], &res); aerr != nil {
+			lsn, aerr := db.applyOpLocked(op, classes[i], &res)
+			if aerr != nil {
 				return fmt.Errorf("uindex: batch op %d (%s): %w", i, op.Kind, aerr)
+			}
+			if lsn > lastLSN {
+				lastLSN = lsn
 			}
 			res.Applied++
 		}
 		return nil
 	}()
+	if db.wal != nil {
+		db.wal.commitMu.RUnlock()
+	}
 
 	// One checkpoint per locked shard per group, one manifest commit per
 	// group — even after an error, so applied operations are durable.
@@ -199,76 +212,114 @@ func (db *Database) Apply(ctx context.Context, b *Batch) (BatchResult, error) {
 			err = fmt.Errorf("uindex: checkpointing index %q: %w", lg.g.name, serr)
 		}
 	}
+	if err == nil {
+		countShardWrites(locked)
+	}
+	unlockAll(locked)
+	// The group-commit wait runs after the locks drop — even a failed
+	// batch waits for its applied prefix, so callers observe the same
+	// durability as issuing the operations individually.
+	if db.wal != nil && lastLSN > 0 {
+		if werr := db.wal.log.WaitDurable(lastLSN); werr != nil && err == nil {
+			err = werr
+		}
+	}
 	if err != nil {
 		db.ctrs.writeErrors.Add(1)
 		return res, err
 	}
-	countShardWrites(locked)
 	db.ctrs.batches.Add(1)
 	db.ctrs.batchOps.Add(uint64(res.Applied))
 	return res, nil
 }
 
 // applyOpLocked executes one batch operation; the caller holds the writer
-// locks of every shard the operation can touch.
-func (db *Database) applyOpLocked(op BatchOp, class string, res *BatchResult) error {
+// locks of every shard the operation can touch (plus commitMu in read mode
+// with a WAL). The returned LSN is the operation's log record with a WAL,
+// 0 otherwise.
+func (db *Database) applyOpLocked(op BatchOp, class string, res *BatchResult) (uint64, error) {
 	switch op.Kind {
 	case BatchInsert:
+		if db.wal != nil {
+			oid, lsn, err := db.walApplyInsert(op.Class, op.Attrs)
+			if err != nil {
+				return 0, err
+			}
+			res.OIDs = append(res.OIDs, oid)
+			db.ctrs.inserts.Add(1)
+			return lsn, nil
+		}
 		oid, err := db.st.Insert(op.Class, op.Attrs)
 		if err != nil {
-			return err
+			return 0, err
 		}
 		for _, g := range db.coveringGroups(class) {
 			if err := g.sharded.Add(oid); err != nil {
-				return fmt.Errorf("maintaining index %q: %w", g.name, err)
+				return 0, fmt.Errorf("maintaining index %q: %w", g.name, err)
 			}
 		}
 		res.OIDs = append(res.OIDs, oid)
 		db.ctrs.inserts.Add(1)
-		return nil
+		return 0, nil
 	case BatchSet:
 		o, ok := db.st.Get(op.OID)
 		if !ok || o.Class != class {
-			return fmt.Errorf("object %d changed between planning and apply", op.OID)
+			return 0, fmt.Errorf("object %d changed between planning and apply", op.OID)
+		}
+		if db.wal != nil {
+			lsn, err := db.walApplySet(op.OID, class, op.Attr, op.Value)
+			if err != nil {
+				return 0, err
+			}
+			db.ctrs.sets.Add(1)
+			return lsn, nil
 		}
 		covering := db.coveringGroups(class)
 		olds := make([][][]byte, len(covering))
 		for i, g := range covering {
 			old, err := g.sharded.EntriesFor(op.OID)
 			if err != nil {
-				return fmt.Errorf("index %q: %w", g.name, err)
+				return 0, fmt.Errorf("index %q: %w", g.name, err)
 			}
 			olds[i] = old
 		}
 		if _, err := db.st.SetAttr(op.OID, op.Attr, op.Value); err != nil {
-			return err
+			return 0, err
 		}
 		for i, g := range covering {
 			newKeys, err := g.sharded.EntriesFor(op.OID)
 			if err != nil {
-				return fmt.Errorf("index %q: %w", g.name, err)
+				return 0, fmt.Errorf("index %q: %w", g.name, err)
 			}
 			if err := g.sharded.ApplyDiff(olds[i], newKeys); err != nil {
-				return fmt.Errorf("index %q: %w", g.name, err)
+				return 0, fmt.Errorf("index %q: %w", g.name, err)
 			}
 		}
 		db.ctrs.sets.Add(1)
-		return nil
+		return 0, nil
 	case BatchDelete:
 		o, ok := db.st.Get(op.OID)
 		if !ok || o.Class != class {
-			return fmt.Errorf("object %d changed between planning and apply", op.OID)
+			return 0, fmt.Errorf("object %d changed between planning and apply", op.OID)
+		}
+		if db.wal != nil {
+			lsn, err := db.walApplyDelete(op.OID, class)
+			if err != nil {
+				return 0, err
+			}
+			db.ctrs.deletes.Add(1)
+			return lsn, nil
 		}
 		for _, g := range db.coveringGroups(class) {
 			if err := g.sharded.Remove(op.OID); err != nil {
-				return fmt.Errorf("maintaining index %q: %w", g.name, err)
+				return 0, fmt.Errorf("maintaining index %q: %w", g.name, err)
 			}
 		}
 		if err := db.st.Delete(op.OID); err != nil {
-			return err
+			return 0, err
 		}
 		db.ctrs.deletes.Add(1)
-		return nil
+		return 0, nil
 	}
-	return fmt.Errorf("unknown kind %d", uint8(op.Kind))
+	return 0, fmt.Errorf("unknown kind %d", uint8(op.Kind))
 }

@@ -64,7 +64,8 @@ func run() int {
 		jobs       = flag.Int("jobs", 400, "queries in the -parallel batch")
 		mixed      = flag.Bool("mixed", false, "run the mixed read/write throughput benchmark: read throughput alone vs. with concurrent writers")
 		dir        = flag.String("dir", "", "back -mixed/-parallel index trees with disk files in this directory (empty = in-memory)")
-		durstr     = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, or sync (sync exposes per-mutation fsync cost in -mixed)")
+		durstr     = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, sync, or wal (sync exposes per-mutation fsync cost in -mixed; wal shows group-commit fsync amortization)")
+		walDelay   = flag.Duration("walmaxdelay", 2*time.Millisecond, "group-commit linger under -durability wal: the log daemon waits this long after the first committer before fsyncing so concurrent commits share the fsync (0 = flush immediately)")
 		writers    = flag.Int("writers", 1, "writer goroutines in the -mixed benchmark")
 		writerate  = flag.Int("writerate", 500, "paced mutations/sec per -mixed writer (-1 = unthrottled)")
 		shards     = flag.Int("shards", 0, "partition each index into this many class-code shards with independent writer locks (0/1 = unsharded); applies to -mixed and -parallel")
@@ -88,8 +89,10 @@ func run() int {
 		durability = uindex.DurabilityCheckpoint
 	case "sync":
 		durability = uindex.DurabilitySync
+	case "wal":
+		durability = uindex.DurabilityWAL
 	default:
-		return fail("uindexbench: unknown durability %q (want none, checkpoint, or sync)", *durstr)
+		return fail("uindexbench: unknown durability %q (want none, checkpoint, sync, or wal)", *durstr)
 	}
 
 	if *cpuprof != "" {
@@ -193,15 +196,16 @@ func run() int {
 		}
 		r, err := parbench.RunMixed(parbench.MixedConfig{
 			Config: parbench.Config{
-				Workers:    *parallel,
-				Jobs:       *jobs,
-				Objects:    benchObjects,
-				PoolPages:  pool,
-				Policy:     *policy,
-				Seed:       *seed,
-				Dir:        *dir,
-				Durability: durability,
-				Shards:     *shards,
+				Workers:     *parallel,
+				Jobs:        *jobs,
+				Objects:     benchObjects,
+				PoolPages:   pool,
+				Policy:      *policy,
+				Seed:        *seed,
+				Dir:         *dir,
+				Durability:  durability,
+				WALMaxDelay: *walDelay,
+				Shards:      *shards,
 			},
 			Duration:   *duration,
 			Writers:    *writers,

@@ -6,9 +6,14 @@
 //	$ curl -s localhost:9041/metrics | grep uindexd_requests_total
 //
 // The database is the paper's Example-1 demo by default, or a previously
-// saved snapshot with -load. SIGTERM/SIGINT drains gracefully: stop
-// accepting, finish in-flight requests, release session snapshots,
-// checkpoint, save the store snapshot (when -dir or -save is set), exit.
+// saved snapshot with -load. With -durability wal, a directory that already
+// holds a WAL database is recovered on startup (replaying the committed log
+// suffix; /readyz reports 503 until the replay finishes) and every mutation
+// is durable through the group-commit log. SIGTERM/SIGINT drains
+// gracefully: stop accepting, finish in-flight requests, release session
+// snapshots, checkpoint, save the store snapshot (when -dir or -save is
+// set, except under -durability wal where the final checkpoint is the
+// durable state), exit.
 package main
 
 import (
@@ -16,6 +21,8 @@ import (
 	"flag"
 	"fmt"
 	"log/slog"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -32,7 +39,7 @@ func main() {
 		listen     = flag.String("listen", "127.0.0.1:9040", "data-path listen address")
 		httpAddr   = flag.String("http", "127.0.0.1:9041", "ops listen address for /metrics, /healthz, /readyz, /debug/pprof (empty disables)")
 		dir        = flag.String("dir", "", "directory for disk-backed index files (empty = in-memory)")
-		durability = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, or sync")
+		durability = flag.String("durability", "checkpoint", "durability mode for -dir: none, checkpoint, sync, or wal")
 		poolPages  = flag.Int("poolpages", 256, "buffer-pool frames per index (0 = no pool)")
 		policy     = flag.String("policy", "clock", "buffer-pool replacement policy: clock or lru")
 		loadPath   = flag.String("load", "", "load a store snapshot instead of building the Example-1 demo")
@@ -52,6 +59,46 @@ func main() {
 	}
 }
 
+// walDatabaseExists reports whether dir already holds a WAL database (its
+// commit manifest), which means startup must recover it rather than
+// bootstrap a fresh one.
+func walDatabaseExists(dir string) bool {
+	_, err := os.Stat(filepath.Join(dir, "db.manifest"))
+	return err == nil
+}
+
+// startRecoveryProbe serves /healthz (200) and /readyz (503, recovering) on
+// the ops address while a WAL recovery replay runs, and returns a function
+// that stops it so the real server can bind the address. With no ops
+// address, or if the bind fails (the real server will surface that error),
+// it is a no-op.
+func startRecoveryProbe(log *slog.Logger, httpAddr string) func() {
+	if httpAddr == "" {
+		return func() {}
+	}
+	ln, err := net.Listen("tcp", httpAddr)
+	if err != nil {
+		log.Warn("recovery probe listener unavailable", "addr", httpAddr, "err", err)
+		return func() {}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "recovering: replaying write-ahead log", http.StatusServiceUnavailable)
+	})
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	// Close the listener directly: srv.Close only closes listeners Serve
+	// has already registered, and a fast recovery can finish before the
+	// goroutine gets there — leaving the port bound against the real server.
+	return func() {
+		ln.Close()
+		srv.Close()
+	}
+}
+
 func run(log *slog.Logger, listen, httpAddr, dir, durability string, poolPages int, policy,
 	loadPath, savePath string, inflight, pipeline int, reqTimeout, idle, drainWait time.Duration) error {
 	dur, err := demo.ParseDurability(durability)
@@ -60,16 +107,35 @@ func run(log *slog.Logger, listen, httpAddr, dir, durability string, poolPages i
 	}
 	opts := uindex.Options{PoolPages: poolPages, PoolPolicy: policy, Dir: dir, Durability: dur}
 	var db *uindex.Database
-	if loadPath != "" {
+	switch {
+	case dur == uindex.DurabilityWAL && dir == "":
+		return fmt.Errorf("-durability wal requires -dir")
+	case dur == uindex.DurabilityWAL && walDatabaseExists(dir):
+		// Recovery path: replay the committed log suffix on top of the last
+		// checkpoint. The probe listener answers /readyz with 503 until the
+		// replay finishes, so orchestrators hold traffic during recovery.
+		if loadPath != "" {
+			return fmt.Errorf("-load conflicts with the existing WAL database in %s", dir)
+		}
+		stopProbe := startRecoveryProbe(log, httpAddr)
+		db, err = uindex.Open(dir, opts)
+		stopProbe()
+		if err == nil {
+			log.Info("write-ahead log recovered", "dir", dir,
+				"replayed", db.Metrics().WALRecoveryReplayed)
+		}
+	case loadPath != "":
 		db, err = uindex.LoadFileWith(loadPath, opts)
-	} else {
+	default:
 		db, _, err = demo.Build(opts)
 	}
 	if err != nil {
 		return err
 	}
 	defer db.Close()
-	if savePath == "" && dir != "" {
+	// With a WAL, Close's final checkpoint is the durable state; the extra
+	// store snapshot is only the default for the checkpoint/sync modes.
+	if savePath == "" && dir != "" && dur != uindex.DurabilityWAL {
 		savePath = filepath.Join(dir, "store.usnap")
 	}
 

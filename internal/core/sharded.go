@@ -145,13 +145,13 @@ func (sh *Sharded) Remove(oid store.OID) error {
 	return nil
 }
 
-// ApplyDiff removes the old keys and inserts the new ones, skipping the
-// intersection, each key routed to its shard; deletions and insertions are
-// applied in sorted order as in Index.ApplyDiff.
-func (sh *Sharded) ApplyDiff(oldKeys, newKeys [][]byte) error {
+// DiffKeys reduces an old/new entry-set pair to the deletions and
+// insertions that turn one into the other, skipping the intersection; both
+// outputs come back sorted. It is the pure half of ApplyDiff, exported so a
+// logical log can record the exact key edits a mutation performed.
+func DiffKeys(oldKeys, newKeys [][]byte) (dels, ins [][]byte) {
 	olds := keySet(oldKeys)
 	news := keySet(newKeys)
-	var dels, ins [][]byte
 	for k, b := range olds {
 		if _, keep := news[k]; !keep {
 			dels = append(dels, b)
@@ -164,6 +164,23 @@ func (sh *Sharded) ApplyDiff(oldKeys, newKeys [][]byte) error {
 	}
 	sortKeys(dels)
 	sortKeys(ins)
+	return dels, ins
+}
+
+// ApplyDiff removes the old keys and inserts the new ones, skipping the
+// intersection, each key routed to its shard; deletions and insertions are
+// applied in sorted order as in Index.ApplyDiff.
+func (sh *Sharded) ApplyDiff(oldKeys, newKeys [][]byte) error {
+	dels, ins := DiffKeys(oldKeys, newKeys)
+	return sh.ApplyKeys(dels, ins)
+}
+
+// ApplyKeys applies pre-computed key edits — deletions first, then
+// insertions — each routed to its shard. Deleting an absent key and
+// re-inserting a present one are both no-ops at the B-tree layer, which
+// makes replaying the same edits a second time idempotent. The caller holds
+// the WriteShards locks of every touched shard.
+func (sh *Sharded) ApplyKeys(dels, ins [][]byte) error {
 	for _, k := range dels {
 		ix, err := sh.routeKey(k)
 		if err != nil {

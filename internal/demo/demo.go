@@ -111,6 +111,8 @@ func ParseDurability(s string) (uindex.Durability, error) {
 		return uindex.DurabilityCheckpoint, nil
 	case "sync":
 		return uindex.DurabilitySync, nil
+	case "wal":
+		return uindex.DurabilityWAL, nil
 	}
-	return 0, fmt.Errorf("unknown durability %q (want none, checkpoint, or sync)", s)
+	return 0, fmt.Errorf("unknown durability %q (want none, checkpoint, sync, or wal)", s)
 }

@@ -63,6 +63,15 @@ type MixedResult struct {
 	// mixed phase: entries resident and writer-lock acquisitions per
 	// shard. A single-shard run reports one row.
 	ShardDist []uindex.ShardStat
+	// WAL fields report the write-ahead log's activity over the mixed
+	// phase when the benchmark ran under DurabilityWAL: records appended,
+	// group-commit fsyncs, and fsyncs per committed record — the
+	// group-commit amortization headline, below 1.0 whenever concurrent
+	// committers shared an fsync.
+	WALEnabled      bool
+	WALAppends      uint64
+	WALFsyncs       uint64
+	FsyncsPerCommit float64
 }
 
 // readPhase runs query workers against db until the deadline and returns the
@@ -135,6 +144,7 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 	}
 
 	// Phase 2: same read workload with writers committing concurrently.
+	preWAL := db.Metrics()
 	stop := make(chan struct{})
 	perWriter := make([]atomic.Int64, cfg.Writers)
 	var batches atomic.Int64
@@ -250,6 +260,14 @@ func RunMixed(cfg MixedConfig) (*MixedResult, error) {
 	if dist, ok := db.ShardStats("color"); ok {
 		res.ShardDist = dist
 	}
+	if postWAL := db.Metrics(); postWAL.WALEnabled {
+		res.WALEnabled = true
+		res.WALAppends = postWAL.WALAppends - preWAL.WALAppends
+		res.WALFsyncs = postWAL.WALFsyncs - preWAL.WALFsyncs
+		if res.WALAppends > 0 {
+			res.FsyncsPerCommit = float64(res.WALFsyncs) / float64(res.WALAppends)
+		}
+	}
 	return res, nil
 }
 
@@ -279,6 +297,10 @@ func RenderMixed(w io.Writer, r *MixedResult) {
 		fmt.Fprintf(w, "  shard %-2d       %d entries, %d lock acquisitions (color index)\n",
 			sd.Shard, sd.Entries, sd.Writes)
 	}
+	if r.WALEnabled {
+		fmt.Fprintf(w, "  wal            %d records, %d group-commit fsyncs (%.3f fsyncs/commit)\n",
+			r.WALAppends, r.WALFsyncs, r.FsyncsPerCommit)
+	}
 }
 
 // mixedJSON is the stable JSON shape WriteMixedJSON emits (BENCH_shard.json
@@ -300,6 +322,11 @@ type mixedJSON struct {
 	Batches       int64              `json:"batches"`
 	PerWriter     []WriterStat       `json:"per_writer"`
 	ShardDist     []uindex.ShardStat `json:"shard_dist"`
+	// WAL fields are zero unless the run used DurabilityWAL.
+	WALEnabled      bool    `json:"wal_enabled"`
+	WALAppends      uint64  `json:"wal_appends"`
+	WALFsyncs       uint64  `json:"wal_fsyncs"`
+	FsyncsPerCommit float64 `json:"fsyncs_per_commit"`
 }
 
 // WriteMixedJSON emits one RunMixed result as JSON — the machine-readable
@@ -312,21 +339,25 @@ func WriteMixedJSON(w io.Writer, r *MixedResult) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(mixedJSON{
-		Objects:       r.Config.Objects,
-		Workers:       r.Config.Workers,
-		Writers:       r.Config.Writers,
-		WriteRate:     r.Config.WriteRate,
-		WriteBatch:    r.Config.WriteBatch,
-		Shards:        shards,
-		Durability:    int(r.Config.Durability),
-		DurationSecs:  r.Config.Duration.Seconds(),
-		ReadOnlyQPS:   r.ReadOnlyQPS,
-		WithWriterQPS: r.WithWriterQPS,
-		Ratio:         r.Ratio,
-		Writes:        r.Writes,
-		WritesPerSec:  r.WritesPerSec,
-		Batches:       r.Batches,
-		PerWriter:     r.PerWriter,
-		ShardDist:     r.ShardDist,
+		Objects:         r.Config.Objects,
+		Workers:         r.Config.Workers,
+		Writers:         r.Config.Writers,
+		WriteRate:       r.Config.WriteRate,
+		WriteBatch:      r.Config.WriteBatch,
+		Shards:          shards,
+		Durability:      int(r.Config.Durability),
+		DurationSecs:    r.Config.Duration.Seconds(),
+		ReadOnlyQPS:     r.ReadOnlyQPS,
+		WithWriterQPS:   r.WithWriterQPS,
+		Ratio:           r.Ratio,
+		Writes:          r.Writes,
+		WritesPerSec:    r.WritesPerSec,
+		Batches:         r.Batches,
+		PerWriter:       r.PerWriter,
+		ShardDist:       r.ShardDist,
+		WALEnabled:      r.WALEnabled,
+		WALAppends:      r.WALAppends,
+		WALFsyncs:       r.WALFsyncs,
+		FsyncsPerCommit: r.FsyncsPerCommit,
 	})
 }

@@ -35,6 +35,12 @@ type Config struct {
 	// benchmark's writer throughput).
 	Dir        string
 	Durability uindex.Durability
+	// WALMaxDelay is the group-commit linger under DurabilityWAL: the log
+	// daemon waits this long after the first committer before fsyncing, so
+	// concurrent committers share the fsync. 0 flushes immediately —
+	// coalescing then depends on commits arriving within one fsync's
+	// duration.
+	WALMaxDelay time.Duration
 	// Shards partitions each index into this many class-code shards, each
 	// with its own writer lock (0/1 = unsharded). The mixed benchmark's
 	// writers spread across the shard map, so writer throughput scales
@@ -91,8 +97,8 @@ func buildParallelDB(cfg Config) (*uindex.Database, error) {
 	}
 	db, err := uindex.NewDatabaseWith(s, uindex.Options{
 		PoolPages: cfg.PoolPages, PoolPolicy: cfg.Policy, NodeCacheSize: cfg.NodeCacheSize,
-		Dir: cfg.Dir, Durability: cfg.Durability, Shards: cfg.Shards,
-		NoPrefetch: cfg.NoPrefetch,
+		Dir: cfg.Dir, Durability: cfg.Durability, WALMaxDelay: cfg.WALMaxDelay,
+		Shards: cfg.Shards, NoPrefetch: cfg.NoPrefetch,
 	})
 	if err != nil {
 		return nil, err

@@ -35,25 +35,39 @@ import (
 // and 1024 selected by generation parity. Torn writes hit only the slot
 // being written; the other slot stays valid.
 type Manifest struct {
-	mu     sync.Mutex
-	b      BlockFile
-	shards int
-	bounds [][]byte
-	gen    uint64   // generation of the last durable slot
-	gens   []uint64 // shard generations of that slot
+	mu      sync.Mutex
+	b       BlockFile
+	version uint32
+	shards  int
+	bounds  [][]byte
+	gen     uint64   // generation of the last durable slot
+	gens    []uint64 // shard generations of that slot
+	walLSN  uint64   // checkpoint LSN of that slot (version >= 2)
 }
 
 const (
-	manifestMagic   = 0x5549584d // "UIXM"
-	manifestVersion = 1
+	manifestMagic = 0x5549584d // "UIXM"
+	// Version 2 adds the 8-byte checkpoint LSN (the WAL handshake) to each
+	// commit slot; version-1 files still open, reporting a zero LSN.
+	manifestVersion = 2
 
-	// MaxShards bounds the shard count so a slot (8-byte slot generation,
-	// 8 bytes per shard generation, 4-byte CRC) fits in its 512-byte cell.
-	MaxShards = 62
+	// MaxShards bounds the shard count so a version-2 slot (8-byte slot
+	// generation, 8-byte checkpoint LSN, 8 bytes per shard generation,
+	// 4-byte CRC) fits in its 512-byte cell.
+	MaxShards = 61
 
 	manifestSlot0Off = 512
 	manifestSlotSize = 512
 )
+
+// slotLen is the byte length of one commit slot at the given version.
+func slotLen(version uint32, shards int) int {
+	n := 8 + 8*shards + 4
+	if version >= 2 {
+		n += 8
+	}
+	return n
+}
 
 func manifestSlotOff(gen uint64) int64 {
 	return manifestSlot0Off + int64(gen%2)*manifestSlotSize
@@ -99,9 +113,10 @@ func CreateManifestOn(b BlockFile, bounds [][]byte, gens []uint64) (*Manifest, e
 		return nil, err
 	}
 	m := &Manifest{
-		b:      b,
-		shards: shards,
-		bounds: cloneBounds(bounds),
+		b:       b,
+		version: manifestVersion,
+		shards:  shards,
+		bounds:  cloneBounds(bounds),
 	}
 	if err := m.Commit(gens); err != nil {
 		return nil, err
@@ -127,8 +142,9 @@ func OpenManifestOn(b BlockFile) (*Manifest, error) {
 	if binary.BigEndian.Uint32(pre[0:]) != manifestMagic {
 		return nil, fmt.Errorf("%w: bad manifest magic", ErrCorruptFile)
 	}
-	if v := binary.BigEndian.Uint32(pre[4:]); v != manifestVersion {
-		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorruptFile, v)
+	version := binary.BigEndian.Uint32(pre[4:])
+	if version < 1 || version > manifestVersion {
+		return nil, fmt.Errorf("%w: unsupported manifest version %d", ErrCorruptFile, version)
 	}
 	shards := int(binary.BigEndian.Uint32(pre[8:]))
 	nbounds := int(binary.BigEndian.Uint32(pre[12:]))
@@ -155,16 +171,15 @@ func OpenManifestOn(b BlockFile) (*Manifest, error) {
 	if binary.BigEndian.Uint32(pre[off:]) != crc32.Checksum(pre[:off], castagnoli) {
 		return nil, fmt.Errorf("%w: manifest preamble failed checksum verification", ErrCorruptFile)
 	}
-	m := &Manifest{b: b, shards: shards, bounds: bounds}
-	slotLen := 8 + 8*shards + 4
-	buf := make([]byte, slotLen)
+	m := &Manifest{b: b, version: version, shards: shards, bounds: bounds}
+	buf := make([]byte, slotLen(version, shards))
 	for parity := uint64(0); parity < 2; parity++ {
 		if err := readFull(b, buf, manifestSlotOff(parity)); err != nil {
 			continue
 		}
-		gen, gens, ok := decodeManifestSlot(buf, shards, parity)
+		gen, walLSN, gens, ok := decodeManifestSlot(buf, version, shards, parity)
 		if ok && gen > m.gen {
-			m.gen, m.gens = gen, gens
+			m.gen, m.walLSN, m.gens = gen, walLSN, gens
 		}
 	}
 	if m.gen == 0 {
@@ -177,20 +192,26 @@ func OpenManifestOn(b BlockFile) (*Manifest, error) {
 // generation parity matching the slot's position (a valid-looking slot in
 // the wrong cell is corruption, since commits only ever write a generation
 // to its own parity cell).
-func decodeManifestSlot(buf []byte, shards int, parity uint64) (uint64, []uint64, bool) {
-	n := 8 + 8*shards
+func decodeManifestSlot(buf []byte, version uint32, shards int, parity uint64) (uint64, uint64, []uint64, bool) {
+	n := slotLen(version, shards) - 4
 	if binary.BigEndian.Uint32(buf[n:]) != crc32.Checksum(buf[:n], castagnoli) {
-		return 0, nil, false
+		return 0, 0, nil, false
 	}
 	gen := binary.BigEndian.Uint64(buf)
 	if gen == 0 || gen%2 != parity {
-		return 0, nil, false
+		return 0, 0, nil, false
+	}
+	off := 8
+	var walLSN uint64
+	if version >= 2 {
+		walLSN = binary.BigEndian.Uint64(buf[off:])
+		off += 8
 	}
 	gens := make([]uint64, shards)
 	for i := range gens {
-		gens[i] = binary.BigEndian.Uint64(buf[8+8*i:])
+		gens[i] = binary.BigEndian.Uint64(buf[off+8*i:])
 	}
-	return gen, gens, true
+	return gen, walLSN, gens, true
 }
 
 // CreateManifestFile creates path (truncating any previous contents) and
@@ -225,16 +246,37 @@ func OpenManifestFile(path string) (*Manifest, error) {
 
 // Commit atomically publishes a new shard-generation vector: it writes the
 // inactive slot, fsyncs, and only then advances the in-memory generation.
-// A crash anywhere in between leaves the previous commit intact.
+// A crash anywhere in between leaves the previous commit intact. The
+// checkpoint LSN carried by the slot is preserved from the last commit.
 func (m *Manifest) Commit(gens []uint64) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	return m.commitLocked(gens, m.walLSN)
+}
+
+// CommitWAL publishes a new shard-generation vector together with a new
+// checkpoint LSN: every WAL record with an LSN at or below it is fully
+// reflected in the committed shard generations, so recovery replays the
+// log strictly after it. Requires a version-2 manifest.
+func (m *Manifest) CommitWAL(gens []uint64, walLSN uint64) error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.version < 2 {
+		return fmt.Errorf("pager: manifest version %d cannot record a checkpoint LSN", m.version)
+	}
+	return m.commitLocked(gens, walLSN)
+}
+
+func (m *Manifest) commitLocked(gens []uint64, walLSN uint64) error {
 	if len(gens) != m.shards {
 		return fmt.Errorf("pager: manifest commit with %d generations for %d shards", len(gens), m.shards)
 	}
 	next := m.gen + 1
-	buf := make([]byte, 0, 8+8*m.shards+4)
+	buf := make([]byte, 0, slotLen(m.version, m.shards))
 	buf = binary.BigEndian.AppendUint64(buf, next)
+	if m.version >= 2 {
+		buf = binary.BigEndian.AppendUint64(buf, walLSN)
+	}
 	for _, g := range gens {
 		buf = binary.BigEndian.AppendUint64(buf, g)
 	}
@@ -246,8 +288,18 @@ func (m *Manifest) Commit(gens []uint64) error {
 		return err
 	}
 	m.gen = next
+	m.walLSN = walLSN
 	m.gens = append(m.gens[:0], gens...)
 	return nil
+}
+
+// WALLSN returns the checkpoint LSN of the last durable commit: zero for
+// version-1 manifests and for databases that have never checkpointed
+// against a WAL.
+func (m *Manifest) WALLSN() uint64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.walLSN
 }
 
 // Shards returns the shard count the manifest was created with.

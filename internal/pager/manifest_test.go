@@ -1,7 +1,9 @@
 package pager
 
 import (
+	"encoding/binary"
 	"errors"
+	"hash/crc32"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -59,6 +61,99 @@ func TestManifestSingleShardNoBounds(t *testing.T) {
 	if m2.Shards() != 1 || len(m2.Bounds()) != 0 || m2.Gens()[0] != 7 {
 		t.Errorf("got shards=%d bounds=%d gens=%v", m2.Shards(), len(m2.Bounds()), m2.Gens())
 	}
+}
+
+// The checkpoint LSN rides each commit slot: CommitWAL advances it, plain
+// Commit preserves it, and it survives reopen.
+func TestManifestWALLSNRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wal.manifest")
+	m, err := CreateManifestFile(path, [][]byte{[]byte(".w")}, []uint64{1, 1})
+	if err != nil {
+		t.Fatalf("CreateManifestFile: %v", err)
+	}
+	if got := m.WALLSN(); got != 0 {
+		t.Fatalf("fresh WALLSN = %d, want 0", got)
+	}
+	if err := m.CommitWAL([]uint64{2, 2}, 37); err != nil {
+		t.Fatalf("CommitWAL: %v", err)
+	}
+	if err := m.Commit([]uint64{3, 2}); err != nil { // must preserve the LSN
+		t.Fatalf("Commit: %v", err)
+	}
+	if got := m.WALLSN(); got != 37 {
+		t.Fatalf("WALLSN after plain Commit = %d, want 37", got)
+	}
+	m.Close()
+
+	m2, err := OpenManifestFile(path)
+	if err != nil {
+		t.Fatalf("OpenManifestFile: %v", err)
+	}
+	defer m2.Close()
+	if got := m2.WALLSN(); got != 37 {
+		t.Errorf("reopened WALLSN = %d, want 37", got)
+	}
+	if got := m2.Gens(); !reflect.DeepEqual(got, []uint64{3, 2}) {
+		t.Errorf("reopened gens = %v, want [3 2]", got)
+	}
+}
+
+// Version-1 manifest files (no checkpoint LSN in the slot) must still open,
+// reporting a zero LSN, and CommitWAL must refuse to write into them.
+func TestManifestVersion1Compat(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "v1.manifest")
+	m, err := CreateManifestFile(path, [][]byte{[]byte(".x")}, []uint64{4, 5})
+	if err != nil {
+		t.Fatalf("CreateManifestFile: %v", err)
+	}
+	m.Close()
+
+	// Rewrite the file as version 1: patch the preamble version, refresh its
+	// CRC, and re-encode the commit slot in the v1 layout (no LSN field).
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	binary.BigEndian.PutUint32(raw[4:], 1)
+	preLen := preambleLen(raw)
+	binary.BigEndian.PutUint32(raw[preLen:], crc32.Checksum(raw[:preLen], castagnoli))
+	slot := make([]byte, 0, slotLen(1, 2))
+	slot = binary.BigEndian.AppendUint64(slot, 1) // slot gen 1 → parity cell 1
+	slot = binary.BigEndian.AppendUint64(slot, 4)
+	slot = binary.BigEndian.AppendUint64(slot, 5)
+	slot = binary.BigEndian.AppendUint32(slot, crc32.Checksum(slot, castagnoli))
+	copy(raw[manifestSlotOff(1):], slot)
+	if err := os.WriteFile(path, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	m1, err := OpenManifestFile(path)
+	if err != nil {
+		t.Fatalf("open v1 manifest: %v", err)
+	}
+	defer m1.Close()
+	if m1.WALLSN() != 0 {
+		t.Errorf("v1 WALLSN = %d, want 0", m1.WALLSN())
+	}
+	if got := m1.Gens(); !reflect.DeepEqual(got, []uint64{4, 5}) {
+		t.Errorf("v1 gens = %v, want [4 5]", got)
+	}
+	if err := m1.Commit([]uint64{6, 5}); err != nil {
+		t.Errorf("v1 plain Commit: %v", err)
+	}
+	if err := m1.CommitWAL([]uint64{6, 5}, 9); err == nil {
+		t.Error("CommitWAL on a v1 manifest succeeded")
+	}
+}
+
+// preambleLen walks an encoded preamble to the offset of its trailing CRC.
+func preambleLen(raw []byte) int {
+	nbounds := int(binary.BigEndian.Uint32(raw[12:]))
+	off := 16
+	for i := 0; i < nbounds; i++ {
+		off += 2 + int(binary.BigEndian.Uint16(raw[off:]))
+	}
+	return off
 }
 
 func TestManifestValidation(t *testing.T) {

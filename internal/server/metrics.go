@@ -162,6 +162,24 @@ func registerEngine(reg *obs.Registry, db *uindex.Database) {
 		func(m uindex.Metrics) uint64 { return m.Checkpoints })
 	counter("uindex_snapshots_taken_total", "Snapshots ever pinned.",
 		func(m uindex.Metrics) uint64 { return m.SnapshotsTaken })
+	if db.Metrics().WALEnabled { // fixed at open, like the shard topology
+		counter("uindex_wal_appends_total", "Records appended to the write-ahead log.",
+			func(m uindex.Metrics) uint64 { return m.WALAppends })
+		counter("uindex_wal_fsyncs_total", "Group-commit fsyncs (below appends when commits coalesce).",
+			func(m uindex.Metrics) uint64 { return m.WALFsyncs })
+		counter("uindex_wal_group_commit_batches_total", "Group-commit flush batches.",
+			func(m uindex.Metrics) uint64 { return m.WALBatches })
+		counter("uindex_wal_group_commit_records_total", "Records carried by group-commit batches.",
+			func(m uindex.Metrics) uint64 { return m.WALBatchRecords })
+		counter("uindex_wal_checkpoints_total", "Completed incremental WAL checkpoints.",
+			func(m uindex.Metrics) uint64 { return m.WALCheckpoints })
+		reg.GaugeFunc("uindex_wal_recovery_replayed_records",
+			"Log records replayed by the recovery that opened this database.",
+			func() float64 { return float64(db.Metrics().WALRecoveryReplayed) })
+		reg.GaugeFunc("uindex_wal_checkpoint_lag_bytes",
+			"Live log bytes not yet folded into a checkpoint.",
+			func() float64 { return float64(db.Metrics().WALLagBytes) })
+	}
 	reg.GaugeFunc("uindex_snapshots_active", "Snapshots currently pinned.",
 		func() float64 { return float64(db.Metrics().SnapshotsActive) })
 	reg.GaugeFunc("uindex_nodecache_entries", "Decoded nodes resident in the caches.",

@@ -1,0 +1,58 @@
+package server
+
+import (
+	"context"
+	"strings"
+	"testing"
+
+	uindex "repro"
+	"repro/internal/demo"
+)
+
+// TestWALMetricsEndpoint: a database running with DurabilityWAL exports the
+// uindex_wal_* series on /metrics, and the append counter moves with
+// mutations served over the data path.
+func TestWALMetricsEndpoint(t *testing.T) {
+	db, _, err := demo.Build(uindex.Options{
+		PoolPages: 16, Dir: t.TempDir(),
+		Durability: uindex.DurabilityWAL, WALCheckpointBytes: -1,
+	})
+	if err != nil {
+		t.Fatalf("demo.Build: %v", err)
+	}
+	defer db.Close()
+	srv, err := New(Config{DB: db, Addr: "127.0.0.1:0", HTTPAddr: "127.0.0.1:0", Logger: discard()})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer srv.Shutdown(context.Background())
+	c := dialT(t, srv)
+	defer c.Close()
+	if _, err := c.Insert(context.Background(), "Automobile", uindex.Attrs{"Name": "w", "Color": "Zw"}); err != nil {
+		t.Fatal(err)
+	}
+
+	body := scrapeMetrics(t, srv)
+	for _, want := range []string{
+		"uindex_wal_appends_total",
+		"uindex_wal_fsyncs_total",
+		"uindex_wal_group_commit_batches_total",
+		"uindex_wal_group_commit_records_total",
+		"uindex_wal_checkpoints_total",
+		"uindex_wal_recovery_replayed_records",
+		"uindex_wal_checkpoint_lag_bytes",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("/metrics missing %q", want)
+		}
+	}
+	if strings.Contains(body, "uindex_wal_appends_total 0") {
+		t.Error("uindex_wal_appends_total did not move with the insert")
+	}
+	if t.Failed() {
+		t.Log(grepMetrics(body, "uindex_wal"))
+	}
+}

@@ -229,6 +229,69 @@ func (st *Store) Delete(oid OID) error {
 	if !ok {
 		return fmt.Errorf("store: no object %d", oid)
 	}
+	st.dropLocked(oid, o)
+	return nil
+}
+
+// ReplayInsert re-applies a logged insert during recovery: the OID is fixed
+// (taken from the log record, not allocated), an existing object under that
+// OID is replaced, and reference targets are not validated — a later record
+// in the log may delete the target, so mid-replay states can dangle in ways
+// a live Insert never would. nextOID advances past the replayed OID so
+// post-recovery inserts never reuse it.
+func (st *Store) ReplayInsert(oid OID, class string, attrs Attrs) error {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if oid == 0 {
+		return fmt.Errorf("store: replay insert with zero OID")
+	}
+	if _, ok := st.schema.Class(class); !ok {
+		return fmt.Errorf("%w %q", ErrUnknownClass, class)
+	}
+	if old, ok := st.objects[oid]; ok {
+		st.dropLocked(oid, old)
+	}
+	o := &Object{OID: oid, Class: class, attrs: make(Attrs, len(attrs))}
+	for k, v := range attrs {
+		o.attrs[k] = v
+		st.linkRefs(oid, k, v)
+	}
+	st.objects[oid] = o
+	st.extents[class] = append(st.extents[class], oid)
+	if oid >= st.nextOID {
+		st.nextOID = oid + 1
+	}
+	return nil
+}
+
+// ReplaySet re-applies a logged attribute update during recovery. A missing
+// object is a no-op (its delete was also logged and replays later), and the
+// value is installed without reference-target validation.
+func (st *Store) ReplaySet(oid OID, name string, v any) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	o, ok := st.objects[oid]
+	if !ok {
+		return
+	}
+	st.unlinkRefs(oid, name, o.attrs[name])
+	o.attrs[name] = v
+	st.linkRefs(oid, name, v)
+}
+
+// ReplayDelete re-applies a logged delete during recovery; deleting an
+// already-absent object is a no-op, which keeps replay idempotent.
+func (st *Store) ReplayDelete(oid OID) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if o, ok := st.objects[oid]; ok {
+		st.dropLocked(oid, o)
+	}
+}
+
+// dropLocked removes an object, its reverse-reference links, and its extent
+// entry. Caller holds st.mu.
+func (st *Store) dropLocked(oid OID, o *Object) {
 	for name, v := range o.attrs {
 		st.unlinkRefs(oid, name, v)
 	}
@@ -240,7 +303,6 @@ func (st *Store) Delete(oid OID) error {
 			break
 		}
 	}
-	return nil
 }
 
 // Extent returns the OIDs of the exact class (no subclasses), in insertion

@@ -47,8 +47,28 @@ type Metrics struct {
 	Batches  uint64
 	BatchOps uint64
 
-	// Checkpoints counts completed Checkpoint calls.
+	// Checkpoints counts completed Checkpoint calls (with DurabilityWAL,
+	// completed WAL checkpoints from any trigger — background, explicit,
+	// catalog change, or Close).
 	Checkpoints uint64
+
+	// WAL series; all zero unless the database runs with DurabilityWAL
+	// (WALEnabled). WALAppends counts records appended, WALFsyncs the
+	// group-commit fsyncs that made them durable (WALFsyncs < WALAppends
+	// means group commit is amortizing), WALBatches the flush batches and
+	// WALBatchRecords the records they carried (their ratio is the mean
+	// group-commit batch size). WALRecoveryReplayed is the records Open
+	// replayed to recover this database; WALCheckpoints the completed
+	// incremental checkpoints; WALLagBytes the live log bytes not yet
+	// folded into a checkpoint.
+	WALEnabled          bool
+	WALAppends          uint64
+	WALFsyncs           uint64
+	WALBatches          uint64
+	WALBatchRecords     uint64
+	WALRecoveryReplayed uint64
+	WALCheckpoints      uint64
+	WALLagBytes         uint64
 
 	// Snapshot lifecycle: how many Snapshot() calls ever pinned a view,
 	// and how many are currently unreleased. SnapshotsActive reaching 0
@@ -139,6 +159,17 @@ func (db *Database) Metrics() Metrics {
 		Checkpoints:     db.ctrs.checkpoints.Load(),
 		SnapshotsTaken:  db.ctrs.snapsTaken.Load(),
 		SnapshotsActive: uint64(max(0, db.ctrs.snapsActive.Load())),
+	}
+	if w := db.wal; w != nil {
+		st := w.log.Stats()
+		m.WALEnabled = true
+		m.WALAppends = st.Appends
+		m.WALFsyncs = st.Fsyncs
+		m.WALBatches = st.Batches
+		m.WALBatchRecords = st.BatchRecords
+		m.WALRecoveryReplayed = w.replayed.Load()
+		m.WALCheckpoints = w.ckpts.Load()
+		m.WALLagBytes = uint64(max(0, w.log.LiveBytes()))
 	}
 	m.Pool, m.PoolEnabled = db.PoolStats()
 	m.NodeCache = db.NodeCacheStats()

@@ -154,6 +154,14 @@ func (sr *snapshotReader) byte() byte {
 // Index contents are not serialized; Load rebuilds them, which is both
 // simpler and usually faster than paging them in.
 func (db *Database) Save(w io.Writer) error {
+	objs, next := db.st.Snapshot()
+	return db.saveSnapshot(w, objs, next)
+}
+
+// saveSnapshot is Save over a pre-taken store snapshot — the WAL
+// checkpointer snapshots the store under its commit cut and encodes the
+// bytes here, outside every lock.
+func (db *Database) saveSnapshot(w io.Writer, objs []store.RestoredObject, next OID) error {
 	h := crc32.New(snapshotCRC)
 	sw := &snapshotWriter{w: bufio.NewWriter(io.MultiWriter(w, h))}
 	sw.u32(snapshotMagic)
@@ -180,7 +188,6 @@ func (db *Database) Save(w io.Writer) error {
 	}
 
 	// Objects.
-	objs, next := db.st.Snapshot()
 	sw.u32(uint32(next))
 	sw.uvarint(uint64(len(objs)))
 	for _, o := range objs {
@@ -396,12 +403,28 @@ func LoadWith(r io.Reader, opts Options) (*Database, error) {
 		spec.NoCompression = sr.byte() == 1
 		if sr.err == nil {
 			if err := db.CreateIndex(spec); err != nil {
+				// Corruption of the reopened index files is a recovery
+				// failure, not a malformed snapshot: keep the pager detail
+				// in the chain under the recovery sentinel.
+				var pageErr ErrCorruptPage
+				if errors.Is(err, ErrCorruptFile) || errors.As(err, &pageErr) {
+					return nil, fmt.Errorf("%w: reopening index %q: %w", ErrRecovery, spec.Name, err)
+				}
 				return nil, invalidSnapshot(err)
 			}
 		}
 	}
 	if sr.err != nil {
 		return nil, invalidSnapshot(sr.err)
+	}
+	// Under DurabilityWAL the bootstrap checkpoint ran against the empty
+	// pre-restore store; fold the restored objects and indexes into a fresh
+	// checkpoint so the on-disk committed state matches what we return.
+	if db.wal != nil {
+		if err := db.Checkpoint(); err != nil {
+			db.Close()
+			return nil, err
+		}
 	}
 	return db, nil
 }

@@ -39,6 +39,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/btree"
 	"repro/internal/bufferpool"
@@ -67,6 +68,13 @@ var (
 	// structurally damaged (truncated or garbage headers, broken free
 	// chain). Corruption is surfaced, never silently rebuilt over.
 	ErrCorruptFile = pager.ErrCorruptFile
+	// ErrRecovery is returned by Open (and by LoadFileWith reopening
+	// disk-backed indexes) when recovery cannot proceed: a damaged commit
+	// manifest, a corrupt write-ahead log, an unreadable store snapshot, or
+	// a corrupt index file. The underlying cause (ErrCorruptFile, an
+	// ErrCorruptPage, the WAL detail) stays in the chain for
+	// errors.Is/errors.As.
+	ErrRecovery = errors.New("uindex: recovery failed")
 )
 
 // ErrCorruptPage reports a page of a disk-backed index whose stored
@@ -155,9 +163,9 @@ var (
 // NewSchema returns an empty schema.
 func NewSchema() *Schema { return schema.New() }
 
-// Durability selects when a disk-backed index (Options.Dir) makes its
+// Durability selects when a disk-backed database (Options.Dir) makes its
 // state crash-safe. Whatever the mode, a checkpoint is atomic: a crash at
-// any instant recovers the file to exactly the previous or the new
+// any instant recovers each file to exactly the previous or the new
 // checkpoint, never a mix, and every page read back is checksum-verified.
 type Durability int
 
@@ -170,10 +178,24 @@ const (
 	// CreateIndex; Close and DropIndex discard everything after the last
 	// checkpoint (the file keeps that checkpoint intact).
 	DurabilityNone
-	// DurabilitySync additionally checkpoints inside every mutation
-	// (Insert, Delete, Set) before it returns — maximum safety, one fsync
-	// pair per mutated index per call.
+	// DurabilitySync gives per-mutation durability the legacy way, without
+	// a write-ahead log: every mutation (Insert, Delete, Set) checkpoints
+	// each index it touched before returning — one fsync pair per mutated
+	// index per call. It applies when Dir is set and the WAL is disabled;
+	// for per-mutation durability at a fraction of the fsync cost, use
+	// DurabilityWAL, where a mutation is durable as soon as its log record
+	// is fsynced (one group fsync shared by concurrent committers) rather
+	// than after a full checkpoint.
 	DurabilitySync
+	// DurabilityWAL puts a group-commit write-ahead log in front of the
+	// shadow-paging checkpoints: every mutation appends a logical record
+	// to Dir/wal.log and returns once that record is fsynced — concurrent
+	// committers share one fsync. A background checkpointer folds the log
+	// into the shadow-paged files incrementally, without stalling writers,
+	// and truncates the replayed prefix. Databases in this mode must be
+	// reopened with Open, which replays the committed log suffix on top of
+	// the last checkpoint.
+	DurabilityWAL
 )
 
 // Options configures optional Database machinery.
@@ -213,6 +235,22 @@ type Options struct {
 	// the paper's logical page-read counts; Metrics exposes the
 	// prefetch counters.
 	NoPrefetch bool
+	// WALMaxDelay bounds how long the group-commit daemon lingers after a
+	// record arrives before forcing the fsync, trading commit latency for
+	// larger batches. 0 (the default) syncs as soon as the daemon is free:
+	// records arriving during an in-flight fsync still coalesce into the
+	// next one, so fsyncs amortize under concurrency with no added
+	// latency. Only meaningful with DurabilityWAL.
+	WALMaxDelay time.Duration
+	// WALMaxBatch caps the records one group commit accumulates before the
+	// fsync fires regardless of WALMaxDelay; 0 means unbounded. Only
+	// meaningful with DurabilityWAL.
+	WALMaxBatch int
+	// WALCheckpointBytes is the live-log size that wakes the background
+	// checkpointer with DurabilityWAL; 0 selects a 4 MiB default, negative
+	// disables size-triggered checkpoints (explicit Checkpoint calls and
+	// Close still fold the log).
+	WALCheckpointBytes int64
 	// Shards, when greater than 1, partitions each index into up to that
 	// many shards by contiguous class-code intervals: every entry routes to
 	// exactly one shard by the class code at position 0 of its key (the
@@ -220,7 +258,7 @@ type Options struct {
 	// buffer pool (PoolPages frames each), node cache, and writer lock, and
 	// queries scatter over the relevant shards and merge in key order.
 	// The effective count is clamped to the number of classes under the
-	// index's terminal class and to pager.MaxShards (62). With Dir set, a
+	// index's terminal class and to pager.MaxShards (61). With Dir set, a
 	// sharded index lives in Dir/<name>.shard<i>.uidx files published
 	// atomically by a Dir/<name>.manifest commit record; an existing
 	// on-disk layout always wins over this setting on reopen. 0 or 1
@@ -258,6 +296,12 @@ type Database struct {
 	snaps  map[*Snapshot]struct{}
 	// ctrs are the cumulative counters behind Metrics().
 	ctrs counters
+
+	// wal is the group-commit machinery of DurabilityWAL: the log, the
+	// database commit manifest, and the background checkpointer. Nil in
+	// every other mode. Set once before the Database is published, so
+	// reads need no lock.
+	wal *walState
 }
 
 // indexGroup is the facade's unit of index management: one logical index as
@@ -365,12 +409,21 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 			return nil, fmt.Errorf("uindex: creating database directory: %w", err)
 		}
 	}
-	return &Database{
+	if opts.Durability == DurabilityWAL && opts.Dir == "" {
+		return nil, errors.New("uindex: DurabilityWAL requires Options.Dir")
+	}
+	db := &Database{
 		sch:    s,
 		st:     store.New(s),
 		groups: make(map[string]*indexGroup),
 		opts:   opts,
-	}, nil
+	}
+	if opts.Durability == DurabilityWAL {
+		if err := db.bootstrapWAL(); err != nil {
+			return nil, err
+		}
+	}
+	return db, nil
 }
 
 // Close marks the database closed, checkpoints every disk-backed index
@@ -381,6 +434,13 @@ func NewDatabaseWith(s *Schema, opts Options) (*Database, error) {
 // fail with ErrClosed (snapshot queries with ErrSnapshotReleased). Close is
 // idempotent.
 func (db *Database) Close() error {
+	if db.wal != nil {
+		// Stop the background checkpointer before taking the catalog
+		// write lock: it checkpoints under the read lock, and a stop
+		// signal sent while we hold the write lock could deadlock against
+		// its next acquisition.
+		db.wal.stopCheckpointer()
+	}
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	if db.closed {
@@ -389,6 +449,17 @@ func (db *Database) Close() error {
 	db.closed = true
 	db.releaseSnapshotsLocked()
 	var first error
+	if db.wal != nil {
+		// Final fold: everything the log holds lands in the shadow-paged
+		// files and the db manifest, so the log closes empty.
+		first = db.walCheckpointLocked()
+		if err := db.wal.log.Close(); err != nil && first == nil {
+			first = err
+		}
+		if err := db.wal.manifest.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
 	for _, name := range db.order {
 		if err := db.releaseGroupLocked(name); err != nil && first == nil {
 			first = err
@@ -404,7 +475,10 @@ func (db *Database) releaseGroupLocked(name string) error {
 	g := db.groups[name]
 	var first error
 	if g.disk() {
-		if db.opts.Durability != DurabilityNone {
+		// With a WAL, the caller (Close, DropIndex) has already folded the
+		// log via walCheckpointLocked, which checkpointed every group; a
+		// second checkpoint here would be redundant I/O.
+		if db.opts.Durability != DurabilityNone && db.wal == nil {
 			first = g.checkpointShards(g.allShards())
 		}
 		// The checkpoint above is the only publish point: closing must
@@ -586,6 +660,14 @@ func (db *Database) CreateIndex(spec IndexSpec) error {
 	}
 	db.groups[spec.Name] = g
 	db.order = append(db.order, spec.Name)
+	if db.wal != nil {
+		// Catalog changes do not ride the log: fold everything now so the
+		// store snapshot on disk records the new index declaration and
+		// recovery reopens it instead of diverging.
+		if err := db.walCheckpointLocked(); err != nil {
+			return fmt.Errorf("uindex: index %q: checkpointing catalog change: %w", spec.Name, err)
+		}
+	}
 	return nil
 }
 
@@ -948,6 +1030,9 @@ func (db *Database) Checkpoint() error {
 	if db.closed {
 		return ErrClosed
 	}
+	if db.wal != nil {
+		return db.walCheckpointLocked()
+	}
 	for _, name := range db.order {
 		g := db.groups[name]
 		if !g.disk() {
@@ -975,8 +1060,22 @@ func (db *Database) DropIndex(name string) error {
 	if db.closed {
 		return ErrClosed
 	}
-	if _, ok := db.groups[name]; !ok {
+	g, ok := db.groups[name]
+	if !ok {
 		return fmt.Errorf("uindex: no index %q: %w", name, ErrIndexNotFound)
+	}
+	if db.wal != nil && g.disk() {
+		// The log is truncated right after this drop, so the orphaned file
+		// must carry its own final checkpoint — holding only records the
+		// log has made durable, or a crash before the truncation would
+		// recover an index ahead of the replayable store.
+		err := db.wal.log.WaitDurable(db.wal.log.LastAppended())
+		if err == nil {
+			err = g.checkpointShards(g.allShards())
+		}
+		if err != nil {
+			return fmt.Errorf("uindex: checkpointing index %q before drop: %w", name, err)
+		}
 	}
 	err := db.releaseGroupLocked(name)
 	delete(db.groups, name)
@@ -984,6 +1083,11 @@ func (db *Database) DropIndex(name string) error {
 		if n == name {
 			db.order = append(db.order[:i], db.order[i+1:]...)
 			break
+		}
+	}
+	if db.wal != nil {
+		if cerr := db.walCheckpointLocked(); cerr != nil && err == nil {
+			err = fmt.Errorf("uindex: checkpointing catalog change: %w", cerr)
 		}
 	}
 	return err
@@ -1074,6 +1178,9 @@ func (db *Database) Insert(class string, attrs Attrs) (OID, error) {
 	if db.closed {
 		return 0, ErrClosed
 	}
+	if db.wal != nil {
+		return db.insertWAL(class, attrs)
+	}
 	oid, err := db.st.Insert(class, attrs)
 	if err != nil {
 		db.ctrs.countWrite(&db.ctrs.inserts, err)
@@ -1115,6 +1222,9 @@ func (db *Database) Delete(oid OID) (err error) {
 	if !ok {
 		return db.st.Delete(oid) // surfaces the store's not-found error
 	}
+	if db.wal != nil {
+		return db.deleteWAL(oid, o.Class)
+	}
 	locked := db.lockCovering(o.Class)
 	defer unlockAll(locked)
 	for _, lg := range locked {
@@ -1150,6 +1260,9 @@ func (db *Database) Set(oid OID, attr string, v any) (err error) {
 	if !ok {
 		_, err := db.st.SetAttr(oid, attr, v) // surfaces the store's not-found error
 		return err
+	}
+	if db.wal != nil {
+		return db.setWAL(oid, o.Class, attr, v)
 	}
 	locked := db.lockCovering(o.Class)
 	defer unlockAll(locked)

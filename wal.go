@@ -1,0 +1,750 @@
+package uindex
+
+// This file is the DurabilityWAL machinery: a group-commit write-ahead log
+// in front of the shadow-paging checkpoints.
+//
+// Commit path. Every mutation runs under the writer locks of the shards it
+// touches plus walState.commitMu in read mode, applies its store and index
+// edits, and appends one logical record — the store operation plus, per
+// index group, the exact key deletions and insertions it performed — to the
+// log BEFORE releasing those locks. The append only buffers in memory; the
+// mutation then unlocks and waits for the log's group-commit daemon to
+// fsync its record, sharing that fsync with every concurrent committer.
+//
+// Checkpoint protocol (walCheckpointLocked). The background checkpointer
+// folds the log into the shadow-paged files without stalling writers:
+//
+//	C := log.LastAppended()            // the cut the manifest will record
+//	for each group, each shard:        // one shard at a time, writers
+//	    lock shard; checkpointShard; unlock
+//	commitMu.Lock()
+//	objs := store.Snapshot(); W := log.LastAppended()
+//	commitMu.Unlock()
+//	write store.<gen+1>.snap from objs // outside every lock
+//	log.WaitDurable(W)
+//	commit each group manifest; db manifest CommitWAL(gen+1, C)
+//	log.TruncateTo(C)
+//
+// Why this recovers exactly the durable log prefix:
+//
+//   - Every published state contains every record with LSN <= C: a record
+//     at or below C was appended before C was read, its edits were applied
+//     before the append (same critical section), and the shard locks /
+//     commitMu.Lock make those edits visible to the checkpoint reads.
+//   - No published state contains a record above W: edits land under the
+//     shard lock and commitMu before the append assigns the LSN, so
+//     anything a checkpoint read had an LSN by then, and W was read after
+//     every overlapping critical section ended.
+//   - WaitDurable(W) before the manifest commits means every record
+//     embedded in a published state is also in the durable log; recovery
+//     replaying (C, durable] over those states converges because the
+//     replay operations are idempotent (keyed B-tree edits, tolerant
+//     store ops with fixed OIDs).
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/pager"
+	"repro/internal/store"
+	"repro/internal/wal"
+)
+
+const (
+	// walManifestName is the database commit manifest: one "shard" slot
+	// carrying the store snapshot generation, plus the checkpoint LSN.
+	walManifestName = "db.manifest"
+	// walLogName is the write-ahead log file.
+	walLogName = "wal.log"
+
+	// walDefaultCheckpointBytes is the live-log size that triggers a
+	// background checkpoint when Options.WALCheckpointBytes is zero.
+	walDefaultCheckpointBytes = 4 << 20
+	// walCheckpointPoll is how often the background checkpointer samples
+	// the live-log size.
+	walCheckpointPoll = 50 * time.Millisecond
+)
+
+// storeSnapName is the store snapshot file of one checkpoint generation.
+func storeSnapName(gen uint64) string { return fmt.Sprintf("store.%d.snap", gen) }
+
+// walState is the DurabilityWAL machinery of one Database.
+type walState struct {
+	log      *wal.Log
+	manifest *pager.Manifest
+
+	// commitMu orders mutations against the checkpoint's store cut: every
+	// mutation holds it in read mode from its first store/index edit
+	// through its log append, and the checkpointer holds it in write mode
+	// only around the store snapshot + W read — so writers never stall on
+	// checkpoint I/O, and the snapshot can neither contain an edit whose
+	// LSN is above W nor miss one at or below C.
+	commitMu sync.RWMutex
+
+	// ckptMu serializes checkpoints (background, explicit Checkpoint,
+	// catalog changes, Close).
+	ckptMu sync.Mutex
+	// storeGen is the generation of the current store snapshot file;
+	// guarded by ckptMu.
+	storeGen uint64
+
+	replayed  atomic.Uint64 // records replayed by Open
+	ckpts     atomic.Uint64 // completed WAL checkpoints
+	ckptBytes int64         // live-log trigger; <0 disables
+
+	stopOnce sync.Once
+	stopc    chan struct{}
+	done     chan struct{}
+}
+
+// stopCheckpointer signals the background checkpointer and waits for it to
+// exit; callable from any goroutine, any number of times. Must run before
+// taking the catalog write lock — the checkpointer acquires the read lock.
+func (w *walState) stopCheckpointer() {
+	w.stopOnce.Do(func() { close(w.stopc) })
+	<-w.done
+}
+
+func newWALState(log *wal.Log, manifest *pager.Manifest, storeGen uint64, opts Options) *walState {
+	ckptBytes := opts.WALCheckpointBytes
+	if ckptBytes == 0 {
+		ckptBytes = walDefaultCheckpointBytes
+	}
+	return &walState{
+		log:       log,
+		manifest:  manifest,
+		storeGen:  storeGen,
+		ckptBytes: ckptBytes,
+		stopc:     make(chan struct{}),
+		done:      make(chan struct{}),
+	}
+}
+
+func walOptions(opts Options) wal.Options {
+	return wal.Options{MaxDelay: opts.WALMaxDelay, MaxBatch: opts.WALMaxBatch}
+}
+
+// bootstrapWAL initializes a fresh DurabilityWAL database directory: the
+// generation-1 store snapshot, the database manifest, and an empty log. A
+// directory that already holds a WAL database is refused — its log tail
+// must be replayed, which is Open's job, not NewDatabaseWith's.
+func (db *Database) bootstrapWAL() error {
+	manifestPath := filepath.Join(db.opts.Dir, walManifestName)
+	if _, err := os.Stat(manifestPath); err == nil {
+		return fmt.Errorf("uindex: %s already holds a WAL database; recover it with Open", db.opts.Dir)
+	} else if !errors.Is(err, os.ErrNotExist) {
+		return err
+	}
+	objs, next := db.st.Snapshot()
+	if err := db.saveStoreSnapshot(filepath.Join(db.opts.Dir, storeSnapName(1)), objs, next); err != nil {
+		return fmt.Errorf("uindex: writing initial store snapshot: %w", err)
+	}
+	manifest, err := pager.CreateManifestFile(manifestPath, nil, []uint64{1})
+	if err != nil {
+		return err
+	}
+	log, err := wal.Create(filepath.Join(db.opts.Dir, walLogName), walOptions(db.opts))
+	if err != nil {
+		manifest.Close()
+		return err
+	}
+	db.wal = newWALState(log, manifest, 1, db.opts)
+	go db.walCheckpointer()
+	return nil
+}
+
+// recoveryError tags a recovery failure with ErrRecovery, keeping the
+// underlying cause (pager corruption, WAL detail, snapshot damage) in the
+// chain for errors.Is/errors.As.
+func recoveryError(what string, err error) error {
+	if errors.Is(err, ErrRecovery) {
+		return err
+	}
+	return fmt.Errorf("%w: %s: %w", ErrRecovery, what, err)
+}
+
+// Open recovers a DurabilityWAL database from its directory: it reads the
+// database manifest for the last checkpoint (store snapshot generation +
+// checkpoint LSN), loads the store snapshot — which reopens every index
+// file from its shadow-paged checkpoint — and replays the committed log
+// suffix on top. Torn or partially-synced log tails are detected by the
+// log's per-record framing and truncated, never replayed. Every recovery
+// failure matches ErrRecovery.
+//
+// opts.Dir and opts.Durability are overridden by dir and DurabilityWAL;
+// the remaining options (pools, caches, shards, WAL knobs) apply as in
+// NewDatabaseWith.
+func Open(dir string, opts Options) (*Database, error) {
+	opts.Dir = dir
+	opts.Durability = DurabilityWAL
+	manifest, err := pager.OpenManifestFile(filepath.Join(dir, walManifestName))
+	if err != nil {
+		return nil, recoveryError("opening database manifest", err)
+	}
+	storeGen := manifest.Gens()[0]
+	cut := manifest.WALLSN()
+	// Load with checkpoint durability so NewDatabaseWith does not try to
+	// bootstrap a fresh WAL under the snapshot load.
+	loadOpts := opts
+	loadOpts.Durability = DurabilityCheckpoint
+	db, err := LoadFileWith(filepath.Join(dir, storeSnapName(storeGen)), loadOpts)
+	if err != nil {
+		manifest.Close()
+		return nil, recoveryError("loading store snapshot", err)
+	}
+	db.opts.Durability = DurabilityWAL
+	log, err := wal.Open(filepath.Join(dir, walLogName), walOptions(opts))
+	if err != nil {
+		db.Close()
+		manifest.Close()
+		return nil, recoveryError("opening write-ahead log", err)
+	}
+	w := newWALState(log, manifest, storeGen, opts)
+	err = log.Replay(cut, func(lsn uint64, payload []byte) error {
+		if rerr := db.walReplayRecord(payload); rerr != nil {
+			return fmt.Errorf("record %d: %w", lsn, rerr)
+		}
+		w.replayed.Add(1)
+		return nil
+	})
+	if err != nil {
+		log.Abandon()
+		db.Close()
+		manifest.Close()
+		return nil, recoveryError("replaying log", err)
+	}
+	db.wal = w
+	go db.walCheckpointer()
+	return db, nil
+}
+
+// walCheckpointer is the background goroutine that folds the log into the
+// shadow-paged files once its live size crosses the configured trigger.
+func (db *Database) walCheckpointer() {
+	w := db.wal
+	defer close(w.done)
+	if w.ckptBytes < 0 {
+		<-w.stopc
+		return
+	}
+	t := time.NewTicker(walCheckpointPoll)
+	defer t.Stop()
+	for {
+		select {
+		case <-w.stopc:
+			return
+		case <-t.C:
+			if w.log.LiveBytes() < w.ckptBytes {
+				continue
+			}
+			db.mu.RLock()
+			if !db.closed {
+				// Best-effort: a failing background checkpoint leaves the
+				// log in place; the next explicit Checkpoint or Close
+				// surfaces the error.
+				_ = db.walCheckpointLocked()
+			}
+			db.mu.RUnlock()
+		}
+	}
+}
+
+// walCheckpointLocked runs one incremental checkpoint; see the protocol at
+// the top of this file. The caller holds db.mu (read or write).
+func (db *Database) walCheckpointLocked() error {
+	w := db.wal
+	w.ckptMu.Lock()
+	defer w.ckptMu.Unlock()
+
+	cut := w.log.LastAppended()
+	// Publish each shard on its own, holding only that shard's writer
+	// lock: writers to other shards (and readers everywhere) proceed.
+	for _, name := range db.order {
+		g := db.groups[name]
+		if !g.disk() {
+			continue
+		}
+		for _, i := range g.allShards() {
+			g.sharded.LockShards([]int{i})
+			err := g.checkpointShard(i)
+			g.sharded.UnlockShards([]int{i})
+			if err != nil {
+				return fmt.Errorf("uindex: checkpointing index %q shard %d: %w", name, i, err)
+			}
+		}
+	}
+	// The store cut: commitMu in write mode excludes only the instant of
+	// the in-memory snapshot + W read; encoding and writing the snapshot
+	// file happen outside every lock.
+	w.commitMu.Lock()
+	objs, next := db.st.Snapshot()
+	watermark := w.log.LastAppended()
+	w.commitMu.Unlock()
+	newGen := w.storeGen + 1
+	snapPath := filepath.Join(db.opts.Dir, storeSnapName(newGen))
+	if err := db.saveStoreSnapshot(snapPath, objs, next); err != nil {
+		return fmt.Errorf("uindex: writing store snapshot: %w", err)
+	}
+	// Nothing a published state may contain can be missing from the log.
+	if err := w.log.WaitDurable(watermark); err != nil {
+		return err
+	}
+	for _, name := range db.order {
+		g := db.groups[name]
+		if err := g.commitManifest(); err != nil {
+			return fmt.Errorf("uindex: committing index %q manifest: %w", name, err)
+		}
+	}
+	if err := w.manifest.CommitWAL([]uint64{newGen}, cut); err != nil {
+		return fmt.Errorf("uindex: committing database manifest: %w", err)
+	}
+	// The previous snapshot is now unreferenced; removal is best-effort
+	// (a leftover file is orphaned, never read).
+	os.Remove(filepath.Join(db.opts.Dir, storeSnapName(w.storeGen)))
+	w.storeGen = newGen
+	if err := w.log.TruncateTo(cut); err != nil {
+		return err
+	}
+	w.ckpts.Add(1)
+	db.ctrs.checkpoints.Add(1)
+	return nil
+}
+
+// saveStoreSnapshot writes one store snapshot file and fsyncs it — the
+// manifest commit that references it must never win the race to disk.
+func (db *Database) saveStoreSnapshot(path string, objs []store.RestoredObject, next OID) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := db.saveSnapshot(f, objs, next); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// --- WAL-mode mutation paths -----------------------------------------------
+//
+// Each mutation applies its edits and appends its record under the covering
+// shard locks plus commitMu (read); the durability wait happens after the
+// locks drop, so concurrent committers queue only on the shared fsync.
+
+func (db *Database) insertWAL(class string, attrs Attrs) (OID, error) {
+	locked := db.lockCovering(class)
+	db.wal.commitMu.RLock()
+	oid, lsn, err := db.walApplyInsert(class, attrs)
+	db.wal.commitMu.RUnlock()
+	if err != nil {
+		unlockAll(locked)
+		db.ctrs.countWrite(&db.ctrs.inserts, err)
+		return 0, err
+	}
+	countShardWrites(locked)
+	unlockAll(locked)
+	if err := db.wal.log.WaitDurable(lsn); err != nil {
+		db.ctrs.countWrite(&db.ctrs.inserts, err)
+		return 0, err
+	}
+	db.ctrs.countWrite(&db.ctrs.inserts, nil)
+	return oid, nil
+}
+
+func (db *Database) setWAL(oid OID, class, attr string, v any) error {
+	locked := db.lockCovering(class)
+	db.wal.commitMu.RLock()
+	lsn, err := db.walApplySet(oid, class, attr, v)
+	db.wal.commitMu.RUnlock()
+	if err != nil {
+		unlockAll(locked)
+		return err
+	}
+	countShardWrites(locked)
+	unlockAll(locked)
+	return db.wal.log.WaitDurable(lsn)
+}
+
+func (db *Database) deleteWAL(oid OID, class string) error {
+	locked := db.lockCovering(class)
+	db.wal.commitMu.RLock()
+	lsn, err := db.walApplyDelete(oid, class)
+	db.wal.commitMu.RUnlock()
+	if err != nil {
+		unlockAll(locked)
+		return err
+	}
+	countShardWrites(locked)
+	unlockAll(locked)
+	return db.wal.log.WaitDurable(lsn)
+}
+
+// walGroupEdit is the per-index half of a log record: the exact key
+// deletions and insertions one mutation performed on one group.
+type walGroupEdit struct {
+	name string
+	dels [][]byte
+	ins  [][]byte
+}
+
+// walApplyInsert executes an insert and appends its record; the caller
+// holds the covering shard locks and commitMu (read).
+func (db *Database) walApplyInsert(class string, attrs Attrs) (OID, uint64, error) {
+	oid, err := db.st.Insert(class, attrs)
+	if err != nil {
+		return 0, 0, err
+	}
+	covering := db.coveringGroups(class)
+	edits := make([]walGroupEdit, 0, len(covering))
+	for _, g := range covering {
+		keys, err := g.sharded.EntriesFor(oid)
+		if err != nil {
+			return 0, 0, fmt.Errorf("uindex: maintaining index %q: %w", g.name, err)
+		}
+		if err := g.sharded.ApplyKeys(nil, keys); err != nil {
+			return 0, 0, fmt.Errorf("uindex: maintaining index %q: %w", g.name, err)
+		}
+		edits = append(edits, walGroupEdit{name: g.name, ins: keys})
+	}
+	payload, err := encodeWALInsert(oid, class, attrs, edits)
+	if err != nil {
+		return 0, 0, err
+	}
+	return oid, db.wal.log.Append(payload), nil
+}
+
+// walApplySet executes an attribute update and appends its record; locking
+// contract as walApplyInsert.
+func (db *Database) walApplySet(oid OID, class, attr string, v any) (uint64, error) {
+	covering := db.coveringGroups(class)
+	olds := make([][][]byte, len(covering))
+	for i, g := range covering {
+		old, err := g.sharded.EntriesFor(oid)
+		if err != nil {
+			return 0, fmt.Errorf("uindex: index %q: %w", g.name, err)
+		}
+		olds[i] = old
+	}
+	if _, err := db.st.SetAttr(oid, attr, v); err != nil {
+		return 0, err
+	}
+	edits := make([]walGroupEdit, 0, len(covering))
+	for i, g := range covering {
+		newKeys, err := g.sharded.EntriesFor(oid)
+		if err != nil {
+			return 0, fmt.Errorf("uindex: index %q: %w", g.name, err)
+		}
+		dels, ins := core.DiffKeys(olds[i], newKeys)
+		if err := g.sharded.ApplyKeys(dels, ins); err != nil {
+			return 0, fmt.Errorf("uindex: index %q: %w", g.name, err)
+		}
+		edits = append(edits, walGroupEdit{name: g.name, dels: dels, ins: ins})
+	}
+	payload, err := encodeWALSet(oid, attr, v, edits)
+	if err != nil {
+		return 0, err
+	}
+	return db.wal.log.Append(payload), nil
+}
+
+// walApplyDelete executes a delete and appends its record; locking contract
+// as walApplyInsert.
+func (db *Database) walApplyDelete(oid OID, class string) (uint64, error) {
+	covering := db.coveringGroups(class)
+	edits := make([]walGroupEdit, 0, len(covering))
+	for _, g := range covering {
+		keys, err := g.sharded.EntriesFor(oid)
+		if err != nil {
+			return 0, fmt.Errorf("uindex: index %q: %w", g.name, err)
+		}
+		if err := g.sharded.ApplyKeys(keys, nil); err != nil {
+			return 0, fmt.Errorf("uindex: index %q: %w", g.name, err)
+		}
+		edits = append(edits, walGroupEdit{name: g.name, dels: keys})
+	}
+	if err := db.st.Delete(oid); err != nil {
+		return 0, err
+	}
+	payload := encodeWALDelete(oid, edits)
+	return db.wal.log.Append(payload), nil
+}
+
+// --- record encoding --------------------------------------------------------
+//
+// A record is the kind byte, the store operation (OIDs as uvarints, values
+// with the snapshot value tags of persist.go), then the per-group key
+// edits. Records are physiological: replay re-applies the recorded key
+// lists through the shard router rather than re-deriving them from the
+// store, so a record replays identically whatever the surrounding state.
+
+const (
+	walRecInsert = 1
+	walRecSet    = 2
+	walRecDelete = 3
+)
+
+func walAppendStr(b []byte, s string) []byte {
+	b = binary.AppendUvarint(b, uint64(len(s)))
+	return append(b, s...)
+}
+
+func walAppendBytes(b, p []byte) []byte {
+	b = binary.AppendUvarint(b, uint64(len(p)))
+	return append(b, p...)
+}
+
+// walAppendValue encodes one attribute value with the persist.go tags.
+func walAppendValue(b []byte, v any) ([]byte, error) {
+	switch x := v.(type) {
+	case int:
+		b = append(b, tagInt)
+		return binary.AppendUvarint(b, uint64(x)), nil
+	case uint64:
+		b = append(b, tagUint64)
+		return binary.AppendUvarint(b, x), nil
+	case int64:
+		b = append(b, tagInt64)
+		return binary.AppendUvarint(b, uint64(x)), nil
+	case float64:
+		b = append(b, tagFloat64)
+		return binary.AppendUvarint(b, math.Float64bits(x)), nil
+	case string:
+		b = append(b, tagString)
+		return walAppendStr(b, x), nil
+	case OID:
+		b = append(b, tagOID)
+		return binary.AppendUvarint(b, uint64(x)), nil
+	case []OID:
+		b = append(b, tagOIDs)
+		b = binary.AppendUvarint(b, uint64(len(x)))
+		for _, o := range x {
+			b = binary.AppendUvarint(b, uint64(o))
+		}
+		return b, nil
+	}
+	return nil, fmt.Errorf("uindex: cannot log attribute value of type %T", v)
+}
+
+func walAppendEdits(b []byte, edits []walGroupEdit) []byte {
+	b = binary.AppendUvarint(b, uint64(len(edits)))
+	for _, e := range edits {
+		b = walAppendStr(b, e.name)
+		b = binary.AppendUvarint(b, uint64(len(e.dels)))
+		for _, k := range e.dels {
+			b = walAppendBytes(b, k)
+		}
+		b = binary.AppendUvarint(b, uint64(len(e.ins)))
+		for _, k := range e.ins {
+			b = walAppendBytes(b, k)
+		}
+	}
+	return b
+}
+
+func encodeWALInsert(oid OID, class string, attrs Attrs, edits []walGroupEdit) ([]byte, error) {
+	b := []byte{walRecInsert}
+	b = binary.AppendUvarint(b, uint64(oid))
+	b = walAppendStr(b, class)
+	names := make([]string, 0, len(attrs))
+	for name := range attrs {
+		names = append(names, name)
+	}
+	sort.Strings(names) // deterministic record bytes
+	b = binary.AppendUvarint(b, uint64(len(names)))
+	for _, name := range names {
+		b = walAppendStr(b, name)
+		var err error
+		if b, err = walAppendValue(b, attrs[name]); err != nil {
+			return nil, err
+		}
+	}
+	return walAppendEdits(b, edits), nil
+}
+
+func encodeWALSet(oid OID, attr string, v any, edits []walGroupEdit) ([]byte, error) {
+	b := []byte{walRecSet}
+	b = binary.AppendUvarint(b, uint64(oid))
+	b = walAppendStr(b, attr)
+	var err error
+	if b, err = walAppendValue(b, v); err != nil {
+		return nil, err
+	}
+	return walAppendEdits(b, edits), nil
+}
+
+func encodeWALDelete(oid OID, edits []walGroupEdit) []byte {
+	b := []byte{walRecDelete}
+	b = binary.AppendUvarint(b, uint64(oid))
+	return walAppendEdits(b, edits)
+}
+
+// walDec decodes one record payload; the first failure sticks.
+type walDec struct {
+	b   []byte
+	err error
+}
+
+func (d *walDec) fail(what string) {
+	if d.err == nil {
+		d.err = fmt.Errorf("truncated record: %s", what)
+	}
+}
+
+func (d *walDec) byte() byte {
+	if d.err != nil || len(d.b) == 0 {
+		d.fail("kind byte")
+		return 0
+	}
+	v := d.b[0]
+	d.b = d.b[1:]
+	return v
+}
+
+func (d *walDec) uvarint() uint64 {
+	if d.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(d.b)
+	if n <= 0 {
+		d.fail("varint")
+		return 0
+	}
+	d.b = d.b[n:]
+	return v
+}
+
+func (d *walDec) take(n uint64) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if n > uint64(len(d.b)) {
+		d.fail("byte run")
+		return nil
+	}
+	p := d.b[:n]
+	d.b = d.b[n:]
+	return p
+}
+
+func (d *walDec) str() string { return string(d.take(d.uvarint())) }
+
+func (d *walDec) keys() [][]byte {
+	n := d.uvarint()
+	if d.err != nil {
+		return nil
+	}
+	out := make([][]byte, 0, min(n, snapshotPreallocCap))
+	for i := uint64(0); i < n && d.err == nil; i++ {
+		out = append(out, append([]byte(nil), d.take(d.uvarint())...))
+	}
+	return out
+}
+
+func (d *walDec) value() any {
+	switch tag := d.byte(); tag {
+	case tagInt:
+		return int(d.uvarint())
+	case tagUint64:
+		return d.uvarint()
+	case tagInt64:
+		return int64(d.uvarint())
+	case tagFloat64:
+		return math.Float64frombits(d.uvarint())
+	case tagString:
+		return d.str()
+	case tagOID:
+		return OID(d.uvarint())
+	case tagOIDs:
+		n := d.uvarint()
+		if d.err != nil {
+			return nil
+		}
+		oids := make([]OID, 0, min(n, snapshotPreallocCap))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			oids = append(oids, OID(d.uvarint()))
+		}
+		return oids
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown value tag %d", tag)
+		}
+		return nil
+	}
+}
+
+// walReplayRecord re-applies one log record during recovery. Store
+// operations use the tolerant Replay* methods (fixed OIDs, no reference
+// validation — a later record may delete a referenced object), index edits
+// re-route the recorded key lists. Replay runs before the Database is
+// published, so no locks are needed. Records naming a since-dropped index
+// are applied to the store and skipped for that index.
+func (db *Database) walReplayRecord(payload []byte) error {
+	d := &walDec{b: payload}
+	switch kind := d.byte(); kind {
+	case walRecInsert:
+		oid := OID(d.uvarint())
+		class := d.str()
+		n := d.uvarint()
+		if d.err != nil {
+			return d.err
+		}
+		attrs := make(Attrs, min(n, snapshotPreallocCap))
+		for i := uint64(0); i < n && d.err == nil; i++ {
+			name := d.str()
+			v := d.value()
+			if d.err == nil {
+				attrs[name] = v
+			}
+		}
+		if d.err == nil {
+			if err := db.st.ReplayInsert(oid, class, attrs); err != nil {
+				return err
+			}
+		}
+	case walRecSet:
+		oid := OID(d.uvarint())
+		attr := d.str()
+		v := d.value()
+		if d.err == nil {
+			db.st.ReplaySet(oid, attr, v)
+		}
+	case walRecDelete:
+		oid := OID(d.uvarint())
+		if d.err == nil {
+			db.st.ReplayDelete(oid)
+		}
+	default:
+		if d.err == nil {
+			d.err = fmt.Errorf("unknown record kind %d", kind)
+		}
+	}
+	ng := d.uvarint()
+	for i := uint64(0); i < ng && d.err == nil; i++ {
+		name := d.str()
+		dels := d.keys()
+		ins := d.keys()
+		if d.err != nil {
+			break
+		}
+		g, ok := db.groups[name]
+		if !ok {
+			continue
+		}
+		if err := g.sharded.ApplyKeys(dels, ins); err != nil {
+			return fmt.Errorf("index %q: %w", name, err)
+		}
+	}
+	return d.err
+}

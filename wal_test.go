@@ -1,0 +1,607 @@
+package uindex
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// walOpts is the WAL test baseline: background checkpointing disabled so
+// every test controls exactly when the log folds into the checkpoints.
+func walOpts(dir string) Options {
+	return Options{Dir: dir, PoolPages: 16, Durability: DurabilityWAL, WALCheckpointBytes: -1}
+}
+
+// copyDirTo snapshots every file of a live database directory — the state a
+// crash at this instant would leave on disk (the log and manifests are
+// written with WriteAt+Sync, so the on-disk bytes are the durable state).
+func copyDirTo(t *testing.T, src, dst string) {
+	t.Helper()
+	ents, err := os.ReadDir(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if e.IsDir() {
+			continue
+		}
+		raw, err := os.ReadFile(filepath.Join(src, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(filepath.Join(dst, e.Name()), raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// crashImage copies the live directory into a fresh TempDir.
+func crashImage(t *testing.T, src string) string {
+	t.Helper()
+	dst := t.TempDir()
+	copyDirTo(t, src, dst)
+	return dst
+}
+
+// dumpIndexKeys collects every key of every shard of one index, in shard
+// order — the byte-level content two recoveries must agree on.
+func dumpIndexKeys(t *testing.T, db *Database, name string) []string {
+	t.Helper()
+	g, ok := db.groups[name]
+	if !ok {
+		t.Fatalf("no index %q", name)
+	}
+	var keys []string
+	for i := 0; i < g.sharded.NumShards(); i++ {
+		err := g.sharded.Shard(i).Tree().Scan(context.Background(), nil, nil, nil,
+			func(key, val []byte) ([]byte, bool, error) {
+				keys = append(keys, fmt.Sprintf("%d/%x", i, key))
+				return nil, false, nil
+			})
+		if err != nil {
+			t.Fatalf("scanning %q shard %d: %v", name, i, err)
+		}
+	}
+	return keys
+}
+
+func countRed(t *testing.T, db *Database) int {
+	t.Helper()
+	ms, _, err := db.Query(context.Background(), "color", redQuery())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return len(ms)
+}
+
+// TestWALRoundTrip: a WAL database survives a clean Close/Open cycle; the
+// final checkpoint on Close means Open replays nothing.
+func TestWALRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	oids := insertVehicles(t, db, testColors)
+	if err := db.Set(oids[1], "Color", "Red"); err != nil { // White -> Red
+		t.Fatal(err)
+	}
+	if err := db.Delete(oids[0]); err != nil { // drop a Red
+		t.Fatal(err)
+	}
+	m := db.Metrics()
+	if !m.WALEnabled || m.WALAppends != uint64(len(testColors))+2 {
+		t.Fatalf("WALEnabled=%v WALAppends=%d, want true/%d", m.WALEnabled, m.WALAppends, len(testColors)+2)
+	}
+	wantRed := countRed(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2, err := Open(dir, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db2.Close()
+	if got := countRed(t, db2); got != wantRed {
+		t.Fatalf("recovered red count = %d, want %d", got, wantRed)
+	}
+	m2 := db2.Metrics()
+	if m2.WALRecoveryReplayed != 0 {
+		t.Fatalf("clean close still replayed %d records", m2.WALRecoveryReplayed)
+	}
+	if o, ok := db2.Get(oids[1]); !ok || o.Attrs()["Color"] != "Red" {
+		t.Fatalf("Get(%d) = %v, %v; want Color=Red", oids[1], o, ok)
+	}
+	if _, ok := db2.Get(oids[0]); ok {
+		t.Fatalf("deleted object %d resurrected", oids[0])
+	}
+}
+
+// TestWALCrashRecovery: mutations acknowledged by the commit path are fully
+// recovered from a crash image — no Close, no Checkpoint, just the log.
+func TestWALCrashRecovery(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	oids := insertVehicles(t, db, testColors)
+	if err := db.Set(oids[3], "Color", "Red"); err != nil { // Blue -> Red
+		t.Fatal(err)
+	}
+	if err := db.Delete(oids[5]); err != nil { // drop a Red
+		t.Fatal(err)
+	}
+	// A batch rides the same log.
+	b := new(Batch)
+	b.Insert("Automobile", Attrs{"Color": "Red"}).Set(oids[4], "Color", "Red")
+	if _, err := db.Apply(context.Background(), b); err != nil {
+		t.Fatal(err)
+	}
+	wantRed := countRed(t, db)
+	wantKeys := dumpIndexKeys(t, db, "color")
+
+	img := crashImage(t, dir)
+	rec, err := Open(img, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := countRed(t, rec); got != wantRed {
+		t.Fatalf("recovered red count = %d, want %d", got, wantRed)
+	}
+	gotKeys := dumpIndexKeys(t, rec, "color")
+	if fmt.Sprint(gotKeys) != fmt.Sprint(wantKeys) {
+		t.Fatalf("recovered index keys differ:\n got %v\nwant %v", gotKeys, wantKeys)
+	}
+	m := rec.Metrics()
+	if m.WALRecoveryReplayed == 0 {
+		t.Fatal("crash image recovered without replaying any log records")
+	}
+	for _, oid := range oids[:5] {
+		want, wok := db.Get(oid)
+		got, gok := rec.Get(oid)
+		if wok != gok {
+			t.Fatalf("Get(%d) presence: live %v, recovered %v", oid, wok, gok)
+		}
+		if wok && want.Attrs()["Color"] != got.Attrs()["Color"] {
+			t.Fatalf("Get(%d) Color: live %v, recovered %v", oid, want.Attrs()["Color"], got.Attrs()["Color"])
+		}
+	}
+}
+
+// TestWALCheckpointThenCrash: mutations after an incremental checkpoint are
+// recovered by replaying only the suffix beyond the checkpoint LSN.
+func TestWALCheckpointThenCrash(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, testColors)
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, []string{"Red", "Green"})
+	wantRed := countRed(t, db)
+
+	img := crashImage(t, dir)
+	rec, err := Open(img, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := countRed(t, rec); got != wantRed {
+		t.Fatalf("recovered red count = %d, want %d", got, wantRed)
+	}
+	if m := rec.Metrics(); m.WALRecoveryReplayed != 2 {
+		t.Fatalf("replayed %d records, want exactly the 2 post-checkpoint inserts", m.WALRecoveryReplayed)
+	}
+}
+
+// TestWALRecoveryIdempotent: replaying the same log suffix a second time
+// over an already-recovered database leaves the indexes byte-identical and
+// the store unchanged — the property that lets recovery crash and rerun.
+func TestWALRecoveryIdempotent(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	oids := insertVehicles(t, db, testColors)
+	if err := db.Set(oids[1], "Color", "Blue"); err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Delete(oids[2]); err != nil {
+		t.Fatal(err)
+	}
+
+	img := crashImage(t, dir)
+	rec, err := Open(img, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	once := dumpIndexKeys(t, rec, "color")
+	onceRed := countRed(t, rec)
+
+	// Replay the identical suffix again, straight through the recovery path.
+	cut := rec.wal.manifest.WALLSN()
+	var again uint64
+	err = rec.wal.log.Replay(cut, func(lsn uint64, payload []byte) error {
+		again++
+		return rec.walReplayRecord(payload)
+	})
+	if err != nil {
+		t.Fatalf("second replay: %v", err)
+	}
+	if again != rec.Metrics().WALRecoveryReplayed {
+		t.Fatalf("second replay saw %d records, first saw %d", again, rec.Metrics().WALRecoveryReplayed)
+	}
+	twice := dumpIndexKeys(t, rec, "color")
+	if fmt.Sprint(once) != fmt.Sprint(twice) {
+		t.Fatalf("double replay changed the index:\n once %v\ntwice %v", once, twice)
+	}
+	if got := countRed(t, rec); got != onceRed {
+		t.Fatalf("double replay changed red count: %d -> %d", onceRed, got)
+	}
+	for _, oid := range oids {
+		if _, ok := rec.Get(oid); ok != (oid != oids[2]) {
+			t.Fatalf("Get(%d) after double replay = %v", oid, ok)
+		}
+	}
+}
+
+// TestWALRecoveryErrors: every way a recovery can fail — damaged manifest,
+// damaged log preamble, damaged store snapshot, damaged index checkpoint —
+// surfaces as ErrRecovery, with pager corruption still reachable through
+// errors.Is/As.
+func TestWALRecoveryErrors(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, testColors)
+	if err := db.Checkpoint(); err != nil { // give the index file content
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, []string{"Red"}) // leave a log tail too
+	img := t.TempDir()
+	copyDirTo(t, dir, img)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	corrupt := func(t *testing.T, name string, mangle func([]byte) []byte) string {
+		t.Helper()
+		d := t.TempDir()
+		copyDirTo(t, img, d)
+		p := filepath.Join(d, name)
+		raw, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(p, mangle(raw), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	wantRecovery := func(t *testing.T, d string) error {
+		t.Helper()
+		rec, err := Open(d, Options{PoolPages: 16, WALCheckpointBytes: -1})
+		if err == nil {
+			rec.Close()
+			t.Fatal("Open succeeded on corrupt directory")
+		}
+		if !errors.Is(err, ErrRecovery) {
+			t.Fatalf("Open = %v, want ErrRecovery in the chain", err)
+		}
+		return err
+	}
+
+	t.Run("manifest", func(t *testing.T) {
+		wantRecovery(t, corrupt(t, "db.manifest", func(raw []byte) []byte { return raw[:16] }))
+	})
+	t.Run("log", func(t *testing.T) {
+		wantRecovery(t, corrupt(t, "wal.log", func(raw []byte) []byte {
+			raw[0] ^= 0xFF // break the magic
+			return raw
+		}))
+	})
+	t.Run("snapshot", func(t *testing.T) {
+		snaps, err := filepath.Glob(filepath.Join(img, "store.*.snap"))
+		if err != nil || len(snaps) != 1 {
+			t.Fatalf("store snapshots in image: %v, %v", snaps, err)
+		}
+		wantRecovery(t, corrupt(t, filepath.Base(snaps[0]), func(raw []byte) []byte {
+			return raw[:len(raw)/2]
+		}))
+	})
+	t.Run("index", func(t *testing.T) {
+		// Flip a payload byte in every page slot after the header: whatever
+		// page the reopen touches fails its checksum. The pager-level cause
+		// must survive the ErrRecovery wrapping.
+		err := wantRecovery(t, corrupt(t, "color.uidx", func(raw []byte) []byte {
+			const slotSize = 1024 + 12
+			for off := slotSize + 50; off < len(raw); off += slotSize {
+				raw[off] ^= 0xFF
+			}
+			return raw
+		}))
+		var cp ErrCorruptPage
+		if !errors.Is(err, ErrCorruptFile) && !errors.As(err, &cp) {
+			t.Fatalf("index corruption lost its pager cause: %v", err)
+		}
+	})
+	t.Run("missing log", func(t *testing.T) {
+		d := t.TempDir()
+		copyDirTo(t, img, d)
+		if err := os.Remove(filepath.Join(d, "wal.log")); err != nil {
+			t.Fatal(err)
+		}
+		wantRecovery(t, d)
+	})
+}
+
+// TestWALBootstrapRules: DurabilityWAL requires a directory, and a directory
+// already holding a WAL database must go through Open, not NewDatabaseWith.
+func TestWALBootstrapRules(t *testing.T) {
+	if _, err := NewDatabaseWith(vehicleSchema(t), Options{Durability: DurabilityWAL}); err == nil {
+		t.Fatal("DurabilityWAL without Dir accepted")
+	}
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir)); err == nil ||
+		!strings.Contains(err.Error(), "Open") {
+		t.Fatalf("re-bootstrap over an existing WAL database = %v, want refusal pointing at Open", err)
+	}
+}
+
+// TestWALCloseLeakFree: the group-commit daemon and background checkpointer
+// shut down on Close without leaking goroutines, for both the bootstrap and
+// the recovery path — including when the background checkpointer is enabled.
+func TestWALCloseLeakFree(t *testing.T) {
+	base := runtime.NumGoroutine()
+	dir := t.TempDir()
+	opts := Options{Dir: dir, PoolPages: 16, Durability: DurabilityWAL, WALCheckpointBytes: 1} // checkpointer hot
+	db, err := NewDatabaseWith(vehicleSchema(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, testColors)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2, err := Open(dir, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db2, testColors)
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(3 * time.Second)
+	for {
+		if n := runtime.NumGoroutine(); n <= base {
+			return
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 64<<10)
+			buf = buf[:runtime.Stack(buf, true)]
+			t.Fatalf("goroutine leak after Close: %d running, started with %d\n%s",
+				runtime.NumGoroutine(), base, buf)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestWALGroupCommitCoalesces: concurrent committers share fsyncs — the
+// whole point of group commit. fsyncs/commit must come out below 1.
+func TestWALGroupCommitCoalesces(t *testing.T) {
+	dir := t.TempDir()
+	opts := walOpts(dir)
+	opts.WALMaxDelay = 500 * time.Microsecond
+	db, err := NewDatabaseWith(vehicleSchema(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	const writers, per = 8, 25
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := db.Insert("Automobile", Attrs{"Color": "Red"}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	m := db.Metrics()
+	if m.WALAppends != writers*per {
+		t.Fatalf("WALAppends = %d, want %d", m.WALAppends, writers*per)
+	}
+	if m.WALFsyncs >= m.WALAppends {
+		t.Fatalf("fsyncs/commit = %d/%d >= 1: group commit not amortizing", m.WALFsyncs, m.WALAppends)
+	}
+	t.Logf("appends=%d fsyncs=%d batches=%d", m.WALAppends, m.WALFsyncs, m.WALBatches)
+}
+
+// TestWALWritersProgressDuringCheckpoint: the incremental checkpoint holds
+// only one shard lock at a time plus a brief store cut, so writers commit
+// while a checkpoint is in flight. Run under -race this is also the data-race
+// proof for the whole WAL commit/checkpoint interplay.
+func TestWALWritersProgressDuringCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	opts := walOpts(dir)
+	opts.Shards = 4
+	db, err := NewDatabaseWith(vehicleSchema(t), opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	// Preload so every store snapshot inside a checkpoint takes real time.
+	preload := make([]string, 800)
+	for i := range preload {
+		preload[i] = "White"
+	}
+	insertVehicles(t, db, preload)
+
+	var (
+		ckptActive atomic.Bool
+		overlap    atomic.Int64 // inserts completed while a checkpoint ran
+		stop       atomic.Bool
+		inserted   atomic.Int64
+	)
+	const writers = 4
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !stop.Load() {
+				if _, err := db.Insert("Automobile", Attrs{"Color": "Red"}); err != nil {
+					t.Error(err)
+					return
+				}
+				inserted.Add(1)
+				if ckptActive.Load() {
+					overlap.Add(1)
+				}
+			}
+		}()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	ckpts := 0
+	for overlap.Load() == 0 || ckpts < 3 {
+		if time.Now().After(deadline) {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("no insert completed during %d checkpoints (inserted %d total)", ckpts, inserted.Load())
+		}
+		ckptActive.Store(true)
+		err := db.Checkpoint()
+		ckptActive.Store(false)
+		if err != nil {
+			stop.Store(true)
+			wg.Wait()
+			t.Fatalf("checkpoint %d: %v", ckpts, err)
+		}
+		ckpts++
+	}
+	stop.Store(true)
+	wg.Wait()
+	t.Logf("checkpoints=%d inserts=%d overlapping=%d", ckpts, inserted.Load(), overlap.Load())
+
+	indexLen := func(db *Database) int {
+		stats, ok := db.ShardStats("color")
+		if !ok {
+			t.Fatal("no color index")
+		}
+		n := 0
+		for _, s := range stats {
+			n += s.Entries
+		}
+		return n
+	}
+	total := int(inserted.Load()) + 800
+	if got := indexLen(db); got != total {
+		t.Fatalf("live index has %d entries, want %d", got, total)
+	}
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	rec, err := Open(dir, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := indexLen(rec); got != total {
+		t.Fatalf("recovered index has %d entries, want %d", got, total)
+	}
+}
+
+// TestWALDropCreateIndexRecovers: catalog changes checkpoint immediately, so
+// a crash right after DropIndex/CreateIndex recovers the new catalog, and
+// log records for a dropped index never damage recovery.
+func TestWALDropCreateIndexRecovers(t *testing.T) {
+	dir := t.TempDir()
+	db, err := NewDatabaseWith(vehicleSchema(t), walOpts(dir))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer db.Close()
+	if err := db.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, testColors)
+	if err := db.DropIndex("color"); err != nil {
+		t.Fatal(err)
+	}
+	insertVehicles(t, db, []string{"Red"}) // logged with no covering index
+
+	img := crashImage(t, dir)
+	rec, err := Open(img, Options{PoolPages: 16, WALCheckpointBytes: -1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer rec.Close()
+	if got := rec.Indexes(); len(got) != 0 {
+		t.Fatalf("dropped index survived recovery: %v", got)
+	}
+	// Re-attach re-reads the orphaned checkpoint file, then Build is not
+	// run — entries must equal the pre-drop checkpointed state.
+	if err := rec.CreateIndex(colorSpec); err != nil {
+		t.Fatal(err)
+	}
+	if got := countRed(t, rec); got != 3 {
+		t.Fatalf("re-attached index sees %d red, want the 3 from before the drop", got)
+	}
+}
